@@ -1,0 +1,33 @@
+"""E-POLY (Theorem 5.3): cost of the syntactic commutativity test vs the
+definition-based test, as rule size grows."""
+
+import random
+
+import pytest
+
+from repro.core.commutativity import commute_by_definition, sufficient_condition
+from repro.experiments.complexity import run_test_scaling
+from repro.workloads.rulegen import random_commuting_pair
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6, 8])
+def test_syntactic_test_scaling(benchmark, arity):
+    first, second = random_commuting_pair(arity, random.Random(arity))
+    result = benchmark(lambda: sufficient_condition(first, second).satisfied)
+    benchmark.extra_info["arity"] = arity
+    assert result is True
+
+
+@pytest.mark.parametrize("arity", [2, 4, 6, 8])
+def test_definition_test_scaling(benchmark, arity):
+    first, second = random_commuting_pair(arity, random.Random(arity))
+    result = benchmark(lambda: commute_by_definition(first, second))
+    benchmark.extra_info["arity"] = arity
+    assert result is True
+
+
+def test_scaling_report(benchmark):
+    result = benchmark(lambda: run_test_scaling(arities=(2, 4, 6), pairs_per_size=3))
+    benchmark.extra_info["rows"] = len(result.rows)
+    for row in result.rows:
+        benchmark.extra_info[f"speedup_arity_{row['arity']}"] = round(row["speedup"], 2)

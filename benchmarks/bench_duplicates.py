@@ -1,0 +1,50 @@
+"""E-DUP (Theorem 3.1): duplicate derivations, direct vs decomposed evaluation."""
+
+import pytest
+
+from repro.experiments.duplicates import run_duplicate_comparison, two_sided_rules
+from repro.engine.decomposed import decomposed_closure
+from repro.engine.seminaive import seminaive_closure
+from repro.experiments.duplicates import _workload
+
+
+@pytest.mark.parametrize("shape", ["chain", "dag", "random"])
+def test_duplicate_comparison_by_shape(benchmark, shape):
+    result = benchmark(lambda: run_duplicate_comparison(shapes=(shape,), sizes=(32,)))
+    row = result.rows[0]
+    benchmark.extra_info.update(
+        {
+            "shape": shape,
+            "direct_duplicates": row["direct_duplicates"],
+            "decomposed_duplicates": row["decomposed_duplicates"],
+            "duplicate_reduction": row["duplicate_reduction"],
+        }
+    )
+    assert row["answers_equal"]
+    assert row["decomposed_duplicates"] <= row["direct_duplicates"]
+
+
+def test_direct_closure_cost(benchmark):
+    prepend, append = two_sided_rules()
+    database, initial = _workload("dag", 48, seed=7)
+    relation = benchmark(
+        lambda: seminaive_closure((prepend, append), initial, database)
+    )
+    benchmark.extra_info["answer_size"] = len(relation)
+
+
+def test_decomposed_closure_cost(benchmark):
+    prepend, append = two_sided_rules()
+    database, initial = _workload("dag", 48, seed=7)
+    relation = benchmark(
+        lambda: decomposed_closure([(prepend,), (append,)], initial, database)
+    )
+    benchmark.extra_info["answer_size"] = len(relation)
+
+
+def test_full_sweep_report(benchmark):
+    result = benchmark(
+        lambda: run_duplicate_comparison(shapes=("dag", "random"), sizes=(16, 32))
+    )
+    benchmark.extra_info["rows"] = len(result.rows)
+    assert all(row["answers_equal"] for row in result.rows)

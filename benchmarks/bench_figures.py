@@ -1,0 +1,111 @@
+"""FIG-1 … FIG-9: regenerate every a-graph figure of the paper.
+
+Each benchmark rebuilds one figure (a-graph construction, classification,
+bridges, narrow/wide rules, and the structural checks the paper states
+for that figure) and records the key facts in ``extra_info``.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def _run(benchmark, builder, expectations):
+    result = benchmark(builder)
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["rows"] = len(result.rows)
+    for key, value in expectations(result).items():
+        benchmark.extra_info[key] = value
+        assert value, f"{result.experiment_id}: expectation {key} failed"
+
+
+def test_figure1_classification(benchmark):
+    _run(
+        benchmark, figures.figure_1,
+        lambda result: {
+            "classification_matches_paper": any(
+                "matches the paper's statement: True" in note for note in result.notes
+            )
+        },
+    )
+
+
+def test_figure2_bridges(benchmark):
+    _run(
+        benchmark, figures.figure_2,
+        lambda result: {"three_bridges_as_in_paper": len(result.rows) == 3},
+    )
+
+
+def test_figure3_transitive_closure_pair(benchmark):
+    _run(
+        benchmark, figures.figure_3,
+        lambda result: {
+            "condition_holds": any("holds: True" in note for note in result.notes),
+            "commute_by_definition": any(
+                "commute by definition: True" in note for note in result.notes
+            ),
+        },
+    )
+
+
+def test_figure4_three_ary_pair(benchmark):
+    _run(
+        benchmark, figures.figure_4,
+        lambda result: {
+            "condition_holds": any("holds: True" in note for note in result.notes)
+        },
+    )
+
+
+def test_figure5_condition_not_necessary(benchmark):
+    _run(
+        benchmark, figures.figure_5,
+        lambda result: {
+            "condition_fails_as_expected": any(
+                "holds: False" in note for note in result.notes
+            ),
+            "commute_by_definition": any(
+                "commute by definition: True" in note for note in result.notes
+            ),
+        },
+    )
+
+
+def test_figure6_redundant_cheap(benchmark):
+    _run(
+        benchmark, figures.figure_6,
+        lambda result: {
+            "cheap_detected": any("cheap" in str(row.values()) for row in result.rows)
+        },
+    )
+
+
+def test_figure7_8_factorization(benchmark):
+    _run(
+        benchmark, figures.figure_7_8,
+        lambda result: {
+            "all_checks_true": all(
+                row["value"] is True or not isinstance(row["value"], bool)
+                for row in result.rows
+            )
+        },
+    )
+
+
+def test_figure9_noncommuting_factorization(benchmark):
+    def expectations(result):
+        by_quantity = {row["quantity"]: row["value"] for row in result.rows}
+        return {
+            "bc_differs_from_cb": by_quantity["B C^2 = C^2 B"] is False,
+            "theorem_6_4_premise": by_quantity["C^2 (B C^2) = C^2 (C^2 B)"] is True,
+            "factorisation": by_quantity["A^2 = B C^2"] is True,
+        }
+
+    _run(benchmark, figures.figure_9, expectations)
+
+
+def test_all_figures_report(benchmark):
+    results = benchmark(figures.run_all_figures)
+    benchmark.extra_info["figures"] = len(results)
+    assert len(results) == 8

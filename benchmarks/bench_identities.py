@@ -1,0 +1,15 @@
+"""E-ALG: the algebraic identities of Sections 3.1 and 3.2 checked on data."""
+
+from repro.experiments.identities import run_identity_checks
+
+
+def test_identity_checks(benchmark):
+    result = benchmark(lambda: run_identity_checks(sizes=(8,)))
+    for row in result.rows:
+        assert row["formula_3_1"] and row["lassez_maher"] and row["dong"]
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+def test_identity_checks_larger(benchmark):
+    result = benchmark(lambda: run_identity_checks(sizes=(16,)))
+    assert all(row["formula_3_1"] for row in result.rows)

@@ -1,0 +1,32 @@
+"""E-PLAN: end-to-end engine — planner analysis cost and strategy payoff."""
+
+from repro.core.engine import RecursiveQueryEngine
+from repro.core.planner import QueryPlanner
+from repro.datalog.atoms import Predicate
+from repro.experiments.planner_experiment import run_planner_comparison
+from repro.workloads import scenarios
+
+
+def test_planner_analysis_cost(benchmark):
+    program = scenarios.two_sided_transitive_closure_program()
+    recursion = program.linear_recursion_of(Predicate("path", 2))
+    plan = benchmark(lambda: QueryPlanner().plan(recursion))
+    benchmark.extra_info["strategy"] = plan.strategy.value
+    assert plan.strategy.value == "decomposed"
+
+
+def test_end_to_end_comparison(benchmark):
+    result = benchmark(lambda: run_planner_comparison(size=18))
+    strategies = {row["case"]: row["strategy"] for row in result.rows}
+    benchmark.extra_info.update(strategies)
+    assert all(row["answers_equal"] for row in result.rows)
+
+
+def test_engine_query_cost(benchmark):
+    from repro.experiments.planner_experiment import _two_sided_database
+
+    engine = RecursiveQueryEngine()
+    program = scenarios.two_sided_transitive_closure_program()
+    database = _two_sided_database(24, seed=3)
+    result = benchmark(lambda: engine.query(program, "path", database))
+    benchmark.extra_info["answer"] = len(result.relation)

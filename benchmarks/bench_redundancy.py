@@ -1,0 +1,44 @@
+"""E-RED (Theorems 4.2/6.3/6.4): redundancy detection, factorisation, and
+redundancy-aware evaluation."""
+
+from repro.core.redundancy import find_redundant_predicates, redundancy_factorization
+from repro.experiments.redundancy import run_factorized_evaluation, run_redundant_buys
+from repro.workloads.scenarios import example_6_1_rule, example_6_2_rule
+
+
+def test_detection_cost_example_6_1(benchmark):
+    rule = example_6_1_rule()
+    findings = benchmark(lambda: find_redundant_predicates(rule))
+    assert {finding.predicate_name for finding in findings} == {"cheap"}
+
+
+def test_detection_cost_example_6_2(benchmark):
+    rule = example_6_2_rule()
+    findings = benchmark(lambda: find_redundant_predicates(rule))
+    assert "r" in {finding.predicate_name for finding in findings}
+
+
+def test_factorization_cost_example_6_2(benchmark):
+    rule = example_6_2_rule()
+    factorization = benchmark(lambda: redundancy_factorization(rule))
+    benchmark.extra_info["L"] = factorization.exponent
+    benchmark.extra_info["bound"] = factorization.bounded_c_applications
+    assert factorization.exponent == 2
+
+
+def test_redundant_buys_evaluation(benchmark):
+    result = benchmark(lambda: run_redundant_buys(sizes=(24,)))
+    row = result.rows[0]
+    benchmark.extra_info.update(
+        {
+            "direct_c_applications": row["direct_c_applications"],
+            "aware_c_bound": row["aware_c_bound"],
+        }
+    )
+    assert row["answers_equal"]
+    assert row["aware_c_bound"] < row["direct_c_applications"]
+
+
+def test_factorized_evaluation_correctness(benchmark):
+    result = benchmark(lambda: run_factorized_evaluation(sizes=(5,)))
+    assert all(row["answers_equal"] for row in result.rows)

@@ -1,0 +1,30 @@
+"""E-SEP (Theorem 4.1 / Algorithm 4.1): the separable algorithm vs full closure."""
+
+from repro.experiments.separable import run_selection_benefit, run_separable_implies_commutes
+
+
+def test_selection_benefit(benchmark):
+    result = benchmark(lambda: run_selection_benefit(sizes=(16,)))
+    row = result.rows[0]
+    benchmark.extra_info.update(
+        {
+            "direct_derivations": row["direct_derivations"],
+            "separable_derivations": row["separable_derivations"],
+            "direct_rows_probed": row["direct_rows_probed"],
+            "separable_rows_probed": row["separable_rows_probed"],
+        }
+    )
+    assert row["answers_equal"]
+    assert row["separable_derivations"] <= row["direct_derivations"]
+
+
+def test_selection_benefit_sweep(benchmark):
+    result = benchmark(lambda: run_selection_benefit(sizes=(8, 16, 24)))
+    benchmark.extra_info["rows"] = len(result.rows)
+    assert all(row["answers_equal"] for row in result.rows)
+
+
+def test_separable_implies_commutative(benchmark):
+    result = benchmark(lambda: run_separable_implies_commutes(pairs=10))
+    benchmark.extra_info["note"] = result.notes[0]
+    assert "0 violations" in result.notes[0]

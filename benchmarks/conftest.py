@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Each benchmark wraps one experiment from :mod:`repro.experiments` (the
+paper's figures and efficiency claims).  Besides timing, every benchmark
+attaches the experiment's headline numbers to ``benchmark.extra_info`` so
+that the pytest-benchmark report contains the reproduced table rows, and
+asserts the correctness note (answers agree / claim holds) so that a
+regression in the reproduction fails the benchmark run.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (the evaluation environment has no ``wheel`` package, so
+``pip install -e .`` may be unavailable offline; see README).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,77 @@
+"""Detecting and exploiting a recursively redundant predicate (Section 6.2).
+
+Run with::
+
+    python examples/redundant_predicate_elimination.py
+
+Scenario: the paper's Example 6.1 — ``buys(X, Y) :- knows(X, Z),
+buys(Z, Y), cheap(Y)``.  The ``cheap`` filter looks like it participates
+in every recursive step, but it is *recursively redundant*: its effect is
+exhausted after a bounded number of applications (here one), so the
+engine can factor the recursion (Theorem 6.4) and stop re-joining with
+``cheap`` after that bound.  The script shows the detection, the
+factorisation ``A^L = B C^L``, and the evaluation comparison.
+"""
+
+import random
+
+from repro import Database, RecursiveQueryEngine, Relation, find_redundant_predicates
+from repro.core.redundancy import redundancy_factorization
+from repro.workloads.graphs import chain_edges
+from repro.workloads.relations import random_relation, random_unary_relation
+from repro.workloads.scenarios import example_6_1_rule
+
+PROGRAM = """
+    buys(X, Y) :- knows(X, Z), buys(Z, Y), cheap(Y).
+    buys(X, Y) :- likes(X, Y).
+"""
+
+
+def build_database(people: int = 40, seed: int = 5) -> Database:
+    """A long word-of-mouth chain of people; almost every item is cheap.
+
+    A barely-selective ``cheap`` filter is the regime where redundancy pays
+    off most clearly: the filter prunes almost nothing, so the direct
+    evaluation re-joins with it at every iteration for no benefit, while
+    the redundancy-aware evaluation joins with it only the bounded number
+    of times Theorem 4.2 prescribes.
+    """
+    rng = random.Random(seed)
+    knows = chain_edges(people, name="knows")
+    cheap = random_unary_relation("cheap", people * 9 // 10, domain_size=people, rng=rng)
+    likes = random_relation("likes", 2, people, domain_size=people, rng=rng)
+    return Database.of(knows, cheap, likes)
+
+
+def main() -> None:
+    rule = example_6_1_rule()
+
+    findings = find_redundant_predicates(rule)
+    print("recursive rule:", rule)
+    print("recursively redundant predicates:",
+          sorted({finding.predicate_name for finding in findings}))
+    factorization = redundancy_factorization(rule)
+    print(factorization.explain())
+    print("  B =", factorization.factor_b)
+    print("  C =", factorization.factor_c)
+    print()
+
+    database = build_database()
+    engine = RecursiveQueryEngine()
+    planned = engine.query(PROGRAM, "buys", database)
+    direct = engine.baseline(PROGRAM, "buys", database)
+
+    print("chosen strategy:", planned.plan.strategy.value)
+    print(f"answer tuples: {len(planned.relation)}")
+    print("redundancy-aware evaluation:", planned.statistics.summary())
+    print("direct evaluation          :", direct.statistics.summary())
+    print(
+        "evaluation steps that join with the redundant 'cheap' factor — "
+        f"direct: {direct.statistics.iterations} (one per iteration, grows with the data), "
+        f"redundancy-aware: at most {factorization.bounded_c_applications} (Theorem 4.2 bound)"
+    )
+    assert planned.relation.rows == direct.relation.rows, "strategies must agree"
+
+
+if __name__ == "__main__":
+    main()

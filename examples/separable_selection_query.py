@@ -1,0 +1,63 @@
+"""A selection query answered with the separable algorithm (Theorem 4.1).
+
+Run with::
+
+    python examples/separable_selection_query.py
+
+Scenario: a logistics network with "left" legs (feeder routes) and
+"right" legs (long-haul routes).  The user asks which destinations are
+reachable *from one specific depot* — a selection on the first argument
+of the recursive predicate.  Because the two recursive rules commute and
+the selection commutes with one of them, Theorem 4.1 lets the engine run
+Naughton's separable algorithm instead of computing the full closure and
+filtering at the end.  The script prints both evaluations and the work
+saved.
+"""
+
+import random
+
+from repro import Database, EqualitySelection, RecursiveQueryEngine, Relation
+from repro.workloads.graphs import layered_dag_edges
+
+PROGRAM = """
+    reach(X, Y) :- left(X, U), reach(U, Y).
+    reach(X, Y) :- reach(X, V), right(V, Y).
+    reach(X, Y) :- start(X, Y).
+"""
+
+DEPOT = 0
+
+
+def build_database(layers: int = 8, width: int = 5, seed: int = 42) -> Database:
+    """A layered route network with feeder ('left') and long-haul ('right') legs."""
+    rng = random.Random(seed)
+    left = layered_dag_edges(layers, width, fanout=2, name="left", rng=rng)
+    right = layered_dag_edges(layers, width, fanout=2, name="right", rng=rng)
+    start = Relation.of("start", 2, [(node, node) for node in range(layers * width)])
+    return Database.of(left, right, start)
+
+
+def main() -> None:
+    database = build_database()
+    selection = EqualitySelection(0, DEPOT)
+    engine = RecursiveQueryEngine()
+
+    planned = engine.query(PROGRAM, "reach", database, selection=selection)
+    direct = engine.baseline(PROGRAM, "reach", database, selection=selection)
+
+    print("chosen strategy:", planned.plan.strategy.value)
+    print(planned.plan.explain())
+    print()
+    destinations = sorted(row[1] for row in planned.relation.rows)
+    print(f"destinations reachable from depot {DEPOT}: {len(destinations)}")
+    print("sample:", destinations[:12])
+    print()
+    print("separable evaluation:", planned.statistics.summary())
+    print("direct evaluation   :", direct.statistics.summary())
+    saved = direct.statistics.joins.rows_probed - planned.statistics.joins.rows_probed
+    print(f"join rows probed saved by the separable algorithm: {saved}")
+    assert planned.relation.rows == direct.relation.rows, "strategies must agree"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that ``python setup.py develop`` works in offline environments that lack
+the ``wheel`` package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

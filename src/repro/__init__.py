@@ -1,0 +1,110 @@
+"""repro — a reproduction of "Commutativity and its Role in the Processing
+of Linear Recursion" (Yannis E. Ioannidis, VLDB 1989 / JLP 1992).
+
+The package implements, from scratch, a linear-recursion processing stack
+for Datalog: the language core, conjunctive-query theory, a relational
+storage and evaluation engine, the closed semi-ring of linear relational
+operators, the a-graph analysis of Section 5, and — on top of those — the
+paper's contribution: syntactic commutativity tests, commutativity-driven
+decomposition, the separable algorithm, and recursive-redundancy-aware
+evaluation.
+
+Quickstart::
+
+    from repro import RecursiveQueryEngine, Database, Relation
+
+    program = '''
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        path(X, Y) :- path(X, Z), hop(Z, Y).
+        path(X, Y) :- edge(X, Y).
+    '''
+    database = Database.of(
+        Relation.of("edge", 2, [(1, 2), (2, 3)]),
+        Relation.of("hop", 2, [(3, 4)]),
+    )
+    result = RecursiveQueryEngine().query(program, "path", database)
+    print(result.plan.strategy, sorted(result.relation.rows))
+"""
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Predicate,
+    Program,
+    Rule,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+)
+from repro.storage import Database, Relation
+from repro.storage.selection import EqualitySelection, PositionEqualitySelection, Selection
+from repro.algebra import LinearOperator, SumOperator
+from repro.agraph import AlphaGraph, classify_variables, render_ascii
+from repro.core import (
+    QueryPlan,
+    QueryPlanner,
+    QueryResult,
+    RecursionAnalyzer,
+    RecursiveQueryEngine,
+    Strategy,
+    commute,
+    commute_by_definition,
+    commute_polynomial,
+    find_redundant_predicates,
+    is_separable,
+    sufficient_condition,
+)
+from repro.exceptions import (
+    AnalysisError,
+    DatalogSyntaxError,
+    EvaluationError,
+    NotApplicableError,
+    ReproError,
+    RuleStructureError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphaGraph",
+    "AnalysisError",
+    "Atom",
+    "Constant",
+    "Database",
+    "DatalogSyntaxError",
+    "EqualitySelection",
+    "EvaluationError",
+    "LinearOperator",
+    "NotApplicableError",
+    "PositionEqualitySelection",
+    "Predicate",
+    "Program",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryResult",
+    "RecursionAnalyzer",
+    "RecursiveQueryEngine",
+    "Relation",
+    "ReproError",
+    "Rule",
+    "RuleStructureError",
+    "SchemaError",
+    "Selection",
+    "Strategy",
+    "SumOperator",
+    "Variable",
+    "classify_variables",
+    "commute",
+    "commute_by_definition",
+    "commute_polynomial",
+    "find_redundant_predicates",
+    "is_separable",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "render_ascii",
+    "sufficient_condition",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""The a-graph of a linear rule and its analyses (Sections 5 and 6).
+
+The a-graph has one node per variable, *static* arcs contributed by the
+nonrecursive predicates, and *dynamic* arcs connecting each argument
+position of the recursive predicate in the antecedent to the same
+position in the consequent.  On top of the graph this package implements
+variable classification (free/link n-persistent, general, ray), bridges
+and augmented bridges with respect to a subgraph, the narrow and wide
+rules of an augmented bridge, and rendering of the paper's figures.
+"""
+
+from repro.agraph.graph import AlphaGraph, DynamicArc, StaticArc
+from repro.agraph.classification import (
+    VariableClass,
+    VariableKind,
+    classify_variables,
+)
+from repro.agraph.bridges import AugmentedBridge, Bridge, bridges_with_respect_to
+from repro.agraph.narrow_wide import narrow_rule, wide_rule
+from repro.agraph.render import render_ascii, render_dot
+
+__all__ = [
+    "AlphaGraph",
+    "AugmentedBridge",
+    "Bridge",
+    "DynamicArc",
+    "StaticArc",
+    "VariableClass",
+    "VariableKind",
+    "bridges_with_respect_to",
+    "classify_variables",
+    "narrow_rule",
+    "render_ascii",
+    "render_dot",
+    "wide_rule",
+]

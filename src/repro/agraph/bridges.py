@@ -1,0 +1,212 @@
+"""Bridges and augmented bridges of the a-graph with respect to a subgraph.
+
+The paper (following Bondy and Murty) defines, for an undirected graph
+``G`` and a subgraph ``G'`` induced by an edge subset ``E'`` with node set
+``V'``, an equivalence on the edges of ``G − E'``: two edges are related
+when some walk contains both without passing through a node of ``V'`` as
+an internal node.  The subgraph induced by an equivalence class is a
+*bridge*; a bridge together with the part of ``G'`` connected to it is an
+*augmented bridge*.
+
+Two subgraphs matter in the paper:
+
+* for commutativity (Section 5), ``G'`` is induced by the dynamic
+  self-loop arcs of the link 1-persistent variables;
+* for recursive redundancy (Section 6.2), ``G_I`` is induced by the
+  dynamic arcs connecting the link-persistent and ray variables.
+
+The construction used here is the standard one: every connected component
+of ``G − V'`` yields one bridge (its edges are all edges of ``G − E'``
+with at least one endpoint in the component), and every edge of
+``G − E'`` with both endpoints in ``V'`` is a bridge by itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.agraph.classification import link_one_persistent_variables
+from repro.agraph.graph import AlphaGraph, Arc, DynamicArc
+from repro.datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class Bridge:
+    """One bridge: its edges and the nodes they span."""
+
+    arcs: tuple[Arc, ...]
+    nodes: frozenset[Variable]
+
+    def attachment_nodes(self, anchor_nodes: frozenset[Variable]) -> frozenset[Variable]:
+        """Nodes of the bridge that lie in the anchor set ``V'``."""
+        return self.nodes & anchor_nodes
+
+    def __str__(self) -> str:
+        return "Bridge(" + "; ".join(str(arc) for arc in self.arcs) + ")"
+
+
+@dataclass(frozen=True)
+class AugmentedBridge:
+    """A bridge plus the part of ``G'`` connected to it."""
+
+    bridge: Bridge
+    anchor_arcs: tuple[Arc, ...]
+    anchor_nodes: frozenset[Variable]
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        """All arcs of the augmented bridge (bridge arcs then anchor arcs)."""
+        return self.bridge.arcs + self.anchor_arcs
+
+    @property
+    def nodes(self) -> frozenset[Variable]:
+        """All nodes of the augmented bridge."""
+        return self.bridge.nodes | self.anchor_nodes
+
+    def contains_variable(self, variable: Variable) -> bool:
+        """True if *variable* is a node of the augmented bridge."""
+        return variable in self.nodes
+
+    def __str__(self) -> str:
+        return "AugmentedBridge(" + "; ".join(str(arc) for arc in self.arcs) + ")"
+
+
+def _connected_components(nodes: Iterable[Variable],
+                          arcs: Sequence[Arc]) -> list[frozenset[Variable]]:
+    """Undirected connected components of the graph (nodes, arcs)."""
+    adjacency: dict[Variable, set[Variable]] = {node: set() for node in nodes}
+    for arc in arcs:
+        if arc.source in adjacency and arc.target in adjacency:
+            adjacency[arc.source].add(arc.target)
+            adjacency[arc.target].add(arc.source)
+    remaining = set(adjacency)
+    components: list[frozenset[Variable]] = []
+    while remaining:
+        start = remaining.pop()
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        remaining -= seen
+        components.append(frozenset(seen))
+    return components
+
+
+def bridges_with_respect_to(graph: AlphaGraph, anchor_arcs: Sequence[Arc]
+                            ) -> tuple[AugmentedBridge, ...]:
+    """Compute the augmented bridges of *graph* with respect to *anchor_arcs*.
+
+    *anchor_arcs* is the edge set ``E'`` inducing ``G'``; its endpoints
+    form ``V'``.  Returns one :class:`AugmentedBridge` per bridge; the
+    anchor part of each augmented bridge consists of the anchor arcs
+    incident to the bridge's attachment nodes.
+    """
+    anchor_arc_set = set(anchor_arcs)
+    anchor_nodes = frozenset(
+        node for arc in anchor_arcs for node in arc.endpoints()
+    )
+    other_arcs = [arc for arc in graph.all_arcs if arc not in anchor_arc_set]
+
+    # Components of G - V' (remove anchor nodes entirely).
+    free_nodes = [node for node in graph.nodes if node not in anchor_nodes]
+    arcs_avoiding_anchor = [
+        arc
+        for arc in other_arcs
+        if arc.source not in anchor_nodes and arc.target not in anchor_nodes
+    ]
+    components = _connected_components(free_nodes, arcs_avoiding_anchor)
+
+    bridges: list[Bridge] = []
+    used_arcs: set[Arc] = set()
+    for component in components:
+        component_arcs = tuple(
+            arc
+            for arc in other_arcs
+            if arc.source in component or arc.target in component
+        )
+        if not component_arcs and len(component) == 1:
+            # An isolated node with no non-anchor edges forms a trivial
+            # (edgeless) bridge; keep it so every variable belongs to some
+            # augmented bridge.
+            bridges.append(Bridge((), component))
+            continue
+        nodes = frozenset(
+            node for arc in component_arcs for node in arc.endpoints()
+        ) | component
+        bridges.append(Bridge(component_arcs, nodes))
+        used_arcs.update(component_arcs)
+
+    # Edges between two anchor nodes form singleton bridges.
+    for arc in other_arcs:
+        if arc in used_arcs:
+            continue
+        if arc.source in anchor_nodes and arc.target in anchor_nodes:
+            bridges.append(Bridge((arc,), frozenset(arc.endpoints())))
+            used_arcs.add(arc)
+
+    # "The part of G' connected to the bridge" is the union of the connected
+    # components of G' that meet the bridge's attachment nodes.
+    anchor_components = _connected_components(anchor_nodes, list(anchor_arcs))
+
+    augmented: list[AugmentedBridge] = []
+    for bridge in bridges:
+        attachments = bridge.attachment_nodes(anchor_nodes)
+        connected_anchor_nodes: set[Variable] = set(attachments)
+        for component in anchor_components:
+            if component & attachments:
+                connected_anchor_nodes |= component
+        connected_anchor_arcs = tuple(
+            arc
+            for arc in anchor_arcs
+            if arc.source in connected_anchor_nodes or arc.target in connected_anchor_nodes
+        )
+        augmented.append(
+            AugmentedBridge(bridge, connected_anchor_arcs, frozenset(connected_anchor_nodes))
+        )
+    return tuple(augmented)
+
+
+def default_anchor_arcs(graph: AlphaGraph) -> tuple[DynamicArc, ...]:
+    """The default ``E'`` of Section 5: dynamic self-loops of link 1-persistent variables."""
+    anchors = link_one_persistent_variables(graph)
+    return tuple(
+        arc
+        for arc in graph.dynamic_arcs
+        if arc.source == arc.target and arc.source in anchors
+    )
+
+
+def commutativity_bridges(graph: AlphaGraph) -> tuple[AugmentedBridge, ...]:
+    """Augmented bridges w.r.t. the default subgraph used by Theorems 5.1/5.2."""
+    return bridges_with_respect_to(graph, default_anchor_arcs(graph))
+
+
+def redundancy_anchor_arcs(graph: AlphaGraph) -> tuple[DynamicArc, ...]:
+    """The ``G_I`` edge set of Section 6.2: dynamic arcs between variables of ``I``."""
+    from repro.agraph.classification import persistent_and_ray_variables
+
+    members = persistent_and_ray_variables(graph)
+    return tuple(
+        arc
+        for arc in graph.dynamic_arcs
+        if arc.source in members and arc.target in members
+    )
+
+
+def redundancy_bridges(graph: AlphaGraph) -> tuple[AugmentedBridge, ...]:
+    """Augmented bridges w.r.t. ``G_I`` (used by Theorems 6.3/6.4)."""
+    return bridges_with_respect_to(graph, redundancy_anchor_arcs(graph))
+
+
+def bridge_containing(bridges: Iterable[AugmentedBridge], variable: Variable
+                      ) -> AugmentedBridge | None:
+    """Return the first augmented bridge whose node set contains *variable*."""
+    for bridge in bridges:
+        if bridge.contains_variable(variable):
+            return bridge
+    return None

@@ -1,0 +1,188 @@
+"""Classification of the distinguished variables of a linear rule.
+
+Section 5 partitions the distinguished variables into:
+
+* **free n-persistent** — the variable lies on a length-``n`` cycle of the
+  ``h`` function and no member of the cycle appears anywhere else in the
+  rule (such variables form their own connected component of the a-graph,
+  linked only by dynamic arcs);
+* **link n-persistent** — on a length-``n`` cycle of ``h`` but some cycle
+  member also appears elsewhere (in a nonrecursive predicate, at another
+  position of the recursive literal, or repeatedly in the consequent);
+* **general** — every other distinguished variable.
+
+Section 6.2 additionally singles out **ray** variables: general variables
+connected to some link-persistent variable through a path of dynamic arcs
+alone; an ``n``-ray variable has shortest such path of length ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Optional
+
+from repro.agraph.graph import AlphaGraph
+from repro.datalog.terms import Variable
+
+
+class VariableKind(Enum):
+    """The three classes of distinguished variables of Section 5."""
+
+    FREE_PERSISTENT = "free-persistent"
+    LINK_PERSISTENT = "link-persistent"
+    GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class VariableClass:
+    """Classification record for one distinguished variable.
+
+    ``period`` is the cycle length ``n`` for persistent variables and
+    ``None`` for general variables.  ``ray_length`` is the shortest
+    dynamic-arc distance to a link-persistent variable for ray variables
+    and ``None`` otherwise.
+    """
+
+    variable: Variable
+    kind: VariableKind
+    period: Optional[int] = None
+    ray_length: Optional[int] = None
+
+    @property
+    def is_persistent(self) -> bool:
+        """True for free or link persistent variables."""
+        return self.kind in (VariableKind.FREE_PERSISTENT, VariableKind.LINK_PERSISTENT)
+
+    @property
+    def is_free_persistent(self) -> bool:
+        """True for free persistent variables."""
+        return self.kind == VariableKind.FREE_PERSISTENT
+
+    @property
+    def is_link_persistent(self) -> bool:
+        """True for link persistent variables."""
+        return self.kind == VariableKind.LINK_PERSISTENT
+
+    @property
+    def is_general(self) -> bool:
+        """True for general variables."""
+        return self.kind == VariableKind.GENERAL
+
+    @property
+    def is_ray(self) -> bool:
+        """True for ray variables (a subset of the general variables)."""
+        return self.kind == VariableKind.GENERAL and self.ray_length is not None
+
+    def describe(self) -> str:
+        """Human-readable description matching the paper's vocabulary."""
+        if self.kind == VariableKind.FREE_PERSISTENT:
+            return f"free {self.period}-persistent"
+        if self.kind == VariableKind.LINK_PERSISTENT:
+            return f"link {self.period}-persistent"
+        if self.ray_length is not None:
+            return f"general ({self.ray_length}-ray)"
+        return "general"
+
+    def __str__(self) -> str:
+        return f"{self.variable}: {self.describe()}"
+
+
+def _persistence_cycle(graph: AlphaGraph, start: Variable) -> Optional[tuple[Variable, ...]]:
+    """Return the cycle of ``h`` through *start*, or None if *start* is not on one.
+
+    Following the paper's definition, a set ``{x_0, ..., x_{n-1}}`` is a
+    persistence cycle when ``x_i`` appears in the same argument position
+    of the recursive literal as ``x_{(i+1) mod n}`` does in the
+    consequent, i.e. ``h(x_{(i+1) mod n}) = x_i``; equivalently iterating
+    ``h`` from *start* stays within the distinguished variables and
+    returns to *start*.
+    """
+    h = graph.view.h
+    distinguished = set(graph.view.distinguished_variables)
+    seen: list[Variable] = []
+    current: Variable = start
+    while True:
+        image = h.get(current)
+        if not isinstance(image, Variable) or image not in distinguished:
+            return None
+        if image == start:
+            return tuple([start] + seen[::-1]) if seen else (start,)
+        if image in seen:
+            # Entered a cycle that does not pass through *start*.
+            return None
+        seen.append(image)
+        current = image
+
+
+def _cycle_is_free(graph: AlphaGraph, cycle: tuple[Variable, ...]) -> bool:
+    """True if no member of the persistence cycle appears anywhere else in the rule.
+
+    Each member must occur exactly once in the consequent, exactly once in
+    the recursive body literal, and never in a nonrecursive predicate.
+    """
+    view = graph.view
+    for variable in cycle:
+        if view.head_occurrences(variable) != 1:
+            return False
+        if view.recursive_occurrences(variable) != 1:
+            return False
+        if view.occurrences_outside_dynamic(variable) != 0:
+            return False
+    return True
+
+
+def classify_variables(graph: AlphaGraph) -> Mapping[Variable, VariableClass]:
+    """Classify every distinguished variable of the rule underlying *graph*."""
+    view = graph.view
+    result: dict[Variable, VariableClass] = {}
+    link_persistent: set[Variable] = set()
+
+    # First pass: persistence.
+    for variable in view.distinguished_variables:
+        cycle = _persistence_cycle(graph, variable)
+        if cycle is None:
+            result[variable] = VariableClass(variable, VariableKind.GENERAL)
+            continue
+        if _cycle_is_free(graph, cycle):
+            result[variable] = VariableClass(
+                variable, VariableKind.FREE_PERSISTENT, period=len(cycle)
+            )
+        else:
+            result[variable] = VariableClass(
+                variable, VariableKind.LINK_PERSISTENT, period=len(cycle)
+            )
+            link_persistent.add(variable)
+
+    # Second pass: ray lengths for general variables (Section 6.2).
+    if link_persistent:
+        targets = frozenset(link_persistent)
+        for variable, record in list(result.items()):
+            if record.kind != VariableKind.GENERAL:
+                continue
+            distance = graph.shortest_dynamic_path_length(variable, targets)
+            if distance is not None and distance > 0:
+                result[variable] = VariableClass(
+                    variable, VariableKind.GENERAL, ray_length=distance
+                )
+    return result
+
+
+def link_one_persistent_variables(graph: AlphaGraph) -> frozenset[Variable]:
+    """The link 1-persistent variables (the default ``V'`` for bridge analysis)."""
+    classes = classify_variables(graph)
+    return frozenset(
+        variable
+        for variable, record in classes.items()
+        if record.is_link_persistent and record.period == 1
+    )
+
+
+def persistent_and_ray_variables(graph: AlphaGraph) -> frozenset[Variable]:
+    """The set ``I = I_l ∪ I_r`` of Section 6.2 (link-persistent and ray variables)."""
+    classes = classify_variables(graph)
+    return frozenset(
+        variable
+        for variable, record in classes.items()
+        if record.is_link_persistent or record.is_ray
+    )

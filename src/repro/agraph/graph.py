@@ -1,0 +1,208 @@
+"""Construction of the a-graph of a linear recursive rule (Section 5).
+
+Definition (quoting the paper):
+
+* there is a node for every variable of the rule;
+* if two variables ``x, y`` appear in two consecutive argument positions
+  of some nonrecursive predicate ``Q``, a *static* directed arc
+  ``x -> y`` labelled ``Q`` is added; a unary predicate ``Q(x)``
+  contributes the static self-loop ``x -> x``;
+* if two variables ``x, y`` appear in the same position of the recursive
+  relation in the antecedent and the consequent respectively, a *dynamic*
+  directed arc ``x -> y`` is added.
+
+The paper's analyses assume function-free, constant-free rules; building
+an a-graph for a rule containing constants raises
+:class:`~repro.exceptions.NotApplicableError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Union
+
+from repro.datalog.rules import LinearRuleView, Rule
+from repro.datalog.terms import Variable
+from repro.exceptions import NotApplicableError
+
+
+@dataclass(frozen=True)
+class StaticArc:
+    """A static arc contributed by a nonrecursive predicate occurrence.
+
+    ``atom_index`` is the index of the contributing atom among the rule's
+    nonrecursive atoms and ``position`` the index of the arc's source
+    argument within that atom, so distinct occurrences of the same
+    variable pair stay distinct arcs.
+    """
+
+    source: Variable
+    target: Variable
+    label: str
+    atom_index: int
+    position: int
+
+    def endpoints(self) -> tuple[Variable, Variable]:
+        """Both endpoints (source, target)."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        return f"{self.source} -[{self.label}]-> {self.target}"
+
+
+@dataclass(frozen=True)
+class DynamicArc:
+    """A dynamic arc: antecedent variable -> consequent variable at one position."""
+
+    source: Variable
+    target: Variable
+    position: int
+
+    def endpoints(self) -> tuple[Variable, Variable]:
+        """Both endpoints (source, target)."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:
+        return f"{self.source} ==> {self.target} (pos {self.position})"
+
+
+Arc = Union[StaticArc, DynamicArc]
+
+
+class AlphaGraph:
+    """The a-graph of a linear recursive rule."""
+
+    def __init__(self, rule: Rule):
+        self.view = LinearRuleView(rule)
+        self.rule = self.view.rule
+        if not rule.is_constant_free():
+            raise NotApplicableError(
+                "The a-graph is defined for constant-free rules; "
+                f"rule contains constants: {rule}"
+            )
+        self.nodes: tuple[Variable, ...] = self.rule.variables()
+        self.static_arcs: tuple[StaticArc, ...] = self._build_static_arcs()
+        self.dynamic_arcs: tuple[DynamicArc, ...] = self._build_dynamic_arcs()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_static_arcs(self) -> tuple[StaticArc, ...]:
+        arcs: list[StaticArc] = []
+        for atom_index, atom in enumerate(self.view.nonrecursive_atoms):
+            arguments = atom.arguments
+            if len(arguments) == 1:
+                variable = arguments[0]
+                arcs.append(StaticArc(variable, variable, atom.predicate.name, atom_index, 0))
+                continue
+            for position in range(len(arguments) - 1):
+                arcs.append(
+                    StaticArc(
+                        arguments[position],
+                        arguments[position + 1],
+                        atom.predicate.name,
+                        atom_index,
+                        position,
+                    )
+                )
+        return tuple(arcs)
+
+    def _build_dynamic_arcs(self) -> tuple[DynamicArc, ...]:
+        arcs: list[DynamicArc] = []
+        head_args = self.view.head.arguments
+        body_args = self.view.recursive_atom.arguments
+        for position, (antecedent, consequent) in enumerate(zip(body_args, head_args)):
+            arcs.append(DynamicArc(antecedent, consequent, position))
+        return tuple(arcs)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def all_arcs(self) -> tuple[Arc, ...]:
+        """Static arcs followed by dynamic arcs."""
+        return (*self.static_arcs, *self.dynamic_arcs)
+
+    @cached_property
+    def undirected_adjacency(self) -> dict[Variable, set[Variable]]:
+        """Adjacency of the underlying undirected graph (all arcs)."""
+        return self._adjacency(self.all_arcs)
+
+    @cached_property
+    def dynamic_adjacency(self) -> dict[Variable, set[Variable]]:
+        """Adjacency of the underlying undirected graph restricted to dynamic arcs."""
+        return self._adjacency(self.dynamic_arcs)
+
+    def _adjacency(self, arcs: Iterable[Arc]) -> dict[Variable, set[Variable]]:
+        adjacency: dict[Variable, set[Variable]] = {node: set() for node in self.nodes}
+        for arc in arcs:
+            adjacency[arc.source].add(arc.target)
+            adjacency[arc.target].add(arc.source)
+        return adjacency
+
+    def connected_component(self, start: Variable,
+                            adjacency: dict[Variable, set[Variable]] | None = None
+                            ) -> frozenset[Variable]:
+        """Nodes of the connected component of *start* in the underlying graph."""
+        if adjacency is None:
+            adjacency = self.undirected_adjacency
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return frozenset(seen)
+
+    def connected_components(self) -> tuple[frozenset[Variable], ...]:
+        """All connected components of the underlying undirected graph."""
+        remaining = set(self.nodes)
+        components: list[frozenset[Variable]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = self.connected_component(start)
+            components.append(component)
+            remaining -= component
+        return tuple(components)
+
+    def static_arcs_at(self, variable: Variable) -> tuple[StaticArc, ...]:
+        """Static arcs incident to *variable*."""
+        return tuple(
+            arc for arc in self.static_arcs if variable in arc.endpoints()
+        )
+
+    def dynamic_arcs_at(self, variable: Variable) -> tuple[DynamicArc, ...]:
+        """Dynamic arcs incident to *variable*."""
+        return tuple(
+            arc for arc in self.dynamic_arcs if variable in arc.endpoints()
+        )
+
+    def shortest_dynamic_path_length(self, start: Variable,
+                                     targets: frozenset[Variable]) -> int | None:
+        """Length of the shortest undirected path of dynamic arcs from *start*
+        to any node in *targets*, or None if unreachable."""
+        if start in targets:
+            return 0
+        adjacency = self.dynamic_adjacency
+        seen = {start}
+        frontier = [(start, 0)]
+        while frontier:
+            node, distance = frontier.pop(0)
+            for neighbour in adjacency.get(node, ()):
+                if neighbour in seen:
+                    continue
+                if neighbour in targets:
+                    return distance + 1
+                seen.add(neighbour)
+                frontier.append((neighbour, distance + 1))
+        return None
+
+    def __str__(self) -> str:
+        static = "; ".join(str(arc) for arc in self.static_arcs)
+        dynamic = "; ".join(str(arc) for arc in self.dynamic_arcs)
+        return f"AlphaGraph(nodes={len(self.nodes)}, static=[{static}], dynamic=[{dynamic}])"

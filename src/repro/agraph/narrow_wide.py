@@ -1,0 +1,104 @@
+"""Narrow and wide rules of an augmented bridge (Section 5).
+
+For an augmented bridge of the a-graph of a rule ``r`` (with respect to a
+subgraph closed under ``h`` on distinguished variables), the paper defines:
+
+* the **narrow rule** — its nonrecursive predicates are those of ``r``
+  whose static arcs lie in the augmented bridge, and its recursive
+  predicate is projected onto the argument positions whose consequent
+  variables appear in the augmented bridge;
+* the **wide rule** — the same nonrecursive predicates, but the recursive
+  predicate keeps the full arity of ``r``; the distinguished variables
+  outside the bridge become free 1-persistent.
+
+Containment/equivalence of augmented bridges is defined as containment/
+equivalence of their narrow rules.
+"""
+
+from __future__ import annotations
+
+from repro.agraph.bridges import AugmentedBridge
+from repro.agraph.graph import AlphaGraph, StaticArc
+from repro.cq.containment import is_equivalent
+from repro.cq.isomorphism import fast_equivalence
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.exceptions import NotApplicableError
+
+
+def _bridge_atom_indexes(bridge: AugmentedBridge) -> frozenset[int]:
+    """Indexes (among the rule's nonrecursive atoms) contributing static arcs."""
+    return frozenset(
+        arc.atom_index for arc in bridge.arcs if isinstance(arc, StaticArc)
+    )
+
+
+def _bridge_nonrecursive_atoms(graph: AlphaGraph, bridge: AugmentedBridge) -> tuple[Atom, ...]:
+    indexes = _bridge_atom_indexes(bridge)
+    atoms = graph.view.nonrecursive_atoms
+    return tuple(atoms[index] for index in sorted(indexes))
+
+
+def _bridge_head_positions(graph: AlphaGraph, bridge: AugmentedBridge) -> tuple[int, ...]:
+    """Consequent argument positions whose variable belongs to the bridge."""
+    positions = []
+    for position, term in enumerate(graph.view.head.arguments):
+        if term in bridge.nodes:
+            positions.append(position)
+    return tuple(positions)
+
+
+def narrow_rule(graph: AlphaGraph, bridge: AugmentedBridge) -> Rule:
+    """The narrow rule of *bridge* (recursive predicate projected onto the bridge)."""
+    view = graph.view
+    positions = _bridge_head_positions(graph, bridge)
+    if not positions:
+        raise NotApplicableError(
+            "Augmented bridge contains no distinguished variable; it has no narrow rule"
+        )
+    arity = len(positions)
+    predicate = Predicate(view.predicate.name, arity)
+    head_args: tuple[Term, ...] = tuple(view.head.arguments[p] for p in positions)
+    body_args: tuple[Term, ...] = tuple(view.recursive_atom.arguments[p] for p in positions)
+    head = Atom(predicate, head_args)
+    recursive = Atom(predicate, body_args)
+    return Rule(head, (recursive,) + _bridge_nonrecursive_atoms(graph, bridge))
+
+
+def wide_rule(graph: AlphaGraph, bridge: AugmentedBridge) -> Rule:
+    """The wide rule of *bridge* (full arity; outside variables become free 1-persistent)."""
+    view = graph.view
+    bridge_positions = set(_bridge_head_positions(graph, bridge))
+    head = view.head
+    body_args: list[Term] = []
+    for position, head_term in enumerate(head.arguments):
+        if position in bridge_positions:
+            body_args.append(view.recursive_atom.arguments[position])
+        else:
+            # Outside the bridge the variable persists unchanged, making it
+            # free 1-persistent in the wide rule.
+            body_args.append(head_term)
+    recursive = Atom(head.predicate, tuple(body_args))
+    return Rule(head, (recursive,) + _bridge_nonrecursive_atoms(graph, bridge))
+
+
+def bridges_equivalent(first_graph: AlphaGraph, first_bridge: AugmentedBridge,
+                       second_graph: AlphaGraph, second_bridge: AugmentedBridge,
+                       use_fast_test: bool = True) -> bool:
+    """Equivalence of two augmented bridges (equivalence of their narrow rules).
+
+    When both narrow rules lie in the restricted class and *use_fast_test*
+    is True, the ``O(a log a)`` isomorphism test of Lemma 5.4 is used;
+    otherwise the exact homomorphism-based equivalence test is used.
+    """
+    try:
+        first_rule = narrow_rule(first_graph, first_bridge)
+        second_rule = narrow_rule(second_graph, second_bridge)
+    except NotApplicableError:
+        return False
+    if first_rule.head.predicate != second_rule.head.predicate:
+        return False
+    if use_fast_test and first_rule.in_restricted_class() and second_rule.in_restricted_class():
+        return fast_equivalence(first_rule, second_rule)
+    return is_equivalent(first_rule, second_rule)

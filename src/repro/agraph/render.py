@@ -1,0 +1,69 @@
+"""Rendering of a-graphs as ASCII reports and Graphviz DOT.
+
+The paper's Figures 1–9 are a-graph drawings.  :func:`render_ascii`
+produces a textual description listing nodes (with their classification),
+static arcs (thin lines in the paper) and dynamic arcs (thick lines),
+which is what the figure-reproduction experiments print.
+:func:`render_dot` produces DOT source so the figures can also be drawn
+with Graphviz (static arcs solid, dynamic arcs bold).
+"""
+
+from __future__ import annotations
+
+from repro.agraph.classification import classify_variables
+from repro.agraph.graph import AlphaGraph
+
+
+def render_ascii(graph: AlphaGraph, title: str = "") -> str:
+    """A deterministic multi-line description of the a-graph."""
+    classes = classify_variables(graph)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"rule: {graph.rule}")
+    lines.append("nodes:")
+    for node in graph.nodes:
+        record = classes.get(node)
+        description = record.describe() if record else "nondistinguished"
+        lines.append(f"  {node}: {description}")
+    lines.append("static arcs (thin):")
+    for arc in graph.static_arcs:
+        lines.append(f"  {arc.source} -[{arc.label}]-> {arc.target}")
+    if not graph.static_arcs:
+        lines.append("  (none)")
+    lines.append("dynamic arcs (thick):")
+    for arc in graph.dynamic_arcs:
+        lines.append(f"  {arc.source} ==> {arc.target}  (position {arc.position})")
+    return "\n".join(lines)
+
+
+def render_dot(graph: AlphaGraph, name: str = "agraph") -> str:
+    """Graphviz DOT source for the a-graph (dynamic arcs drawn bold)."""
+    classes = classify_variables(graph)
+
+    def node_id(variable) -> str:
+        return f'"{variable.name}"'
+
+    lines = [f"digraph {name} {{"]
+    lines.append("  rankdir=LR;")
+    for node in graph.nodes:
+        record = classes.get(node)
+        shape = "ellipse"
+        label = node.name
+        if record is not None:
+            label = f"{node.name}\\n{record.describe()}"
+            shape = "doublecircle" if record.is_persistent else "ellipse"
+        lines.append(f"  {node_id(node)} [label=\"{label}\", shape={shape}];")
+    for arc in graph.static_arcs:
+        lines.append(
+            f"  {node_id(arc.source)} -> {node_id(arc.target)} "
+            f"[label=\"{arc.label}\", style=solid];"
+        )
+    for arc in graph.dynamic_arcs:
+        lines.append(
+            f"  {node_id(arc.source)} -> {node_id(arc.target)} "
+            f"[style=bold, penwidth=2.0];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""The closed semi-ring of linear relational operators (Section 2).
+
+A linear recursive rule induces a *linear operator* on relations of the
+recursive predicate's schema.  Operators can be multiplied (composition),
+added (union of outputs), raised to powers, compared (``<=`` is output
+containment on every input), and closed (``A* = Σ A^k``).  This package
+gives those notions a concrete, executable form.
+"""
+
+from repro.algebra.operator import LinearOperator, IdentityOperator, ZeroOperator, SumOperator
+from repro.algebra.ordering import operator_equal, operator_leq
+from repro.algebra.closure import closure_apply
+from repro.algebra.properties import is_torsion, is_uniformly_bounded, boundedness_witness
+
+__all__ = [
+    "IdentityOperator",
+    "LinearOperator",
+    "SumOperator",
+    "ZeroOperator",
+    "boundedness_witness",
+    "closure_apply",
+    "is_torsion",
+    "is_uniformly_bounded",
+    "operator_equal",
+    "operator_leq",
+]

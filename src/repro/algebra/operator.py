@@ -1,0 +1,231 @@
+"""Linear relational operators and the operations of the closed semi-ring.
+
+An operator ``A = f(P, {Q_i})`` (Section 2) takes a relation with the
+schema of the recursive predicate ``P`` and produces another relation of
+the same schema, using the nonrecursive predicates ``{Q_i}`` (stored in a
+:class:`~repro.storage.database.Database`) as parameters.
+
+``LinearOperator`` wraps one linear recursive rule.  ``SumOperator`` is a
+finite sum of operators (union of outputs).  ``IdentityOperator`` and
+``ZeroOperator`` are the multiplicative and additive identities.  All
+operators share the small interface :class:`Operator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Optional
+
+from repro.datalog.composition import compose, identity_rule, power
+from repro.datalog.rules import LinearRuleView, Rule
+from repro.engine.conjunctive import evaluate_rule
+from repro.engine.statistics import JoinCounters
+from repro.exceptions import RuleStructureError, SchemaError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+class Operator(ABC):
+    """Common interface of all operators in the semi-ring ``R``."""
+
+    #: Arity of the relations the operator consumes and produces.
+    arity: int
+    #: Name of the recursive predicate the operator is defined over.
+    predicate_name: str
+
+    @abstractmethod
+    def apply(self, relation: Relation, database: Database,
+              counters: Optional[JoinCounters] = None) -> Relation:
+        """Apply the operator to *relation* using *database* for parameters."""
+
+    def __call__(self, relation: Relation, database: Database) -> Relation:
+        return self.apply(relation, database)
+
+    def _check_input(self, relation: Relation) -> None:
+        if relation.arity != self.arity:
+            raise SchemaError(
+                f"Operator over arity {self.arity} applied to relation of arity "
+                f"{relation.arity}"
+            )
+
+
+@dataclass(frozen=True)
+class LinearOperator(Operator):
+    """The operator induced by one linear recursive rule."""
+
+    rule: Rule
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        view = LinearRuleView(self.rule)  # validates linearity
+        object.__setattr__(self, "label", self.label or self.rule.head.predicate.name)
+        del view
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def view(self) -> LinearRuleView:
+        """The linear-recursion view of the underlying rule."""
+        return LinearRuleView(self.rule)
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.rule.head.arity
+
+    @property
+    def predicate_name(self) -> str:  # type: ignore[override]
+        return self.rule.head.predicate.name
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(self, relation: Relation, database: Database,
+              counters: Optional[JoinCounters] = None) -> Relation:
+        """One application: evaluate the rule body with ``P`` bound to *relation*."""
+        self._check_input(relation)
+        result = evaluate_rule(
+            self.rule,
+            database,
+            overrides={self.predicate_name: relation.renamed(self.predicate_name)},
+            counters=counters,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Semi-ring operations
+    # ------------------------------------------------------------------
+
+    def multiply(self, other: "LinearOperator") -> "LinearOperator":
+        """Operator product ``self · other`` (apply *other* first).
+
+        The product of linear operators is the operator of the composed
+        rule (Section 5's composite ``r1 r2``).
+        """
+        if self.predicate_name != other.predicate_name or self.arity != other.arity:
+            raise RuleStructureError(
+                "Cannot multiply operators over different recursive predicates"
+            )
+        composed = compose(self.rule, other.rule)
+        return LinearOperator(composed, label=f"{self.label}·{other.label}")
+
+    def power(self, exponent: int) -> "LinearOperator":
+        """The *exponent*-th power ``A^n`` (``A^0`` is the identity rule)."""
+        if exponent == 0:
+            return LinearOperator(identity_rule(self.view), label="1")
+        return LinearOperator(power(self.rule, exponent), label=f"{self.label}^{exponent}")
+
+    def __mul__(self, other: "LinearOperator") -> "LinearOperator":
+        return self.multiply(other)
+
+    def __add__(self, other: Operator) -> "SumOperator":
+        return SumOperator.of(self, other)
+
+    def __str__(self) -> str:
+        return f"LinearOperator[{self.label}]({self.rule})"
+
+
+@dataclass(frozen=True)
+class SumOperator(Operator):
+    """A finite sum of operators: ``(A + B) P = A P ∪ B P``."""
+
+    operators: tuple[Operator, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operators:
+            raise RuleStructureError("SumOperator requires at least one summand")
+        arities = {op.arity for op in self.operators}
+        names = {op.predicate_name for op in self.operators}
+        if len(arities) != 1 or len(names) != 1:
+            raise RuleStructureError(
+                "All summands must be over the same recursive predicate and arity"
+            )
+
+    @classmethod
+    def of(cls, *operators: Operator) -> "SumOperator":
+        """Build a sum, flattening nested sums."""
+        flat: list[Operator] = []
+        for op in operators:
+            if isinstance(op, SumOperator):
+                flat.extend(op.operators)
+            else:
+                flat.append(op)
+        return cls(tuple(flat))
+
+    @property
+    def arity(self) -> int:  # type: ignore[override]
+        return self.operators[0].arity
+
+    @property
+    def predicate_name(self) -> str:  # type: ignore[override]
+        return self.operators[0].predicate_name
+
+    def apply(self, relation: Relation, database: Database,
+              counters: Optional[JoinCounters] = None) -> Relation:
+        self._check_input(relation)
+        result = Relation.empty(relation.name, relation.arity)
+        for op in self.operators:
+            result = result.union(op.apply(relation, database, counters))
+        return result
+
+    def __add__(self, other: Operator) -> "SumOperator":
+        return SumOperator.of(self, other)
+
+    def summand_rules(self) -> tuple[Rule, ...]:
+        """Rules of the linear summands (raises if a summand is not linear)."""
+        rules = []
+        for op in self.operators:
+            if not isinstance(op, LinearOperator):
+                raise RuleStructureError(f"Summand {op} is not a LinearOperator")
+            rules.append(op.rule)
+        return tuple(rules)
+
+    def __str__(self) -> str:
+        return " + ".join(str(op) for op in self.operators)
+
+
+@dataclass(frozen=True)
+class IdentityOperator(Operator):
+    """The multiplicative identity ``1``: ``1 P = P``."""
+
+    predicate_name: str
+    arity: int
+
+    def apply(self, relation: Relation, database: Database,
+              counters: Optional[JoinCounters] = None) -> Relation:
+        self._check_input(relation)
+        return relation
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class ZeroOperator(Operator):
+    """The additive identity ``0``: ``0 P = ∅``."""
+
+    predicate_name: str
+    arity: int
+
+    def apply(self, relation: Relation, database: Database,
+              counters: Optional[JoinCounters] = None) -> Relation:
+        self._check_input(relation)
+        return Relation.empty(relation.name, relation.arity)
+
+    def __str__(self) -> str:
+        return "0"
+
+
+def operators_from_rules(rules: Iterable[Rule], labels: Optional[Iterable[str]] = None
+                         ) -> tuple[LinearOperator, ...]:
+    """Build one :class:`LinearOperator` per rule, optionally labelled."""
+    rules = tuple(rules)
+    if labels is None:
+        labels = [chr(ord("A") + index) for index in range(len(rules))]
+    return tuple(
+        LinearOperator(rule, label=label) for rule, label in zip(rules, labels)
+    )

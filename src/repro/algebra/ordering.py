@@ -1,0 +1,43 @@
+"""The partial order and equality of operators (Section 2).
+
+``A <= B`` means ``A P ⊆ B P`` for every relation ``P``; ``A = B`` means
+equality of outputs on every input.  For operators induced by rules these
+are exactly conjunctive-query containment and equivalence of the
+underlying rules (after aligning their consequents), so the exact tests
+reduce to homomorphism search.
+
+An empirical check on a concrete database is also provided; it is used by
+tests as an independent witness that the symbolic tests are right.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.operator import LinearOperator, Operator
+from repro.cq.containment import is_contained_in, is_equivalent
+from repro.datalog.normalize import standardize_pair
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def operator_leq(smaller: LinearOperator, larger: LinearOperator) -> bool:
+    """Exact test of ``smaller <= larger`` via rule containment."""
+    first, second = standardize_pair(smaller.rule, larger.rule)
+    return is_contained_in(first, second)
+
+
+def operator_equal(first: LinearOperator, second: LinearOperator) -> bool:
+    """Exact test of operator equality via rule equivalence."""
+    left, right = standardize_pair(first.rule, second.rule)
+    return is_equivalent(left, right)
+
+
+def empirically_leq(smaller: Operator, larger: Operator, relation: Relation,
+                    database: Database) -> bool:
+    """Check ``smaller P ⊆ larger P`` on one concrete input (a necessary condition)."""
+    return smaller.apply(relation, database) <= larger.apply(relation, database)
+
+
+def empirically_equal(first: Operator, second: Operator, relation: Relation,
+                      database: Database) -> bool:
+    """Check equality of outputs on one concrete input (a necessary condition)."""
+    return first.apply(relation, database).rows == second.apply(relation, database).rows

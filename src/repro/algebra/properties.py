@@ -1,0 +1,93 @@
+"""Operator properties: torsion and uniform boundedness (Sections 4.2, 6.2).
+
+An operator ``B`` is *uniformly bounded* if ``B^N <= B^K`` for some
+``K < N`` and *torsion* if ``B^N = B^K`` for some ``K < N``.  Every
+torsion operator is uniformly bounded; Lemma 6.2 shows the converse holds
+for the restricted rule class (no repeated consequent variables, no
+repeated nonrecursive predicates).
+
+Uniform boundedness of arbitrary rules is undecidable in general, so the
+checks here search powers up to a horizon.  The default horizon is
+``2 * d + 2`` where ``d`` is the number of distinguished variables: for
+the restricted class, the dynamic-arc structure of the a-graph is a
+function on at most ``d`` elements, whose eventual period plus tail is at
+most ``d``, and the paper's examples (and Naughton's) are all caught well
+inside this bound.  Callers can pass a larger horizon when in doubt; a
+negative answer at a finite horizon is reported as "not detected" via the
+returned witness being ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cq.containment import is_contained_in, is_equivalent
+from repro.cq.minimize import minimize_rule
+from repro.datalog.composition import power
+from repro.datalog.rules import Rule
+
+
+@dataclass(frozen=True)
+class BoundednessWitness:
+    """A pair ``(K, N)`` with ``K < N`` witnessing ``r^N <= r^K`` (or ``=``)."""
+
+    low: int
+    high: int
+    equal: bool
+
+    def __str__(self) -> str:
+        relation = "=" if self.equal else "<="
+        return f"r^{self.high} {relation} r^{self.low}"
+
+
+def default_horizon(rule: Rule) -> int:
+    """Default power-search horizon for boundedness checks."""
+    return 2 * len(rule.distinguished_variables()) + 2
+
+
+def boundedness_witness(rule: Rule, max_power: Optional[int] = None,
+                        require_equality: bool = False) -> Optional[BoundednessWitness]:
+    """Search for ``K < N <= max_power`` with ``r^N <= r^K`` (or ``r^N = r^K``).
+
+    Returns the first witness found (smallest ``N``, then smallest ``K``),
+    or None if no witness exists within the horizon.  Powers are minimised
+    before comparison to keep the homomorphism searches small.
+    """
+    horizon = max_power if max_power is not None else default_horizon(rule)
+    minimized_powers: list[Rule] = []
+    for exponent in range(1, horizon + 1):
+        current = minimize_rule(power(rule, exponent))
+        for low_index, low_rule in enumerate(minimized_powers, start=1):
+            if require_equality:
+                if is_equivalent(current, low_rule):
+                    return BoundednessWitness(low_index, exponent, equal=True)
+            else:
+                if is_contained_in(current, low_rule):
+                    equal = is_contained_in(low_rule, current)
+                    return BoundednessWitness(low_index, exponent, equal=equal)
+        minimized_powers.append(current)
+    return None
+
+
+def is_uniformly_bounded(rule: Rule, max_power: Optional[int] = None) -> bool:
+    """True if a uniform-boundedness witness is found within the horizon."""
+    return boundedness_witness(rule, max_power, require_equality=False) is not None
+
+
+def is_torsion(rule: Rule, max_power: Optional[int] = None) -> bool:
+    """True if a torsion witness (``r^N = r^K``) is found within the horizon."""
+    return boundedness_witness(rule, max_power, require_equality=True) is not None
+
+
+def torsion_period(rule: Rule, max_power: Optional[int] = None) -> Optional[tuple[int, int]]:
+    """Return ``(K, N)`` with ``r^N = r^K`` and ``K < N``, or None.
+
+    The pair is the one found first by :func:`boundedness_witness`, i.e.
+    the smallest ``N``; the redundancy machinery of Theorem 4.2 uses these
+    values as its ``K`` and ``N``.
+    """
+    witness = boundedness_witness(rule, max_power, require_equality=True)
+    if witness is None:
+        return None
+    return witness.low, witness.high

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: commutativity analysis and its uses.
+
+* :mod:`repro.core.commutativity` — the three commutativity tests
+  (definition-based, Theorem 5.1 sufficient condition, Theorem 5.2/5.3
+  polynomial-time characterisation for the restricted class);
+* :mod:`repro.core.decomposition` — decomposition planning
+  ``(B + C)* = B* C*`` and the related algebraic identities;
+* :mod:`repro.core.separability` — Naughton's separable recursions,
+  Theorem 6.2 (separable ⇒ commutative) and Theorem 4.1 (the separable
+  algorithm applies to commutative recursions);
+* :mod:`repro.core.redundancy` — recursively redundant predicates
+  (Theorems 4.2, 6.3, 6.4) and redundancy-aware evaluation;
+* :mod:`repro.core.planner` / :mod:`repro.core.engine` — the query planner
+  and the end-to-end recursive query engine;
+* :mod:`repro.core.analysis` — a one-stop structural report.
+"""
+
+from repro.core.commutativity import (
+    CommutativityReport,
+    commute,
+    commute_by_definition,
+    commute_polynomial,
+    sufficient_condition,
+)
+from repro.core.decomposition import partition_commuting, verify_star_decomposition
+from repro.core.separability import (
+    SeparabilityReport,
+    is_separable,
+    selection_commutes_with,
+    separable_plan,
+)
+from repro.core.redundancy import (
+    RedundancyFinding,
+    find_redundant_predicates,
+    redundancy_factorization,
+    redundancy_aware_closure,
+)
+from repro.core.planner import QueryPlan, QueryPlanner, Strategy
+from repro.core.engine import QueryResult, RecursiveQueryEngine
+from repro.core.analysis import RecursionAnalyzer, RecursionReport
+
+__all__ = [
+    "CommutativityReport",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryResult",
+    "RecursionAnalyzer",
+    "RecursionReport",
+    "RedundancyFinding",
+    "SeparabilityReport",
+    "Strategy",
+    "commute",
+    "commute_by_definition",
+    "commute_polynomial",
+    "find_redundant_predicates",
+    "is_separable",
+    "partition_commuting",
+    "redundancy_aware_closure",
+    "redundancy_factorization",
+    "selection_commutes_with",
+    "separable_plan",
+    "sufficient_condition",
+    "verify_star_decomposition",
+]

@@ -1,0 +1,141 @@
+"""Structural analysis reports for linear recursions.
+
+:class:`RecursionAnalyzer` produces a :class:`RecursionReport` for a
+linear recursion: per-rule a-graph classifications, all pairwise
+commutativity verdicts (with the clause used per variable), separability
+of each pair, recursively redundant predicates of each rule, and the
+planner's suggested strategy.  The examples print these reports; they are
+the library's "EXPLAIN" facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agraph.classification import classify_variables
+from repro.agraph.graph import AlphaGraph
+from repro.agraph.render import render_ascii
+from repro.core.commutativity import CommutativityReport, commute, sufficient_condition
+from repro.core.planner import QueryPlan, QueryPlanner
+from repro.core.redundancy import RedundancyFinding, find_redundant_predicates
+from repro.core.separability import SeparabilityReport, is_separable
+from repro.datalog.programs import LinearRecursion
+from repro.datalog.rules import Rule
+from repro.exceptions import NotApplicableError
+from repro.storage.selection import Selection
+
+
+@dataclass
+class PairAnalysis:
+    """Analysis of one pair of recursive rules."""
+
+    first_index: int
+    second_index: int
+    commutativity: CommutativityReport
+    commute: bool
+    separability: SeparabilityReport
+
+    def summary(self) -> str:
+        """One-line summary for the report."""
+        return (
+            f"rules ({self.first_index}, {self.second_index}): "
+            f"commute={self.commute} "
+            f"(condition {'holds' if self.commutativity.satisfied else 'fails'}"
+            f"{', exact' if self.commutativity.exact else ''}), "
+            f"separable={self.separability.separable}"
+        )
+
+
+@dataclass
+class RecursionReport:
+    """The full structural report for one linear recursion."""
+
+    recursion: LinearRecursion
+    agraphs: list[str] = field(default_factory=list)
+    pairs: list[PairAnalysis] = field(default_factory=list)
+    redundancies: dict[int, tuple[RedundancyFinding, ...]] = field(default_factory=dict)
+    plan: Optional[QueryPlan] = None
+
+    def render(self) -> str:
+        """The whole report as text."""
+        lines: list[str] = ["== Linear recursion report =="]
+        lines.append(f"predicate: {self.recursion.predicate}")
+        lines.append(f"recursive rules: {len(self.recursion.recursive_rules)}")
+        lines.append(f"exit rules: {len(self.recursion.exit_rules)}")
+        lines.append("")
+        for index, text in enumerate(self.agraphs):
+            lines.append(f"-- a-graph of recursive rule {index} --")
+            lines.append(text)
+            lines.append("")
+        if self.pairs:
+            lines.append("-- pairwise analysis --")
+            for pair in self.pairs:
+                lines.append(pair.summary())
+            lines.append("")
+        if self.redundancies:
+            lines.append("-- recursively redundant predicates --")
+            for index, findings in self.redundancies.items():
+                if findings:
+                    for finding in findings:
+                        lines.append(f"rule {index}: {finding}")
+                else:
+                    lines.append(f"rule {index}: none")
+            lines.append("")
+        if self.plan is not None:
+            lines.append("-- suggested plan --")
+            lines.append(self.plan.explain())
+        return "\n".join(lines)
+
+
+class RecursionAnalyzer:
+    """Builds :class:`RecursionReport` objects."""
+
+    def __init__(self, planner: Optional[QueryPlanner] = None,
+                 redundancy_horizon: Optional[int] = None):
+        self.planner = planner if planner is not None else QueryPlanner()
+        self.redundancy_horizon = redundancy_horizon
+
+    def analyze(self, recursion: LinearRecursion,
+                selection: Optional[Selection] = None) -> RecursionReport:
+        """Analyse a linear recursion and return the full report."""
+        report = RecursionReport(recursion)
+        rules = recursion.recursive_rules
+
+        for index, rule in enumerate(rules):
+            report.agraphs.append(self._agraph_text(rule, index))
+            report.redundancies[index] = self._redundancies(rule)
+
+        for first_index in range(len(rules)):
+            for second_index in range(first_index + 1, len(rules)):
+                first, second = rules[first_index], rules[second_index]
+                condition = sufficient_condition(first, second)
+                report.pairs.append(
+                    PairAnalysis(
+                        first_index,
+                        second_index,
+                        condition,
+                        commute(first, second, report=condition),
+                        is_separable(first, second),
+                    )
+                )
+
+        report.plan = self.planner.plan(recursion, selection)
+        return report
+
+    def _agraph_text(self, rule: Rule, index: int) -> str:
+        try:
+            graph = AlphaGraph(rule)
+        except NotApplicableError as error:
+            return f"(a-graph unavailable: {error})"
+        classes = classify_variables(graph)
+        del classes
+        return render_ascii(graph, title=f"rule {index}")
+
+    def _redundancies(self, rule: Rule) -> tuple[RedundancyFinding, ...]:
+        if not rule.in_restricted_class():
+            return ()
+        try:
+            return find_redundant_predicates(rule, self.redundancy_horizon)
+        except NotApplicableError:
+            return ()

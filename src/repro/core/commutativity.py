@@ -1,0 +1,315 @@
+"""Commutativity of linear recursive rules (Section 5).
+
+Three tests are provided, in increasing order of specialisation:
+
+* :func:`commute_by_definition` — form both composites ``r1 r2`` and
+  ``r2 r1`` and test their equivalence.  Always correct, but equivalence
+  of conjunctive queries is NP-complete, so this is the expensive
+  baseline.
+* :func:`sufficient_condition` — the syntactic condition of Theorem 5.1
+  on the a-graphs of the two rules.  If it holds the rules commute; when
+  it does not hold nothing is concluded (Example 5.4 shows it is not
+  necessary in general).
+* :func:`commute_polynomial` — for the restricted class of Theorem 5.2
+  (range-restricted, no repeated consequent variables, no repeated
+  nonrecursive predicates) the condition is necessary *and* sufficient
+  and can be tested in ``O(a log a)`` (Theorem 5.3), so this is a
+  complete polynomial-time decision procedure.
+
+:func:`commute` dispatches: polynomial test when applicable, otherwise
+the sufficient condition backed by the definition test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional
+
+from repro.agraph.bridges import AugmentedBridge, bridge_containing, commutativity_bridges
+from repro.agraph.classification import VariableClass, classify_variables
+from repro.agraph.graph import AlphaGraph
+from repro.agraph.narrow_wide import bridges_equivalent
+from repro.cq.containment import is_equivalent
+from repro.datalog.composition import compose
+from repro.datalog.normalize import standardize_pair
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.exceptions import NotApplicableError
+
+
+class ConditionClause(Enum):
+    """Which clause of Theorem 5.1 a distinguished variable satisfies."""
+
+    FREE_ONE_PERSISTENT = "a"
+    LINK_ONE_PERSISTENT_BOTH = "b"
+    FREE_PERSISTENT_COMMUTING = "c"
+    EQUIVALENT_BRIDGES = "d"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class VariableVerdict:
+    """Per-variable outcome of the Theorem 5.1 condition check."""
+
+    variable: Variable
+    clause: ConditionClause
+    detail: str = ""
+
+    @property
+    def satisfied(self) -> bool:
+        """True if some clause of the condition applies to this variable."""
+        return self.clause != ConditionClause.NONE
+
+
+@dataclass
+class CommutativityReport:
+    """Outcome of a syntactic commutativity check on a pair of rules."""
+
+    first: Rule
+    second: Rule
+    satisfied: bool
+    verdicts: Mapping[Variable, VariableVerdict] = field(default_factory=dict)
+    #: True when both rules are in the restricted class of Theorem 5.2, in
+    #: which case ``satisfied`` decides commutativity exactly.
+    exact: bool = False
+
+    def failing_variables(self) -> tuple[Variable, ...]:
+        """Distinguished variables for which no clause applies."""
+        return tuple(
+            variable for variable, verdict in self.verdicts.items() if not verdict.satisfied
+        )
+
+    def explain(self) -> str:
+        """Multi-line explanation naming the clause used for each variable."""
+        lines = [
+            f"rule 1: {self.first}",
+            f"rule 2: {self.second}",
+            f"condition of Theorem 5.1 {'holds' if self.satisfied else 'fails'}"
+            + (" (exact: restricted class)" if self.exact else ""),
+        ]
+        for variable, verdict in self.verdicts.items():
+            status = f"clause ({verdict.clause.value})" if verdict.satisfied else "no clause"
+            detail = f" — {verdict.detail}" if verdict.detail else ""
+            lines.append(f"  {variable}: {status}{detail}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Definition-based test
+# ----------------------------------------------------------------------
+
+def compose_both_ways(first: Rule, second: Rule) -> tuple[Rule, Rule]:
+    """Return the two composites ``r1 r2`` and ``r2 r1`` after standardisation."""
+    first_std, second_std = standardize_pair(first, second)
+    return compose(first_std, second_std), compose(second_std, first_std)
+
+
+def commute_by_definition(first: Rule, second: Rule) -> bool:
+    """Exact commutativity test straight from the definition.
+
+    Forms both composites and tests conjunctive-query equivalence, which
+    requires homomorphisms in both directions (NP-complete in general).
+    """
+    composite_12, composite_21 = compose_both_ways(first, second)
+    return is_equivalent(composite_12, composite_21)
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.1: the syntactic sufficient condition
+# ----------------------------------------------------------------------
+
+def _classify_pair(first: Rule, second: Rule) -> tuple[
+    Rule, Rule, AlphaGraph, AlphaGraph,
+    Mapping[Variable, VariableClass], Mapping[Variable, VariableClass],
+    tuple[AugmentedBridge, ...], tuple[AugmentedBridge, ...],
+]:
+    first_std, second_std = standardize_pair(first, second)
+    first_graph = AlphaGraph(first_std)
+    second_graph = AlphaGraph(second_std)
+    first_classes = classify_variables(first_graph)
+    second_classes = classify_variables(second_graph)
+    first_bridges = commutativity_bridges(first_graph)
+    second_bridges = commutativity_bridges(second_graph)
+    return (
+        first_std, second_std, first_graph, second_graph,
+        first_classes, second_classes, first_bridges, second_bridges,
+    )
+
+
+def _clause_a(first_class: VariableClass, second_class: VariableClass) -> bool:
+    """x is free 1-persistent in r1 or in r2."""
+    return (
+        (first_class.is_free_persistent and first_class.period == 1)
+        or (second_class.is_free_persistent and second_class.period == 1)
+    )
+
+
+def _clause_b(first_class: VariableClass, second_class: VariableClass) -> bool:
+    """x is link 1-persistent in both r1 and r2."""
+    return (
+        first_class.is_link_persistent and first_class.period == 1
+        and second_class.is_link_persistent and second_class.period == 1
+    )
+
+
+def _clause_c(variable: Variable, first_graph: AlphaGraph, second_graph: AlphaGraph,
+              first_class: VariableClass, second_class: VariableClass) -> bool:
+    """x is free m_i-persistent with m_i > 1 in both and h1(h2(x)) = h2(h1(x))."""
+    if not (first_class.is_free_persistent and (first_class.period or 0) > 1):
+        return False
+    if not (second_class.is_free_persistent and (second_class.period or 0) > 1):
+        return False
+    h1 = first_graph.view.h
+    h2 = second_graph.view.h
+    image_2 = h2.get(variable)
+    image_1 = h1.get(variable)
+    if not isinstance(image_2, Variable) or not isinstance(image_1, Variable):
+        return False
+    return h1.get(image_2) == h2.get(image_1)
+
+
+def _clause_d(variable: Variable,
+              first_graph: AlphaGraph, second_graph: AlphaGraph,
+              first_class: VariableClass, second_class: VariableClass,
+              first_bridges: tuple[AugmentedBridge, ...],
+              second_bridges: tuple[AugmentedBridge, ...],
+              use_fast_test: bool) -> bool:
+    """x is link m-persistent (m > 1) or general in both rules and its
+    augmented bridges in the two rules are equivalent."""
+    def eligible(record: VariableClass) -> bool:
+        if record.is_general:
+            return True
+        return record.is_link_persistent and (record.period or 0) > 1
+
+    if not (eligible(first_class) and eligible(second_class)):
+        return False
+    first_bridge = bridge_containing(first_bridges, variable)
+    second_bridge = bridge_containing(second_bridges, variable)
+    if first_bridge is None or second_bridge is None:
+        return False
+    return bridges_equivalent(
+        first_graph, first_bridge, second_graph, second_bridge, use_fast_test=use_fast_test
+    )
+
+
+def sufficient_condition(first: Rule, second: Rule,
+                         use_fast_bridge_test: bool = True) -> CommutativityReport:
+    """Check the condition of Theorem 5.1 on a pair of rules.
+
+    Returns a report with a per-variable verdict.  ``report.satisfied``
+    implies the rules commute; the converse holds only for the restricted
+    class of Theorem 5.2 (``report.exact``).
+    """
+    (first_std, second_std, first_graph, second_graph,
+     first_classes, second_classes, first_bridges, second_bridges) = _classify_pair(
+        first, second
+    )
+
+    verdicts: dict[Variable, VariableVerdict] = {}
+    for variable in first_graph.view.distinguished_variables:
+        first_class = first_classes[variable]
+        second_class = second_classes[variable]
+        if _clause_a(first_class, second_class):
+            verdict = VariableVerdict(
+                variable, ConditionClause.FREE_ONE_PERSISTENT,
+                f"{first_class.describe()} / {second_class.describe()}",
+            )
+        elif _clause_b(first_class, second_class):
+            verdict = VariableVerdict(
+                variable, ConditionClause.LINK_ONE_PERSISTENT_BOTH,
+                "link 1-persistent in both rules",
+            )
+        elif _clause_c(variable, first_graph, second_graph, first_class, second_class):
+            verdict = VariableVerdict(
+                variable, ConditionClause.FREE_PERSISTENT_COMMUTING,
+                "free persistent in both rules with h1(h2(x)) = h2(h1(x))",
+            )
+        elif _clause_d(variable, first_graph, second_graph, first_class, second_class,
+                       first_bridges, second_bridges, use_fast_bridge_test):
+            verdict = VariableVerdict(
+                variable, ConditionClause.EQUIVALENT_BRIDGES,
+                "belongs to equivalent augmented bridges in both rules",
+            )
+        else:
+            verdict = VariableVerdict(
+                variable, ConditionClause.NONE,
+                f"{first_class.describe()} / {second_class.describe()}",
+            )
+        verdicts[variable] = verdict
+
+    exact = first_std.in_restricted_class() and second_std.in_restricted_class()
+    satisfied = all(verdict.satisfied for verdict in verdicts.values())
+    return CommutativityReport(first_std, second_std, satisfied, verdicts, exact)
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.2 / 5.3: the polynomial decision procedure
+# ----------------------------------------------------------------------
+
+def in_restricted_class(first: Rule, second: Rule) -> bool:
+    """True if both rules are in the restricted class of Theorem 5.2."""
+    first_std, second_std = standardize_pair(first, second)
+    return first_std.in_restricted_class() and second_std.in_restricted_class()
+
+
+def commute_polynomial(first: Rule, second: Rule) -> bool:
+    """Decide commutativity for the restricted class (Theorems 5.2 and 5.3).
+
+    Raises :class:`NotApplicableError` when one of the rules is outside
+    the restricted class, because the condition is then only sufficient.
+    """
+    report = sufficient_condition(first, second)
+    if not report.exact:
+        raise NotApplicableError(
+            "The polynomial commutativity test is only complete for "
+            "range-restricted rules with no repeated consequent variables and "
+            "no repeated nonrecursive predicates (Theorem 5.2)"
+        )
+    return report.satisfied
+
+
+# ----------------------------------------------------------------------
+# A weaker sufficient condition, used as a baseline
+# ----------------------------------------------------------------------
+
+def simple_sufficient_condition(first: Rule, second: Rule) -> bool:
+    """A strictly less general syntactic sufficient condition.
+
+    Every distinguished variable must be 1-persistent in at least one of
+    the two rules (free in one of them, or link in both).  This mirrors
+    the flavour of the earlier proof-tree-based condition of Ramakrishnan
+    et al. [19], which the paper notes is less general than Theorem 5.1:
+    it ignores clauses (c) and (d), so it misses pairs such as
+    Example 5.3.  It is used by the benchmarks as a detection-power
+    baseline.
+    """
+    report = sufficient_condition(first, second)
+    allowed = {
+        ConditionClause.FREE_ONE_PERSISTENT,
+        ConditionClause.LINK_ONE_PERSISTENT_BOTH,
+    }
+    return all(
+        verdict.satisfied and verdict.clause in allowed
+        for verdict in report.verdicts.values()
+    )
+
+
+# ----------------------------------------------------------------------
+# Dispatching front door
+# ----------------------------------------------------------------------
+
+def commute(first: Rule, second: Rule,
+             report: Optional[CommutativityReport] = None) -> bool:
+    """Decide whether two linear rules commute.
+
+    For the restricted class the syntactic condition is decisive.  Outside
+    it, a satisfied condition still proves commutativity; a failed
+    condition falls back to the (exponential) definition-based test.
+    """
+    syntactic = report if report is not None else sufficient_condition(first, second)
+    if syntactic.satisfied:
+        return True
+    if syntactic.exact:
+        return False
+    return commute_by_definition(first, second)

@@ -1,0 +1,162 @@
+"""The end-to-end recursive query engine.
+
+:class:`RecursiveQueryEngine` ties everything together: it extracts the
+linear recursion for a predicate from a program, asks the
+:class:`~repro.core.planner.QueryPlanner` for a strategy, executes the
+chosen strategy with the evaluation engine, and returns the answer
+together with the plan and the evaluation statistics.
+
+This is the public API the examples and benchmarks use::
+
+    engine = RecursiveQueryEngine()
+    result = engine.query(program, "path", database)
+    result.relation, result.plan.strategy, result.statistics.duplicates
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.planner import QueryPlan, QueryPlanner, Strategy
+from repro.core.redundancy import redundancy_aware_closure
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_program
+from repro.datalog.programs import LinearRecursion, Program
+from repro.engine.decomposed import decomposed_closure
+from repro.engine.seminaive import evaluate_exit_rules, seminaive_closure
+from repro.engine.separable import separable_evaluate
+from repro.engine.statistics import EvaluationStatistics
+from repro.exceptions import AnalysisError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.selection import Selection
+
+
+@dataclass
+class QueryResult:
+    """The answer to a recursive query plus how it was obtained."""
+
+    relation: Relation
+    plan: QueryPlan
+    statistics: EvaluationStatistics
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def explain(self) -> str:
+        """Plan explanation followed by the headline statistics."""
+        return self.plan.explain() + "\n" + self.statistics.summary()
+
+
+class RecursiveQueryEngine:
+    """Analyse, plan, and evaluate linear recursive queries."""
+
+    def __init__(self, planner: Optional[QueryPlanner] = None):
+        self.planner = planner if planner is not None else QueryPlanner()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def query(self, program: Union[Program, str], predicate_name: str,
+              database: Optional[Database] = None,
+              selection: Optional[Selection] = None,
+              initial: Optional[Relation] = None) -> QueryResult:
+        """Evaluate the linear recursion defining *predicate_name*.
+
+        *program* may be a :class:`Program` or Datalog source text.  Facts
+        in the program are merged into *database*.  If *initial* is given
+        it is used as the relation ``Q`` directly; otherwise the exit
+        rules are evaluated to produce it.
+        """
+        if isinstance(program, str):
+            program = parse_program(program)
+        database = self._database_for(program, database)
+        recursion = self._recursion_for(program, predicate_name)
+        plan = self.planner.plan(recursion, selection)
+        return self.execute(plan, database, initial=initial)
+
+    def execute(self, plan: QueryPlan, database: Database,
+                initial: Optional[Relation] = None) -> QueryResult:
+        """Execute a previously produced plan."""
+        statistics = EvaluationStatistics()
+        recursion = plan.recursion
+        if initial is None:
+            initial = evaluate_exit_rules(recursion, database, statistics)
+        else:
+            initial = initial.renamed(recursion.predicate.name)
+        statistics.initial_size = len(initial)
+
+        if plan.strategy == Strategy.SEPARABLE and plan.separable is not None:
+            relation = separable_evaluate(
+                (plan.separable.outer,), (plan.separable.inner,), plan.separable.selection,
+                initial, database, statistics,
+                push_into_initial=plan.separable.push_into_initial,
+            )
+        elif plan.strategy == Strategy.DECOMPOSED and plan.groups:
+            relation = decomposed_closure(plan.groups, initial, database, statistics)
+            if plan.selection is not None:
+                relation = plan.selection.apply(relation)
+        elif plan.strategy == Strategy.REDUNDANCY_AWARE and plan.factorization is not None:
+            relation = redundancy_aware_closure(
+                plan.factorization, initial, database, statistics
+            )
+            if plan.selection is not None:
+                relation = plan.selection.apply(relation)
+        else:
+            relation = seminaive_closure(
+                recursion.recursive_rules, initial, database, statistics
+            )
+            if plan.selection is not None:
+                relation = plan.selection.apply(relation)
+
+        statistics.result_size = len(relation)
+        return QueryResult(relation, plan, statistics)
+
+    def baseline(self, program: Union[Program, str], predicate_name: str,
+                 database: Optional[Database] = None,
+                 selection: Optional[Selection] = None,
+                 initial: Optional[Relation] = None) -> QueryResult:
+        """Evaluate with the DIRECT strategy regardless of the planner's choice."""
+        if isinstance(program, str):
+            program = parse_program(program)
+        database = self._database_for(program, database)
+        recursion = self._recursion_for(program, predicate_name)
+        plan = QueryPlan(Strategy.DIRECT, recursion, selection,
+                         notes=["forced direct evaluation (baseline)"])
+        return self.execute(plan, database, initial=initial)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _database_for(program: Program, database: Optional[Database]) -> Database:
+        from_facts = Database.from_facts(program.facts()) if program.facts() else Database({})
+        if database is None:
+            return from_facts
+        return database.merge(from_facts)
+
+    @staticmethod
+    def _recursion_for(program: Program, predicate_name: str) -> LinearRecursion:
+        candidates = [
+            predicate
+            for predicate in program.predicates
+            if predicate.name == predicate_name
+        ]
+        if not candidates:
+            raise AnalysisError(f"Predicate {predicate_name!r} does not occur in the program")
+        heads = [
+            predicate
+            for predicate in candidates
+            if program.rules_for(predicate)
+        ]
+        if not heads:
+            raise AnalysisError(f"Predicate {predicate_name!r} has no defining rules")
+        if len(heads) > 1:
+            raise AnalysisError(
+                f"Predicate {predicate_name!r} is defined at multiple arities: "
+                + ", ".join(str(predicate) for predicate in heads)
+            )
+        return program.linear_recursion_of(heads[0])

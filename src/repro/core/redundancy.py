@@ -1,0 +1,357 @@
+"""Recursively redundant predicates (Sections 4.2 and 6.2).
+
+A nonrecursive predicate ``Q`` of an operator ``A`` is *recursively
+redundant* in ``A*`` when some ``N`` bounds the number of times ``Q``'s
+factor is needed in any term of the series ``A* = Σ A^k``.  The paper
+gives two characterisations:
+
+* **Theorem 6.3** (Naughton, restated): ``Q`` is recursively redundant
+  iff it appears in a uniformly bounded augmented bridge of the a-graph
+  with respect to ``G_I`` (the subgraph induced by the dynamic arcs
+  connecting the link-persistent and ray variables).
+* **Theorems 4.2 / 6.4**: the algebraic form — there exist ``L >= 1`` and
+  operators ``B`` and ``C`` with ``Q`` a parameter of ``C`` but not of
+  ``B``, ``C`` uniformly bounded (torsion for the restricted class),
+  ``A^L = B C^L`` and ``C^L (B C^L) = C^L (C^L B)``.
+
+Exploiting redundancy, ``A*`` can be computed while applying the ``C``
+factor only a bounded number of times (the closed-form series derived in
+the proof of Theorem 4.2); :func:`redundancy_aware_closure` implements
+that evaluation strategy, and the E-RED benchmark compares it against the
+direct closure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.agraph.bridges import AugmentedBridge, redundancy_bridges
+from repro.agraph.classification import classify_variables
+from repro.agraph.graph import AlphaGraph, StaticArc
+from repro.agraph.narrow_wide import wide_rule
+from repro.algebra.properties import boundedness_witness, BoundednessWitness
+from repro.cq.containment import is_equivalent
+from repro.datalog.atoms import Atom
+from repro.datalog.composition import compose_chain, power
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.engine.conjunctive import evaluate_rule_multiset
+from repro.engine.statistics import EvaluationStatistics
+from repro.engine.seminaive import seminaive_closure
+from repro.exceptions import NotApplicableError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class RedundancyFinding:
+    """One recursively redundant predicate and the evidence for it."""
+
+    predicate_name: str
+    bridge: AugmentedBridge
+    wide_rule: Rule
+    witness: BoundednessWitness
+
+    def __str__(self) -> str:
+        return (
+            f"{self.predicate_name} is recursively redundant "
+            f"(uniformly bounded bridge, witness {self.witness})"
+        )
+
+
+@dataclass(frozen=True)
+class RedundancyFactorization:
+    """The Theorem 6.4 factorisation ``A^L = B C^L`` for a redundant bridge.
+
+    ``torsion_low``/``torsion_high`` are the ``K < N`` with ``C^N = C^K``
+    (or ``C^N <= C^K`` for uniform boundedness outside the restricted
+    class).
+    """
+
+    original: Rule
+    factor_b: Rule
+    factor_c: Rule
+    exponent: int
+    torsion_low: int
+    torsion_high: int
+
+    @property
+    def bounded_c_applications(self) -> int:
+        """The paper's bound ``N L - 1`` on applications of the ``C`` factor."""
+        return self.torsion_high * self.exponent - 1
+
+    def explain(self) -> str:
+        """One-paragraph description of the factorisation."""
+        return (
+            f"A^{self.exponent} = B C^{self.exponent} with "
+            f"C^{self.torsion_high} = C^{self.torsion_low}; the C factor is needed at "
+            f"most {self.bounded_c_applications} times in any term of A*."
+        )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.3: detection via uniformly bounded augmented bridges
+# ----------------------------------------------------------------------
+
+def _bridge_predicate_names(graph: AlphaGraph, bridge: AugmentedBridge) -> frozenset[str]:
+    """Names of nonrecursive predicates whose static arcs lie in the bridge."""
+    atoms = graph.view.nonrecursive_atoms
+    indexes = {
+        arc.atom_index for arc in bridge.arcs if isinstance(arc, StaticArc)
+    }
+    return frozenset(atoms[index].predicate.name for index in indexes)
+
+
+def find_redundant_predicates(rule: Rule, max_power: Optional[int] = None
+                              ) -> tuple[RedundancyFinding, ...]:
+    """Find recursively redundant nonrecursive predicates (Theorem 6.3).
+
+    For each augmented bridge of the a-graph w.r.t. ``G_I``, the bridge's
+    wide rule is tested for uniform boundedness; every nonrecursive
+    predicate appearing in a bounded bridge is reported as redundant.
+    """
+    graph = AlphaGraph(rule)
+    findings: list[RedundancyFinding] = []
+    for bridge in redundancy_bridges(graph):
+        names = _bridge_predicate_names(graph, bridge)
+        if not names:
+            continue
+        wide = wide_rule(graph, bridge)
+        witness = boundedness_witness(wide, max_power)
+        if witness is None:
+            continue
+        for name in sorted(names):
+            findings.append(RedundancyFinding(name, bridge, wide, witness))
+    return tuple(findings)
+
+
+def is_recursively_redundant(rule: Rule, predicate_name: str,
+                             max_power: Optional[int] = None) -> bool:
+    """True if *predicate_name* is recursively redundant in ``rule*`` (Theorem 6.3)."""
+    return any(
+        finding.predicate_name == predicate_name
+        for finding in find_redundant_predicates(rule, max_power)
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.4: the algebraic factorisation A^L = B C^L
+# ----------------------------------------------------------------------
+
+def _factor_b(graph: AlphaGraph, bridge: AugmentedBridge, power_rule: Rule) -> Rule:
+    """The complementary operator ``B`` of Lemma 6.5, factored out of ``A^L``.
+
+    Theorem 6.4 factors the *L-th power*: ``A^L = B C^L``.  By Lemma 6.4
+    the bridges of ``A^L`` generated by the chosen bridge of ``A`` carry
+    exactly the nonrecursive predicates of that bridge (in the restricted
+    class predicate names are not repeated in ``A``, so the generated
+    atoms are precisely those with the bridge's predicate names), and
+    their distinguished variables are those of the original bridge.  ``B``
+    is therefore obtained from ``A^L`` by removing those atoms and making
+    the bridge's distinguished variables 1-persistent.
+    """
+    view = graph.view
+    bridge_positions = {
+        position
+        for position, term in enumerate(view.head.arguments)
+        if term in bridge.nodes
+    }
+    bridge_predicates = _bridge_predicate_names(graph, bridge)
+    power_view = power_rule.linear_view()
+    body_args: list[Term] = []
+    for position, head_term in enumerate(power_view.head.arguments):
+        if position in bridge_positions:
+            body_args.append(head_term)
+        else:
+            body_args.append(power_view.recursive_atom.arguments[position])
+    recursive = Atom(power_view.head.predicate, tuple(body_args))
+    outside_atoms = tuple(
+        atom
+        for atom in power_view.nonrecursive_atoms
+        if atom.predicate.name not in bridge_predicates
+    )
+    return Rule(power_view.head, (recursive,) + outside_atoms)
+
+
+def _exponent_for(graph: AlphaGraph) -> int:
+    """The ``L`` of Lemma 6.3(b): all link-persistent variables become link
+    1-persistent and all ray variables 1-ray in ``A^L``."""
+    classes = classify_variables(graph)
+    periods = [
+        record.period or 1 for record in classes.values() if record.is_link_persistent
+    ]
+    rays = [record.ray_length or 1 for record in classes.values() if record.is_ray]
+    base = 1
+    for period in periods:
+        base = base * period // math.gcd(base, period)
+    longest_ray = max(rays, default=1)
+    exponent = base
+    while exponent < longest_ray:
+        exponent += base
+    return exponent
+
+
+def redundancy_factorization(rule: Rule, bridge: Optional[AugmentedBridge] = None,
+                             max_power: Optional[int] = None,
+                             verify: bool = True) -> RedundancyFactorization:
+    """Construct and (optionally) verify the Theorem 6.4 factorisation.
+
+    If *bridge* is omitted, the first uniformly bounded augmented bridge is
+    used.  With ``verify=True`` the equalities ``A^L = B C^L`` and
+    ``C^L (B C^L) = C^L (C^L B)`` are checked by conjunctive-query
+    equivalence and a :class:`NotApplicableError` is raised on failure.
+    """
+    graph = AlphaGraph(rule)
+    if bridge is None:
+        findings = find_redundant_predicates(rule, max_power)
+        if not findings:
+            raise NotApplicableError(
+                "No uniformly bounded augmented bridge found; the rule has no "
+                "recursively redundant predicate within the search horizon"
+            )
+        bridge = findings[0].bridge
+    factor_c = wide_rule(graph, bridge)
+    exponent = _exponent_for(graph)
+    factor_b = _factor_b(graph, bridge, power(rule, exponent))
+
+    witness = boundedness_witness(factor_c, max_power, require_equality=True)
+    if witness is None:
+        witness = boundedness_witness(factor_c, max_power, require_equality=False)
+    if witness is None:
+        raise NotApplicableError(
+            "The bridge's wide rule is not uniformly bounded within the search horizon"
+        )
+
+    factorization = RedundancyFactorization(
+        rule, factor_b, factor_c, exponent, witness.low, witness.high
+    )
+    if verify:
+        _verify_factorization(factorization)
+    return factorization
+
+
+def _verify_factorization(factorization: RedundancyFactorization) -> None:
+    """Check ``A^L = B C^L`` and ``C^L(B C^L) = C^L(C^L B)`` symbolically."""
+    exponent = factorization.exponent
+    a_power = power(factorization.original, exponent)
+    c_power = power(factorization.factor_c, exponent)
+    b_then_c = compose_chain(factorization.factor_b, c_power)
+    if not is_equivalent(a_power, b_then_c):
+        raise NotApplicableError(
+            f"A^{exponent} != B C^{exponent}; the chosen bridge does not factor the rule"
+        )
+    left = compose_chain(c_power, factorization.factor_b, c_power)
+    right = compose_chain(c_power, c_power, factorization.factor_b)
+    if not is_equivalent(left, right):
+        raise NotApplicableError(
+            f"C^{exponent}(B C^{exponent}) != C^{exponent}(C^{exponent} B); "
+            "the Theorem 4.2 premise fails"
+        )
+
+
+# ----------------------------------------------------------------------
+# Redundancy-aware evaluation (the closed form derived in Theorem 4.2)
+# ----------------------------------------------------------------------
+
+def _bounded_sum_of_powers(rule: Rule, initial: Relation, database: Database,
+                           highest_power: int,
+                           statistics: Optional[EvaluationStatistics] = None) -> Relation:
+    """Compute ``(1 + A + ... + A^highest_power) initial`` by repeated application."""
+    statistics = statistics if statistics is not None else EvaluationStatistics()
+    result = initial
+    frontier = initial
+    for _ in range(highest_power):
+        statistics.iterations += 1
+        statistics.rule_applications += 1
+        emissions = evaluate_rule_multiset(
+            rule, database, overrides={initial.name: frontier}, counters=statistics.joins
+        )
+        produced = set()
+        for row in emissions:
+            statistics.record_production(row in result.rows or row in produced)
+            produced.add(row)
+        frontier = Relation(initial.name, initial.arity, frozenset(produced))
+        new_result = result.with_rows(produced)
+        if new_result.rows == result.rows:
+            break
+        result = new_result
+    return result
+
+
+def _apply_power(rule: Rule, relation: Relation, database: Database, times: int,
+                 statistics: Optional[EvaluationStatistics] = None) -> Relation:
+    """Apply the operator of *rule* exactly *times* times to *relation*."""
+    statistics = statistics if statistics is not None else EvaluationStatistics()
+    current = relation
+    for _ in range(times):
+        statistics.rule_applications += 1
+        emissions = evaluate_rule_multiset(
+            rule, database, overrides={relation.name: current}, counters=statistics.joins
+        )
+        produced = set()
+        for row in emissions:
+            statistics.record_production(row in produced)
+            produced.add(row)
+        current = Relation(relation.name, relation.arity, frozenset(produced))
+    return current
+
+
+def redundancy_aware_closure(factorization: RedundancyFactorization, initial: Relation,
+                             database: Database,
+                             statistics: Optional[EvaluationStatistics] = None) -> Relation:
+    """Evaluate ``A* initial`` using the closed form of Theorem 4.2.
+
+    With ``A^L = B C^L``, ``C^N = C^K`` (``K < N``), the proof of
+    Theorem 4.2 derives::
+
+        A* = Σ_{m<KL} A^m
+           + (Σ_{n<L} A^n) (Σ_{m=K}^{N-1} A^{mL}) (Σ_{i>=0} B^{i(N-K)})
+
+    so the ``C`` factor is applied at most ``NL − 1`` times and beyond
+    that only ``B`` is iterated.  The implementation evaluates the series
+    right to left on the concrete initial relation.
+    """
+    statistics = statistics if statistics is not None else EvaluationStatistics()
+    statistics.initial_size = len(initial)
+    rule = factorization.original
+    low = factorization.torsion_low
+    high = factorization.torsion_high
+    exponent = factorization.exponent
+
+    # Head term: Σ_{m < K L} A^m Q.
+    head_stats = EvaluationStatistics()
+    head_term = _bounded_sum_of_powers(
+        rule, initial, database, max(low * exponent - 1, 0), head_stats
+    )
+    statistics.add_phase("bounded-A-powers", head_stats)
+
+    # Tail term, right to left.
+    tail_stats = EvaluationStatistics()
+    b_step = power(factorization.factor_b, high - low) if high > low else factorization.factor_b
+    b_closure = seminaive_closure((b_step,), initial, database, tail_stats)
+
+    # Σ_{m=K}^{N-1} A^{mL} applied to the B-closure.
+    accumulated = Relation.empty(initial.name, initial.arity)
+    current = _apply_power(rule, b_closure, database, low * exponent, tail_stats)
+    accumulated = accumulated.union(current)
+    for _ in range(low, high - 1):
+        current = _apply_power(rule, current, database, exponent, tail_stats)
+        accumulated = accumulated.union(current)
+
+    # Σ_{n < L} A^n applied to the previous sum.
+    tail_term = _bounded_sum_of_powers(
+        rule, accumulated, database, exponent - 1, tail_stats
+    )
+    statistics.add_phase("bounded-C-tail", tail_stats)
+
+    result = head_term.union(tail_term)
+    statistics.result_size = len(result)
+    return result
+
+
+def direct_closure(rule: Rule, initial: Relation, database: Database,
+                   statistics: Optional[EvaluationStatistics] = None) -> Relation:
+    """Baseline for the redundancy experiments: the plain semi-naive closure."""
+    return seminaive_closure((rule,), initial, database, statistics)

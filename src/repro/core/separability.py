@@ -1,0 +1,237 @@
+"""Separability (Naughton) and its relationship to commutativity (Sections 4.1, 6.1).
+
+A pair of rules is *separable* when conditions (1)–(4) of Section 6.1
+hold.  Theorem 6.2 shows separable rules always commute (but not
+conversely); Theorem 4.1 shows the efficient separable algorithm
+(Algorithm 4.1) applies to *any* commutative pair, provided the query's
+selection commutes with one of the operators — which is how commutativity
+widens the reach of Naughton's algorithm.
+
+This module provides the separability detector, the syntactic
+selection/operator commutation check, and a helper that assembles a
+separable evaluation plan (used by the planner and the benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.agraph.classification import classify_variables
+from repro.agraph.graph import AlphaGraph
+from repro.core.commutativity import CommutativityReport, sufficient_condition, commute
+from repro.datalog.normalize import standardize_pair
+from repro.datalog.rules import LinearRuleView, Rule
+from repro.datalog.terms import Variable
+from repro.storage.selection import Selection
+
+
+@dataclass(frozen=True)
+class SeparabilityReport:
+    """Outcome of the separability check for a pair of rules (Section 6.1)."""
+
+    first: Rule
+    second: Rule
+    condition_1: bool
+    condition_2: bool
+    condition_3: bool
+    condition_4: bool
+    #: True when the sets of distinguished variables under nonrecursive
+    #: predicates are disjoint (the case in which the separable algorithm's
+    #: efficiency can actually be exploited, per the remark after the
+    #: definition in Section 6.1).
+    disjoint_nonrecursive_variables: bool
+
+    @property
+    def separable(self) -> bool:
+        """True if all four defining conditions hold."""
+        return self.condition_1 and self.condition_2 and self.condition_3 and self.condition_4
+
+    def explain(self) -> str:
+        """Multi-line explanation of each condition."""
+        lines = [
+            f"rule 1: {self.first}",
+            f"rule 2: {self.second}",
+            f"(1) every distinguished variable is 1-persistent or maps to a "
+            f"nondistinguished variable: {self.condition_1}",
+            f"(2) x and h(x) appear under nonrecursive predicates together or "
+            f"not at all: {self.condition_2}",
+            f"(3) the rules' sets of distinguished variables under nonrecursive "
+            f"predicates are equal or disjoint: {self.condition_3}",
+            f"(4) the static subgraph of each a-graph is connected: {self.condition_4}",
+            f"separable: {self.separable} "
+            f"(disjoint nonrecursive variables: {self.disjoint_nonrecursive_variables})",
+        ]
+        return "\n".join(lines)
+
+
+def _variables_under_nonrecursive(view: LinearRuleView) -> frozenset[Variable]:
+    """Distinguished variables occurring in some nonrecursive body atom."""
+    distinguished = set(view.distinguished_variables)
+    found = set()
+    for atom in view.nonrecursive_atoms:
+        for variable in atom.variables():
+            if variable in distinguished:
+                found.add(variable)
+    return frozenset(found)
+
+
+def _condition_1(view: LinearRuleView) -> bool:
+    """Every distinguished x has h(x) = x or h(x) nondistinguished."""
+    distinguished = set(view.distinguished_variables)
+    for variable in view.distinguished_variables:
+        image = view.h.get(variable)
+        if image == variable:
+            continue
+        if isinstance(image, Variable) and image in distinguished:
+            return False
+    return True
+
+
+def _condition_2(view: LinearRuleView) -> bool:
+    """For every distinguished x, x and h(x) appear under nonrecursive
+    predicates together or not at all."""
+    under = _variables_under_nonrecursive(view)
+    nonrecursive_vars = {
+        variable for atom in view.nonrecursive_atoms for variable in atom.variables()
+    }
+    for variable in view.distinguished_variables:
+        image = view.h.get(variable)
+        x_appears = variable in under
+        if isinstance(image, Variable):
+            image_appears = image in nonrecursive_vars
+        else:
+            image_appears = False
+        if x_appears != image_appears:
+            return False
+    return True
+
+
+def _condition_4(graph: AlphaGraph) -> bool:
+    """The subgraph induced by the static arcs is connected.
+
+    Only nodes incident to at least one static arc are considered; a rule
+    with no static arcs at all satisfies the condition vacuously.
+    """
+    static_nodes = {
+        node for arc in graph.static_arcs for node in arc.endpoints()
+    }
+    if not static_nodes:
+        return True
+    adjacency: dict[Variable, set[Variable]] = {node: set() for node in static_nodes}
+    for arc in graph.static_arcs:
+        adjacency[arc.source].add(arc.target)
+        adjacency[arc.target].add(arc.source)
+    start = next(iter(static_nodes))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return seen == static_nodes
+
+
+def is_separable(first: Rule, second: Rule) -> SeparabilityReport:
+    """Check Naughton's separability conditions (Section 6.1) for a rule pair."""
+    first_std, second_std = standardize_pair(first, second)
+    first_graph = AlphaGraph(first_std)
+    second_graph = AlphaGraph(second_std)
+    first_view = first_graph.view
+    second_view = second_graph.view
+
+    condition_1 = _condition_1(first_view) and _condition_1(second_view)
+    condition_2 = _condition_2(first_view) and _condition_2(second_view)
+    first_under = _variables_under_nonrecursive(first_view)
+    second_under = _variables_under_nonrecursive(second_view)
+    condition_3 = first_under == second_under or not (first_under & second_under)
+    condition_4 = _condition_4(first_graph) and _condition_4(second_graph)
+    disjoint = not (first_under & second_under)
+
+    return SeparabilityReport(
+        first_std, second_std, condition_1, condition_2, condition_3, condition_4, disjoint
+    )
+
+
+# ----------------------------------------------------------------------
+# Selections commuting with operators (Theorem 4.1)
+# ----------------------------------------------------------------------
+
+def selection_commutes_with(rule: Rule, selection: Selection) -> bool:
+    """Syntactic sufficient condition for ``σ A = A σ``.
+
+    If every argument position constrained by the selection holds a
+    1-persistent variable of the rule (the variable at that position of
+    the consequent reappears at the same position of the recursive body
+    literal), then that column of the output tuple always equals the same
+    column of the input tuple the derivation used, so selecting before or
+    after applying the operator yields the same relation.
+    """
+    graph = AlphaGraph(rule)
+    classes = classify_variables(graph)
+    head_arguments = graph.view.head.arguments
+    for position in selection.positions():
+        if position >= len(head_arguments):
+            return False
+        variable = head_arguments[position]
+        if not isinstance(variable, Variable):
+            return False
+        record = classes.get(variable)
+        if record is None or not (record.is_persistent and record.period == 1):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class SeparablePlan:
+    """A concrete instantiation of Theorem 4.1: ``σ(A1 + A2)* = A_outer*(σ A_inner*)``."""
+
+    outer: Rule
+    inner: Rule
+    selection: Selection
+    #: True if the selection also commutes with the inner operator, in
+    #: which case it can be pushed all the way into the initial relation.
+    push_into_initial: bool
+    commutativity: CommutativityReport
+
+    def explain(self) -> str:
+        """One-paragraph description of the plan."""
+        push = (
+            "the selection also commutes with the inner operator, so it is pushed "
+            "into the initial relation"
+            if self.push_into_initial
+            else "the selection is applied after the inner closure"
+        )
+        return (
+            f"Theorem 4.1 applies: the operators commute and {self.selection} commutes "
+            f"with the outer operator; evaluate σ(A1+A2)* as A_outer*(σ A_inner*) where "
+            f"outer = [{self.outer}] and inner = [{self.inner}]; {push}."
+        )
+
+
+def separable_plan(first: Rule, second: Rule, selection: Selection
+                   ) -> Optional[SeparablePlan]:
+    """Build a separable evaluation plan for ``σ (A1 + A2)*`` if Theorem 4.1 applies.
+
+    Requires the two rules to commute and the selection to commute with at
+    least one of them (that one becomes the *outer* operator).  Returns
+    None when the theorem's premises cannot be established.
+    """
+    report = sufficient_condition(first, second)
+    if not commute(first, second, report=report):
+        return None
+    first_std, second_std = report.first, report.second
+
+    commutes_first = selection_commutes_with(first_std, selection)
+    commutes_second = selection_commutes_with(second_std, selection)
+    if not commutes_first and not commutes_second:
+        return None
+    if commutes_first:
+        outer, inner = first_std, second_std
+        push = commutes_second
+    else:
+        outer, inner = second_std, first_std
+        push = commutes_first
+    return SeparablePlan(outer, inner, selection, push, report)

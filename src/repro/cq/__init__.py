@@ -1,0 +1,23 @@
+"""Conjunctive-query theory: homomorphisms, containment, equivalence, cores.
+
+The paper relies on the classical Chandra–Merlin results: a conjunctive
+query ``s`` is contained in ``r`` iff there is a homomorphism from ``r``
+to ``s`` that fixes distinguished variables.  Rule equivalence (mutual
+containment) is the notion underlying operator equality and commutativity.
+"""
+
+from repro.cq.homomorphism import find_homomorphism, homomorphisms, is_homomorphism
+from repro.cq.containment import is_contained_in, is_equivalent
+from repro.cq.minimize import minimize_rule
+from repro.cq.isomorphism import fast_equivalence, find_isomorphism
+
+__all__ = [
+    "fast_equivalence",
+    "find_homomorphism",
+    "find_isomorphism",
+    "homomorphisms",
+    "is_contained_in",
+    "is_equivalent",
+    "is_homomorphism",
+    "minimize_rule",
+]

@@ -1,0 +1,33 @@
+"""Containment and equivalence of rules seen as conjunctive queries.
+
+Chandra–Merlin: ``s <= r`` (the output of *s* is a subset of the output of
+*r* on every database) iff there exists a homomorphism from *r* to *s*.
+Equivalence is mutual containment.  These notions give the partial order
+and the equality of the operator semi-ring of Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.cq.homomorphism import find_homomorphism
+from repro.datalog.rules import Rule
+
+
+def is_contained_in(contained: Rule, container: Rule) -> bool:
+    """True if *contained* <= *container* (containment of output relations).
+
+    Implemented as: there is a homomorphism from *container* to
+    *contained*.
+    """
+    return find_homomorphism(container, contained) is not None
+
+
+def is_equivalent(first: Rule, second: Rule) -> bool:
+    """True if the two rules are equivalent conjunctive queries."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def strictly_contained_in(contained: Rule, container: Rule) -> bool:
+    """True if *contained* <= *container* but not equivalent."""
+    return is_contained_in(contained, container) and not is_contained_in(
+        container, contained
+    )

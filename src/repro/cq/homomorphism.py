@@ -1,0 +1,146 @@
+"""Homomorphisms between rules seen as conjunctive queries.
+
+Following Section 5: given two nonrecursive rules ``r`` and ``s``, a
+homomorphism ``f : r -> s`` maps the variables of ``r`` to terms of ``s``
+such that (i) distinguished variables are fixed, and (ii) every body atom
+of ``r`` is mapped onto a body atom of ``s``.
+
+The search is a backtracking matcher over body atoms, ordered so that the
+most constrained atoms (fewest candidate images) are matched first.
+Constants map to themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term, Variable
+
+
+def _candidate_images(atom: Atom, target_atoms: tuple[Atom, ...]) -> list[Atom]:
+    """Body atoms of the target with the same predicate as *atom*."""
+    return [candidate for candidate in target_atoms if candidate.predicate == atom.predicate]
+
+
+def _try_extend(mapping: dict[Variable, Term], source: Atom, image: Atom
+                ) -> Optional[dict[Variable, Term]]:
+    """Extend *mapping* so that *source* maps onto *image*, or return None."""
+    extended = dict(mapping)
+    for src_term, img_term in zip(source.arguments, image.arguments):
+        if isinstance(src_term, Variable):
+            bound = extended.get(src_term)
+            if bound is None:
+                extended[src_term] = img_term
+            elif bound != img_term:
+                return None
+        elif src_term != img_term:
+            # Constants must map to themselves.
+            return None
+    return extended
+
+
+def _search(source_atoms: list[Atom], target_atoms: tuple[Atom, ...],
+            mapping: dict[Variable, Term]) -> Iterator[dict[Variable, Term]]:
+    """Yield all extensions of *mapping* covering every atom in *source_atoms*."""
+    if not source_atoms:
+        yield dict(mapping)
+        return
+    # Choose the atom with the fewest consistent candidate images (fail-first).
+    best_index = 0
+    best_candidates: Optional[list[tuple[Atom, dict[Variable, Term]]]] = None
+    for index, atom in enumerate(source_atoms):
+        candidates = []
+        for image in _candidate_images(atom, target_atoms):
+            extended = _try_extend(mapping, atom, image)
+            if extended is not None:
+                candidates.append((image, extended))
+        if best_candidates is None or len(candidates) < len(best_candidates):
+            best_index = index
+            best_candidates = candidates
+            if not candidates:
+                return
+    remaining = source_atoms[:best_index] + source_atoms[best_index + 1:]
+    assert best_candidates is not None
+    for _, extended in best_candidates:
+        yield from _search(remaining, target_atoms, extended)
+
+
+def _initial_mapping(source: Rule, target: Rule) -> Optional[dict[Variable, Term]]:
+    """Fix distinguished variables: each head variable of *source* must map to
+    the term at the same position in *target*'s head.
+
+    For rules with literally identical heads this is the identity on
+    distinguished variables, which is the paper's requirement.  Allowing
+    positionally-corresponding heads lets callers compare rules whose heads
+    use different variable names but the same pattern.
+    """
+    if source.head.predicate != target.head.predicate:
+        return None
+    mapping: dict[Variable, Term] = {}
+    for src_term, tgt_term in zip(source.head.arguments, target.head.arguments):
+        if isinstance(src_term, Variable):
+            bound = mapping.get(src_term)
+            if bound is None:
+                mapping[src_term] = tgt_term
+            elif bound != tgt_term:
+                return None
+        elif src_term != tgt_term:
+            return None
+    return mapping
+
+
+def homomorphisms(source: Rule, target: Rule) -> Iterator[dict[Variable, Term]]:
+    """Yield every homomorphism from *source* to *target*.
+
+    A homomorphism fixes the correspondence between the two heads and maps
+    every body atom of *source* onto some body atom of *target*.
+    """
+    mapping = _initial_mapping(source, target)
+    if mapping is None:
+        return
+    yield from _search(list(source.body), tuple(target.body), mapping)
+
+
+def find_homomorphism(source: Rule, target: Rule) -> Optional[dict[Variable, Term]]:
+    """Return one homomorphism from *source* to *target*, or None."""
+    for mapping in homomorphisms(source, target):
+        return mapping
+    return None
+
+
+def is_homomorphism(mapping: dict[Variable, Term], source: Rule, target: Rule) -> bool:
+    """Check that *mapping* is a homomorphism from *source* to *target*."""
+    def image_of(term: Term) -> Term:
+        if isinstance(term, Variable):
+            return mapping.get(term, term)
+        return term
+
+    # Head correspondence.
+    if source.head.predicate != target.head.predicate:
+        return False
+    for src_term, tgt_term in zip(source.head.arguments, target.head.arguments):
+        if image_of(src_term) != tgt_term:
+            return False
+    # Every body atom must land on a body atom of the target.
+    target_bodies = set(target.body)
+    for atom in source.body:
+        image = atom.with_arguments(image_of(term) for term in atom.arguments)
+        if image not in target_bodies:
+            return False
+    return True
+
+
+def count_homomorphisms(source: Rule, target: Rule, limit: int = 1_000_000) -> int:
+    """Count homomorphisms from *source* to *target* (up to *limit*).
+
+    Used by instrumentation and tests; the limit guards against the
+    exponential worst case.
+    """
+    count = 0
+    for _ in homomorphisms(source, target):
+        count += 1
+        if count >= limit:
+            break
+    return count

@@ -1,0 +1,43 @@
+"""Minimisation (core computation) of a rule seen as a conjunctive query.
+
+The paper assumes every rule "seen as a conjunctive query is in its unique
+minimal form" (proof of Theorem 5.1).  The minimal form — the *core* — is
+obtained by repeatedly removing body atoms that are redundant, i.e. atoms
+whose removal leaves an equivalent query.  The core is unique up to
+isomorphism (Chandra–Merlin).
+"""
+
+from __future__ import annotations
+
+from repro.cq.containment import is_contained_in
+from repro.datalog.rules import Rule
+
+
+def minimize_rule(rule: Rule) -> Rule:
+    """Return the core (unique minimal equivalent) of *rule*.
+
+    An atom can be dropped when the rule without it is contained in the
+    original rule (the reverse containment always holds because removing a
+    conjunct can only enlarge the result).  Atoms are considered in body
+    order; because cores are unique up to isomorphism the order only
+    affects which isomorphic representative is returned.
+    """
+    body = list(rule.body)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1:]
+            candidate = Rule(rule.head, tuple(candidate_body))
+            # Removing an atom always gives a superset; the candidate is
+            # equivalent iff it is also contained in the original.
+            if is_contained_in(candidate, Rule(rule.head, tuple(body))):
+                body = candidate_body
+                changed = True
+                break
+    return Rule(rule.head, tuple(body))
+
+
+def is_minimal(rule: Rule) -> bool:
+    """True if no body atom of *rule* can be removed without changing it."""
+    return len(minimize_rule(rule).body) == len(rule.body)

@@ -1,0 +1,41 @@
+"""Datalog language core: terms, atoms, rules, programs, parsing, composition.
+
+This package implements the logic representation of linear recursion used
+throughout the paper (Section 5): linear, function-free, constant-capable
+rules, their underlying nonrecursive (conjunctive-query) forms, rule
+composition by resolution, and textual parsing.
+"""
+
+from repro.datalog.terms import Constant, Term, Variable, fresh_variable, is_constant, is_variable
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.substitution import Substitution, rename_apart, unify_atoms
+from repro.datalog.rules import Rule, LinearRuleView
+from repro.datalog.composition import compose, power
+from repro.datalog.normalize import rectify, eliminate_equalities
+from repro.datalog.programs import Program
+from repro.datalog.parser import parse_atom, parse_program, parse_rule, parse_term
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "LinearRuleView",
+    "Predicate",
+    "Program",
+    "Rule",
+    "Substitution",
+    "Term",
+    "Variable",
+    "compose",
+    "eliminate_equalities",
+    "fresh_variable",
+    "is_constant",
+    "is_variable",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "parse_term",
+    "power",
+    "rectify",
+    "rename_apart",
+    "unify_atoms",
+]

@@ -1,0 +1,116 @@
+"""Predicates and atoms (positive literals).
+
+An :class:`Atom` is a predicate symbol applied to a tuple of terms.  The
+paper works with a typeless system where the schema of a relation is just
+its number of argument positions; the same convention is used here, so a
+:class:`Predicate` is a name plus an arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.datalog.terms import Constant, Term, Variable
+from repro.exceptions import SchemaError
+
+#: Name of the built-in equality predicate introduced by rectification.
+EQUALITY_PREDICATE = "="
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """A predicate symbol with a fixed arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Predicate name must be non-empty")
+        if self.arity < 0:
+            raise ValueError("Predicate arity must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True, order=True)
+class Atom:
+    """A positive literal: a predicate applied to terms.
+
+    Atoms are immutable; use :meth:`with_arguments` or :meth:`apply` to
+    obtain modified copies.
+    """
+
+    predicate: Predicate
+    arguments: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.predicate.arity:
+            raise SchemaError(
+                f"Atom for {self.predicate} given {len(self.arguments)} arguments"
+            )
+
+    @classmethod
+    def of(cls, name: str, *arguments: Term) -> "Atom":
+        """Build an atom, deriving the predicate's arity from the arguments."""
+        return cls(Predicate(name, len(arguments)), tuple(arguments))
+
+    @property
+    def name(self) -> str:
+        """The predicate name of this atom."""
+        return self.predicate.name
+
+    @property
+    def arity(self) -> int:
+        """The number of argument positions of this atom."""
+        return self.predicate.arity
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables of the atom, in order of first occurrence."""
+        seen: dict[Variable, None] = {}
+        for term in self.arguments:
+            if isinstance(term, Variable) and term not in seen:
+                seen[term] = None
+        return tuple(seen)
+
+    def constants(self) -> tuple[Constant, ...]:
+        """Constants of the atom, in order of first occurrence."""
+        seen: dict[Constant, None] = {}
+        for term in self.arguments:
+            if isinstance(term, Constant) and term not in seen:
+                seen[term] = None
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """True if the atom contains no variables."""
+        return all(isinstance(term, Constant) for term in self.arguments)
+
+    def is_equality(self) -> bool:
+        """True if this atom uses the built-in equality predicate."""
+        return self.predicate.name == EQUALITY_PREDICATE
+
+    def with_arguments(self, arguments: Iterable[Term]) -> "Atom":
+        """Return a copy of this atom with *arguments* substituted in."""
+        arguments = tuple(arguments)
+        return Atom(Predicate(self.predicate.name, len(arguments)), arguments)
+
+    def positions_of(self, variable: Variable) -> tuple[int, ...]:
+        """Return the argument positions (0-based) at which *variable* occurs."""
+        return tuple(i for i, term in enumerate(self.arguments) if term == variable)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.arguments)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(term) for term in self.arguments)
+        return f"{self.predicate.name}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self})"
+
+
+def equality_atom(left: Term, right: Term) -> Atom:
+    """Build an equality atom ``left = right`` (used by rectification)."""
+    return Atom(Predicate(EQUALITY_PREDICATE, 2), (left, right))

@@ -1,0 +1,114 @@
+"""Rule composition (resolution) and rule powers.
+
+Section 5 defines the composite ``r1 r2`` of two linear rules with the same
+consequent as the result of resolving the consequent of ``r2`` with the
+recursive literal in the antecedent of ``r1``.  Operationally this is the
+syntactic counterpart of operator multiplication ``A1 A2`` from the
+algebraic model of Section 2: first apply ``A2``, then ``A1``.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import LinearRuleView, Rule
+from repro.datalog.substitution import Substitution, rename_apart
+from repro.datalog.terms import Term, Variable
+from repro.exceptions import RuleStructureError
+
+
+def compose(outer: Rule, inner: Rule) -> Rule:
+    """Return the composite rule ``outer ∘ inner`` (written ``r1 r2`` in the paper).
+
+    The recursive literal in the antecedent of *outer* is resolved with the
+    consequent of *inner*: it is replaced by the antecedent of *inner*
+    under the substitution that maps each consequent variable of *inner*
+    to the corresponding argument of *outer*'s recursive literal.
+
+    Both rules must be linear recursive over the same predicate.  The
+    nondistinguished variables of *inner* are renamed apart from those of
+    *outer* so the composite never captures variables.
+    """
+    outer_view = LinearRuleView(outer)
+    inner_view = LinearRuleView(inner)
+    if outer_view.predicate != inner_view.predicate:
+        raise RuleStructureError(
+            f"Cannot compose rules over different predicates: "
+            f"{outer_view.predicate} vs {inner_view.predicate}"
+        )
+
+    # Rename inner's variables (all of them) apart from outer's variables.
+    # Head variables of inner are then re-mapped onto the arguments of the
+    # recursive literal of outer, which is exactly the resolution step.
+    inner_atoms = (inner.head, *inner.body)
+    renamed_atoms, _ = rename_apart(inner_atoms, protect=())
+    renamed_head, *renamed_body = renamed_atoms
+
+    resolvent = outer_view.recursive_atom
+    mapping: dict[Variable, Term] = {}
+    for inner_term, outer_term in zip(renamed_head.arguments, resolvent.arguments):
+        if isinstance(inner_term, Variable):
+            existing = mapping.get(inner_term)
+            if existing is not None and existing != outer_term:
+                # Repeated variable in inner's head: both occurrences must
+                # unify with outer's corresponding arguments.  Keep the
+                # first binding and add an equality via identification of
+                # outer terms is not possible here, so this is rejected;
+                # callers should rectify rules first.
+                raise RuleStructureError(
+                    "Cannot compose a rule with repeated consequent variables; "
+                    "rectify it first (see repro.datalog.normalize.rectify)"
+                )
+            mapping[inner_term] = outer_term
+        elif inner_term != outer_term:
+            raise RuleStructureError(
+                f"Constant {inner_term} in consequent of inner rule does not "
+                f"match {outer_term} in the recursive literal of the outer rule"
+            )
+    theta = Substitution(mapping)
+
+    new_body: list[Atom] = []
+    for atom in outer.body:
+        if atom is outer_view.recursive_atom:
+            new_body.extend(theta.apply_atom(inner_atom) for inner_atom in renamed_body)
+        else:
+            new_body.append(atom)
+    return Rule(outer.head, tuple(new_body))
+
+
+def power(rule: Rule, exponent: int) -> Rule:
+    """Return the *exponent*-fold composite ``rule ∘ rule ∘ ... ∘ rule``.
+
+    ``power(rule, 1)`` is the rule itself.  ``power(rule, 0)`` is the
+    identity rule ``p(x, ...) :- p(x, ...)`` over the rule's predicate.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    view = LinearRuleView(rule)
+    if exponent == 0:
+        return identity_rule(view)
+    result = rule
+    for _ in range(exponent - 1):
+        result = compose(result, rule)
+    return result
+
+
+def identity_rule(view: LinearRuleView) -> Rule:
+    """The identity operator ``1`` of the closed semi-ring, as a rule.
+
+    The identity maps every relation to itself: ``p(X1,...,Xn) :- p(X1,...,Xn)``.
+    """
+    head = view.head
+    return Rule(head, (head,))
+
+
+def compose_chain(*rules: Rule) -> Rule:
+    """Compose a chain of rules left-to-right: ``compose_chain(a, b, c) = a(b(c))``.
+
+    Matches the algebraic product ``A B C`` (apply C first).
+    """
+    if not rules:
+        raise ValueError("compose_chain requires at least one rule")
+    result = rules[0]
+    for rule in rules[1:]:
+        result = compose(result, rule)
+    return result

@@ -1,0 +1,146 @@
+"""Rule normalisation helpers.
+
+Section 5 of the paper assumes that pairs of rules under study
+
+* have the same consequent,
+* share no nondistinguished variables, and
+* have no repeated variables in the consequent (repeated variables are
+  replaced by distinct ones plus equality atoms in the antecedent).
+
+This module provides :func:`rectify` (replace repeated head variables),
+:func:`eliminate_equalities` (the inverse: fold equality atoms back into
+variable identification), and :func:`standardize_pair` (put two rules in
+the common form the analyses expect).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datalog.atoms import Atom, equality_atom
+from repro.datalog.rules import Rule
+from repro.datalog.substitution import Substitution, rename_apart
+from repro.datalog.terms import Term, Variable, fresh_variable
+from repro.exceptions import RuleStructureError
+
+
+def rectify(rule: Rule) -> Rule:
+    """Replace repeated consequent variables by distinct ones plus equalities.
+
+    For a head ``p(X, X)`` the result has head ``p(X, X')`` and an extra
+    body atom ``X = X'``.  Rules without repeated head variables are
+    returned unchanged.
+    """
+    seen: set[Variable] = set()
+    new_head_args: list[Term] = []
+    equalities: list[Atom] = []
+    for term in rule.head.arguments:
+        if isinstance(term, Variable):
+            if term in seen:
+                replacement = fresh_variable(term.name)
+                new_head_args.append(replacement)
+                equalities.append(equality_atom(term, replacement))
+            else:
+                seen.add(term)
+                new_head_args.append(term)
+        else:
+            # A constant in the head: introduce a variable constrained by
+            # an equality so the consequent is constant-free.
+            replacement = fresh_variable("C")
+            new_head_args.append(replacement)
+            equalities.append(equality_atom(replacement, term))
+    if not equalities:
+        return rule
+    return Rule(rule.head.with_arguments(new_head_args), rule.body + tuple(equalities))
+
+
+def eliminate_equalities(rule: Rule) -> Rule:
+    """Remove equality atoms by identifying (or substituting) their operands.
+
+    ``X = Y`` identifies the two variables (the head variable, if any, is
+    kept); ``X = c`` substitutes the constant for the variable.  An
+    unsatisfiable ground equality raises :class:`RuleStructureError`.
+    """
+    substitution: dict[Variable, Term] = {}
+    remaining: list[Atom] = []
+    head_vars = set(rule.head.variables())
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in substitution:
+            term = substitution[term]
+        return term
+
+    for atom in rule.body:
+        if not atom.is_equality():
+            remaining.append(atom)
+            continue
+        left = resolve(atom.arguments[0])
+        right = resolve(atom.arguments[1])
+        if left == right:
+            continue
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            # Prefer to keep a head variable as the representative.
+            if left in head_vars:
+                substitution[right] = left
+            else:
+                substitution[left] = right
+        elif isinstance(left, Variable):
+            substitution[left] = right
+        elif isinstance(right, Variable):
+            substitution[right] = left
+        else:
+            raise RuleStructureError(
+                f"Unsatisfiable equality between distinct constants: {atom}"
+            )
+
+    theta = Substitution({var: resolve(var) for var in substitution})
+    return Rule(theta.apply_atom(rule.head), theta.apply_atoms(remaining))
+
+
+def standardize_pair(first: Rule, second: Rule) -> tuple[Rule, Rule]:
+    """Put two linear rules into the common form assumed by Section 5.
+
+    The rules must define the same predicate with the same arity.  The
+    second rule's consequent is renamed to match the first's, and the
+    nondistinguished variables of both rules are renamed apart so they
+    share none.  Both rules are rectified first.
+    """
+    first = rectify(first)
+    second = rectify(second)
+    if first.head.predicate != second.head.predicate:
+        raise RuleStructureError(
+            f"Rules define different predicates: {first.head.predicate} vs "
+            f"{second.head.predicate}"
+        )
+
+    # Map the second rule's head variables onto the first rule's.
+    mapping: dict[Variable, Term] = {}
+    for ours, theirs in zip(first.head.arguments, second.head.arguments):
+        if isinstance(theirs, Variable):
+            mapping[theirs] = ours
+    theta = Substitution(mapping)
+    second = Rule(theta.apply_atom(second.head), theta.apply_atoms(second.body))
+
+    # Rename nondistinguished variables of both rules apart.
+    head_vars = set(first.head.variables())
+    first_body, _ = rename_apart(first.body, protect=head_vars)
+    second_body, _ = rename_apart(second.body, protect=head_vars)
+    return Rule(first.head, first_body), Rule(first.head, second_body)
+
+
+def standardize_many(rules: Iterable[Rule]) -> tuple[Rule, ...]:
+    """Standardise an arbitrary number of rules onto a common consequent."""
+    rules = [rectify(rule) for rule in rules]
+    if not rules:
+        return ()
+    reference = rules[0]
+    result = [reference]
+    for rule in rules[1:]:
+        _, aligned = standardize_pair(reference, rule)
+        result.append(aligned)
+    # Re-standardise the first rule too, so its nondistinguished variables
+    # are fresh relative to the others.
+    head_vars = set(reference.head.variables())
+    first_body, _ = rename_apart(reference.body, protect=head_vars)
+    result[0] = Rule(reference.head, first_body)
+    return tuple(result)

@@ -1,0 +1,255 @@
+"""A small parser for textual Datalog.
+
+Syntax
+------
+
+* Facts: ``edge(a, b).``
+* Rules: ``path(X, Y) :- edge(X, Z), path(Z, Y).``
+* Identifiers starting with an uppercase letter or ``_`` are variables;
+  identifiers starting with a lowercase letter, quoted strings, and
+  integers are constants.
+* Comments start with ``%`` or ``#`` and run to the end of the line.
+
+The parser is a hand-written recursive-descent scanner; it reports the
+line and column of the first offending token on error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.programs import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.exceptions import DatalogSyntaxError
+
+_PUNCTUATION = {"(", ")", ",", ".", ":-", "="}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'name', 'variable', 'integer', 'string', 'punct'
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if text.startswith(":-", i):
+            yield _Token("punct", ":-", line, column)
+            i += 2
+            column += 2
+            continue
+        if ch in "(),.=":
+            yield _Token("punct", ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < length and text[j] != quote:
+                if text[j] == "\n":
+                    raise DatalogSyntaxError("Unterminated string literal", line, column)
+                j += 1
+            if j >= length:
+                raise DatalogSyntaxError("Unterminated string literal", line, column)
+            yield _Token("string", text[i + 1:j], line, column)
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < length and text[i + 1].isdigit()):
+            j = i + 1
+            while j < length and text[j].isdigit():
+                j += 1
+            yield _Token("integer", text[i:j], line, column)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < length and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            token_text = text[i:j]
+            kind = "variable" if (ch.isupper() or ch == "_") else "name"
+            yield _Token(kind, token_text, line, column)
+            column += j - i
+            i = j
+            continue
+        raise DatalogSyntaxError(f"Unexpected character {ch!r}", line, column)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.position = 0
+
+    def peek(self) -> Optional[_Token]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise DatalogSyntaxError("Unexpected end of input")
+        self.position += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.kind != "punct" or token.text != text:
+            raise DatalogSyntaxError(
+                f"Expected {text!r} but found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # ------------------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self.next()
+        if token.kind == "variable":
+            return Variable(token.text)
+        if token.kind == "name" or token.kind == "string":
+            return Constant(token.text)
+        if token.kind == "integer":
+            return Constant(int(token.text))
+        raise DatalogSyntaxError(
+            f"Expected a term but found {token.text!r}", token.line, token.column
+        )
+
+    def parse_atom(self) -> Atom:
+        token = self.next()
+        if token.kind not in ("name", "variable", "integer", "string"):
+            raise DatalogSyntaxError(
+                f"Expected a predicate name but found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        # Equality written infix: X = Y, a = b, 1 = X, ...
+        nxt = self.peek()
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "=":
+            if token.kind == "variable":
+                left: Term = Variable(token.text)
+            elif token.kind == "integer":
+                left = Constant(int(token.text))
+            else:
+                left = Constant(token.text)
+            self.expect("=")
+            right = self.parse_term()
+            return Atom(Predicate("=", 2), (left, right))
+        if token.kind not in ("name", "variable"):
+            raise DatalogSyntaxError(
+                f"Expected a predicate name but found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        name = token.text
+        nxt = self.peek()
+        if nxt is None or not (nxt.kind == "punct" and nxt.text == "("):
+            return Atom(Predicate(name, 0), ())
+        self.expect("(")
+        arguments: list[Term] = [self.parse_term()]
+        while True:
+            token = self.next()
+            if token.kind == "punct" and token.text == ",":
+                arguments.append(self.parse_term())
+            elif token.kind == "punct" and token.text == ")":
+                break
+            else:
+                raise DatalogSyntaxError(
+                    f"Expected ',' or ')' but found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        # Infix equality after a term, e.g. inside bodies: handled above only
+        # for bare variables; predicates keep their parsed form.
+        return Atom(Predicate(name, len(arguments)), tuple(arguments))
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        token = self.next()
+        if token.kind == "punct" and token.text == ".":
+            return Rule(head, ())
+        if not (token.kind == "punct" and token.text == ":-"):
+            raise DatalogSyntaxError(
+                f"Expected ':-' or '.' but found {token.text!r}", token.line, token.column
+            )
+        body: list[Atom] = [self.parse_atom()]
+        while True:
+            token = self.next()
+            if token.kind == "punct" and token.text == ",":
+                body.append(self.parse_atom())
+            elif token.kind == "punct" and token.text == ".":
+                break
+            else:
+                raise DatalogSyntaxError(
+                    f"Expected ',' or '.' but found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> Program:
+        rules: list[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return Program(tuple(rules))
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (variable or constant)."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    if not parser.at_end():
+        token = parser.peek()
+        raise DatalogSyntaxError("Trailing input after term", token.line, token.column)
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``edge(X, y)``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        token = parser.peek()
+        raise DatalogSyntaxError("Trailing input after atom", token.line, token.column)
+    return atom
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule or fact (must end with ``.``)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        token = parser.peek()
+        raise DatalogSyntaxError("Trailing input after rule", token.line, token.column)
+    return rule
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (a sequence of rules and facts)."""
+    return _Parser(text).parse_program()

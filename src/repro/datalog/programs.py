@@ -1,0 +1,213 @@
+"""Programs: collections of rules and facts, plus recursion analysis.
+
+A :class:`Program` is an ordered collection of rules.  It provides the
+structural queries needed by the rest of the library: which predicates are
+intensional (IDB) vs extensional (EDB), whether a predicate's recursion is
+linear, the dependency graph between predicates, and extraction of the
+(recursive rules, exit rules) decomposition for a single linear recursion
+in the shape studied by the paper (equations 2.1 and 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.rules import Rule
+from repro.exceptions import RuleStructureError
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable sequence of rules (facts are rules with empty bodies)."""
+
+    rules: tuple[Rule, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @classmethod
+    def of(cls, rules: Iterable[Rule]) -> "Program":
+        """Build a program from an iterable of rules."""
+        return cls(tuple(rules))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __add__(self, other: "Program") -> "Program":
+        return Program(self.rules + other.rules)
+
+    # ------------------------------------------------------------------
+    # Predicate classification
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def idb_predicates(self) -> frozenset[Predicate]:
+        """Predicates defined by at least one rule with a non-empty body."""
+        return frozenset(rule.head.predicate for rule in self.rules if rule.body)
+
+    @cached_property
+    def edb_predicates(self) -> frozenset[Predicate]:
+        """Predicates that occur only in bodies or as facts."""
+        in_bodies = {
+            atom.predicate for rule in self.rules for atom in rule.body
+        }
+        fact_heads = {rule.head.predicate for rule in self.rules if not rule.body}
+        return frozenset((in_bodies | fact_heads) - self.idb_predicates)
+
+    @cached_property
+    def predicates(self) -> frozenset[Predicate]:
+        """All predicates mentioned anywhere in the program."""
+        result = set()
+        for rule in self.rules:
+            result.add(rule.head.predicate)
+            result.update(atom.predicate for atom in rule.body)
+        return frozenset(result)
+
+    def facts(self) -> tuple[Rule, ...]:
+        """Rules with empty bodies."""
+        return tuple(rule for rule in self.rules if not rule.body)
+
+    def proper_rules(self) -> tuple[Rule, ...]:
+        """Rules with non-empty bodies."""
+        return tuple(rule for rule in self.rules if rule.body)
+
+    def rules_for(self, predicate: Predicate) -> tuple[Rule, ...]:
+        """All rules whose head predicate is *predicate*."""
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    # ------------------------------------------------------------------
+    # Dependency structure
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def dependency_graph(self) -> Mapping[Predicate, frozenset[Predicate]]:
+        """Map each IDB predicate to the predicates its rules depend on."""
+        graph: dict[Predicate, set[Predicate]] = {}
+        for rule in self.rules:
+            if not rule.body:
+                continue
+            graph.setdefault(rule.head.predicate, set()).update(
+                atom.predicate for atom in rule.body
+            )
+        return {pred: frozenset(deps) for pred, deps in graph.items()}
+
+    def depends_on(self, predicate: Predicate, other: Predicate) -> bool:
+        """True if *predicate* depends (transitively) on *other*."""
+        seen: set[Predicate] = set()
+        frontier = [predicate]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for dep in self.dependency_graph.get(current, frozenset()):
+                if dep == other:
+                    return True
+                frontier.append(dep)
+        return False
+
+    def is_recursive_predicate(self, predicate: Predicate) -> bool:
+        """True if *predicate* depends on itself."""
+        return self.depends_on(predicate, predicate)
+
+    def recursive_predicates(self) -> frozenset[Predicate]:
+        """All predicates that depend on themselves."""
+        return frozenset(
+            pred for pred in self.idb_predicates if self.is_recursive_predicate(pred)
+        )
+
+    def is_linear_in(self, predicate: Predicate) -> bool:
+        """True if every recursive rule for *predicate* is linear.
+
+        Mutual recursion through other predicates counts as non-linear for
+        the purposes of this library, which studies single-predicate linear
+        recursion (the shape of equations 2.1/2.2).
+        """
+        for rule in self.rules_for(predicate):
+            occurrences = sum(
+                1 for atom in rule.body if atom.predicate == predicate
+            )
+            if occurrences > 1:
+                return False
+            for atom in rule.body:
+                if atom.predicate != predicate and self.depends_on(
+                    atom.predicate, predicate
+                ):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The (recursive rules, exit rules) decomposition of Section 2
+    # ------------------------------------------------------------------
+
+    def linear_recursion_of(self, predicate: Predicate) -> "LinearRecursion":
+        """Extract the linear recursion for *predicate*.
+
+        Returns a :class:`LinearRecursion` holding the recursive rules
+        (each linear in *predicate*) and the exit (nonrecursive) rules.
+        Raises :class:`RuleStructureError` if *predicate* is not linearly
+        recursive in this program.
+        """
+        rules = self.rules_for(predicate)
+        if not rules:
+            raise RuleStructureError(f"No rules define predicate {predicate}")
+        if not self.is_linear_in(predicate):
+            raise RuleStructureError(
+                f"Predicate {predicate} is not linearly recursive in this program"
+            )
+        recursive = tuple(rule for rule in rules if rule.is_recursive())
+        exits = tuple(rule for rule in rules if not rule.is_recursive())
+        return LinearRecursion(predicate, recursive, exits)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+@dataclass(frozen=True)
+class LinearRecursion:
+    """A single linear recursion: recursive rules plus exit rules.
+
+    This is the syntactic counterpart of the equation ``P = A P ∪ Q`` of
+    Section 2: each recursive rule induces one linear operator (a summand
+    of ``A``) and each exit rule contributes to the initial relation ``Q``.
+    """
+
+    predicate: Predicate
+    recursive_rules: tuple[Rule, ...]
+    exit_rules: tuple[Rule, ...]
+
+    def __post_init__(self) -> None:
+        for rule in self.recursive_rules:
+            if not rule.is_linear_recursive():
+                raise RuleStructureError(f"Rule is not linear recursive: {rule}")
+            if rule.head.predicate != self.predicate:
+                raise RuleStructureError(
+                    f"Recursive rule head {rule.head.predicate} != {self.predicate}"
+                )
+        for rule in self.exit_rules:
+            if rule.is_recursive():
+                raise RuleStructureError(f"Exit rule is recursive: {rule}")
+            if rule.head.predicate != self.predicate:
+                raise RuleStructureError(
+                    f"Exit rule head {rule.head.predicate} != {self.predicate}"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Arity of the recursive predicate."""
+        return self.predicate.arity
+
+    def operator_count(self) -> int:
+        """Number of linear operators (recursive rules) in the sum ``A``."""
+        return len(self.recursive_rules)
+
+    def __str__(self) -> str:
+        lines = [str(rule) for rule in self.recursive_rules]
+        lines += [str(rule) for rule in self.exit_rules]
+        return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Rules (Horn clauses) and the linear-recursion view used by the paper.
+
+A :class:`Rule` is a head atom and a tuple of body atoms (all positive).
+The paper's analysis applies to *linear* recursive rules: rules whose body
+contains exactly one occurrence of the recursive predicate.
+:class:`LinearRuleView` wraps such a rule and exposes the notions used in
+Section 5: distinguished/nondistinguished variables, the ``h`` function,
+the restricted class of Theorem 5.2 (range-restricted, no repeated
+consequent variables, no repeated nonrecursive predicates), and the
+underlying nonrecursive rule (conjunctive query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Optional
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.terms import Constant, Term, Variable
+from repro.exceptions import RuleStructureError
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A positive Horn clause ``head :- body``.
+
+    Rules are immutable value objects; the body is an ordered tuple but
+    most analyses treat it as a multiset.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @classmethod
+    def of(cls, head: Atom, body: Iterable[Atom]) -> "Rule":
+        """Build a rule from a head atom and an iterable of body atoms."""
+        return cls(head, tuple(body))
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def head_predicate(self) -> Predicate:
+        """The predicate of the consequent."""
+        return self.head.predicate
+
+    def body_predicates(self) -> tuple[Predicate, ...]:
+        """Predicates of the body atoms, in body order (with repeats)."""
+        return tuple(atom.predicate for atom in self.body)
+
+    def is_fact(self) -> bool:
+        """True if the rule has an empty body."""
+        return not self.body
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables of the rule, in order of first occurrence (head first)."""
+        seen: dict[Variable, None] = {}
+        for atom in (self.head, *self.body):
+            for var in atom.variables():
+                seen.setdefault(var, None)
+        return tuple(seen)
+
+    def constants(self) -> tuple[Constant, ...]:
+        """All constants of the rule, in order of first occurrence."""
+        seen: dict[Constant, None] = {}
+        for atom in (self.head, *self.body):
+            for const in atom.constants():
+                seen.setdefault(const, None)
+        return tuple(seen)
+
+    def distinguished_variables(self) -> tuple[Variable, ...]:
+        """Variables appearing in the consequent, in consequent order."""
+        return self.head.variables()
+
+    def nondistinguished_variables(self) -> tuple[Variable, ...]:
+        """Variables appearing only in the antecedent."""
+        distinguished = set(self.head.variables())
+        seen: dict[Variable, None] = {}
+        for atom in self.body:
+            for var in atom.variables():
+                if var not in distinguished:
+                    seen.setdefault(var, None)
+        return tuple(seen)
+
+    def is_constant_free(self) -> bool:
+        """True if no constant occurs anywhere in the rule."""
+        return not self.constants()
+
+    def is_range_restricted(self) -> bool:
+        """True if every consequent variable also occurs in the antecedent."""
+        body_vars = {var for atom in self.body for var in atom.variables()}
+        return all(var in body_vars for var in self.head.variables())
+
+    def has_repeated_head_variables(self) -> bool:
+        """True if some variable occurs more than once in the consequent."""
+        head_vars = [term for term in self.head.arguments if isinstance(term, Variable)]
+        return len(head_vars) != len(set(head_vars))
+
+    # ------------------------------------------------------------------
+    # Recursion structure
+    # ------------------------------------------------------------------
+
+    def recursive_atoms(self) -> tuple[Atom, ...]:
+        """Body atoms whose predicate equals the head predicate."""
+        return tuple(atom for atom in self.body if atom.predicate == self.head.predicate)
+
+    def nonrecursive_atoms(self) -> tuple[Atom, ...]:
+        """Body atoms whose predicate differs from the head predicate."""
+        return tuple(atom for atom in self.body if atom.predicate != self.head.predicate)
+
+    def is_recursive(self) -> bool:
+        """True if the head predicate occurs in the body."""
+        return bool(self.recursive_atoms())
+
+    def is_linear_recursive(self) -> bool:
+        """True if the head predicate occurs exactly once in the body."""
+        return len(self.recursive_atoms()) == 1
+
+    def is_nonrecursive(self) -> bool:
+        """True if the head predicate does not occur in the body (exit rule)."""
+        return not self.is_recursive()
+
+    def has_repeated_nonrecursive_predicates(self) -> bool:
+        """True if some nonrecursive predicate occurs more than once in the body."""
+        names = [atom.predicate for atom in self.nonrecursive_atoms()]
+        return len(names) != len(set(names))
+
+    def in_restricted_class(self) -> bool:
+        """True if the rule is in the restricted class of Theorem 5.2.
+
+        The class requires range restriction, no repeated variables in the
+        consequent, and no repeated nonrecursive predicates in the
+        antecedent (after equality elimination; this method does not
+        eliminate equalities itself).
+        """
+        return (
+            self.is_range_restricted()
+            and not self.has_repeated_head_variables()
+            and not self.has_repeated_nonrecursive_predicates()
+        )
+
+    def linear_view(self) -> "LinearRuleView":
+        """Return the :class:`LinearRuleView` of this rule.
+
+        Raises :class:`RuleStructureError` if the rule is not linear
+        recursive.
+        """
+        return LinearRuleView(self)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.head} :- {body}."
+
+    def __repr__(self) -> str:
+        return f"Rule({self})"
+
+
+class LinearRuleView:
+    """A view of a linear recursive rule exposing the paper's §5 notions.
+
+    The view is cheap to construct and caches derived structures.  It does
+    not copy the rule; the underlying :class:`Rule` is available as
+    :attr:`rule`.
+    """
+
+    def __init__(self, rule: Rule):
+        if not rule.is_linear_recursive():
+            raise RuleStructureError(
+                f"Rule is not linear recursive (head predicate occurs "
+                f"{len(rule.recursive_atoms())} times in the body): {rule}"
+            )
+        self.rule = rule
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> Atom:
+        """The consequent atom (the P_O instance of the recursive predicate)."""
+        return self.rule.head
+
+    @cached_property
+    def recursive_atom(self) -> Atom:
+        """The single body occurrence of the recursive predicate (P_I)."""
+        return self.rule.recursive_atoms()[0]
+
+    @cached_property
+    def nonrecursive_atoms(self) -> tuple[Atom, ...]:
+        """The nonrecursive body atoms (the operator's parameters Q_i)."""
+        return self.rule.nonrecursive_atoms()
+
+    @property
+    def predicate(self) -> Predicate:
+        """The recursive predicate."""
+        return self.rule.head_predicate
+
+    @cached_property
+    def distinguished_variables(self) -> tuple[Variable, ...]:
+        """The consequent variables, in consequent order."""
+        return self.rule.distinguished_variables()
+
+    @cached_property
+    def nondistinguished_variables(self) -> tuple[Variable, ...]:
+        """Variables appearing only in the antecedent."""
+        return self.rule.nondistinguished_variables()
+
+    # ------------------------------------------------------------------
+    # The h function of Section 5
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def h(self) -> dict[Variable, Term]:
+        """The function ``h`` of Section 5.
+
+        For a distinguished variable ``x``, ``h(x)`` is the term that
+        appears in the recursive body atom in the same position that ``x``
+        occupies in the consequent.  Defined only when the consequent has
+        no repeated variables at that position ambiguity; with repeated
+        head variables the first occurrence is used (the paper assumes
+        rectified rules, see :func:`repro.datalog.normalize.rectify`).
+        """
+        mapping: dict[Variable, Term] = {}
+        for position, term in enumerate(self.head.arguments):
+            if isinstance(term, Variable) and term not in mapping:
+                mapping[term] = self.recursive_atom.arguments[position]
+        return mapping
+
+    def h_of(self, variable: Variable) -> Term:
+        """Return ``h(variable)``; raises KeyError for non-head variables."""
+        return self.h[variable]
+
+    def h_power(self, variable: Variable, power: int) -> Optional[Term]:
+        """Return ``h^power(variable)`` or None if the orbit leaves the head.
+
+        ``h^n`` is only defined while intermediate images remain
+        distinguished variables (Section 5).
+        """
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        current: Term = variable
+        for _ in range(power):
+            if not isinstance(current, Variable) or current not in self.h:
+                return None
+            current = self.h[current]
+        return current
+
+    # ------------------------------------------------------------------
+    # Convenience predicates used by the analyses
+    # ------------------------------------------------------------------
+
+    def head_position_of(self, variable: Variable) -> int:
+        """The first consequent position at which *variable* occurs."""
+        for position, term in enumerate(self.head.arguments):
+            if term == variable:
+                return position
+        raise KeyError(variable)
+
+    def occurrences_outside_dynamic(self, variable: Variable) -> int:
+        """Count occurrences of *variable* in nonrecursive body atoms.
+
+        Used by the persistence classification: a persistent variable is
+        *free* when no member of its orbit occurs in any nonrecursive
+        predicate and each orbit member occurs exactly once in the head
+        and once in the recursive body atom.
+        """
+        return sum(
+            1
+            for atom in self.nonrecursive_atoms
+            for term in atom.arguments
+            if term == variable
+        )
+
+    def recursive_occurrences(self, variable: Variable) -> int:
+        """Count occurrences of *variable* in the recursive body atom."""
+        return sum(1 for term in self.recursive_atom.arguments if term == variable)
+
+    def head_occurrences(self, variable: Variable) -> int:
+        """Count occurrences of *variable* in the consequent."""
+        return sum(1 for term in self.head.arguments if term == variable)
+
+    def in_restricted_class(self) -> bool:
+        """Delegate to :meth:`Rule.in_restricted_class`."""
+        return self.rule.in_restricted_class()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.rule)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LinearRuleView({self.rule})"
+
+
+def same_consequent(first: Rule, second: Rule) -> bool:
+    """True if two rules have literally the same consequent atom."""
+    return first.head == second.head
+
+
+def require_same_consequent(first: Rule, second: Rule) -> None:
+    """Raise :class:`RuleStructureError` unless the consequents are identical.
+
+    The paper assumes pairs of rules under study share the same consequent
+    and no nondistinguished variables; see
+    :func:`repro.datalog.normalize.standardize_pair` for a helper that
+    establishes this form.
+    """
+    if not same_consequent(first, second):
+        raise RuleStructureError(
+            f"Rules do not share the same consequent: {first.head} vs {second.head}"
+        )

@@ -1,0 +1,189 @@
+"""Substitutions, unification, and renaming of rules apart.
+
+A :class:`Substitution` is a finite mapping from variables to terms.  It is
+the basic tool used by rule composition (resolution), homomorphism search,
+and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Term, Variable, fresh_variable
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """An immutable mapping from variables to terms.
+
+    Application is *not* applied to fixpoint: ``apply`` replaces each
+    variable by its image exactly once, which is the standard behaviour for
+    the idempotent substitutions produced by unification in a
+    function-free language.
+    """
+
+    mapping: Mapping[Variable, Term] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, mapping: Mapping[Variable, Term]) -> "Substitution":
+        """Build a substitution from a plain mapping (copied)."""
+        return cls(dict(mapping))
+
+    @classmethod
+    def identity(cls) -> "Substitution":
+        """The empty (identity) substitution."""
+        return cls({})
+
+    def apply_term(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self.mapping.get(term, term)
+        return term
+
+    def apply_atom(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of *atom*."""
+        return atom.with_arguments(self.apply_term(term) for term in atom.arguments)
+
+    def apply_atoms(self, atoms: Iterable[Atom]) -> tuple[Atom, ...]:
+        """Apply the substitution to a sequence of atoms."""
+        return tuple(self.apply_atom(atom) for atom in atoms)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the substitution equivalent to applying *self* then *other*."""
+        combined: dict[Variable, Term] = {
+            var: other.apply_term(term) for var, term in self.mapping.items()
+        }
+        for var, term in other.mapping.items():
+            combined.setdefault(var, term)
+        return Substitution(combined)
+
+    def extend(self, variable: Variable, term: Term) -> "Substitution":
+        """Return a copy with ``variable -> term`` added (overriding)."""
+        updated = dict(self.mapping)
+        updated[variable] = term
+        return Substitution(updated)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Return the substitution restricted to *variables*."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self.mapping.items() if v in keep})
+
+    def domain(self) -> frozenset[Variable]:
+        """The set of variables the substitution maps."""
+        return frozenset(self.mapping)
+
+    def get(self, variable: Variable, default: Optional[Term] = None) -> Optional[Term]:
+        """Return the image of *variable*, or *default* if unmapped."""
+        return self.mapping.get(variable, default)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self.mapping
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self.mapping[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self.mapping)
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{var} -> {term}" for var, term in sorted(self.mapping.items()))
+        return "{" + pairs + "}"
+
+
+def unify_terms(left: Term, right: Term, base: Optional[dict[Variable, Term]] = None
+                ) -> Optional[dict[Variable, Term]]:
+    """Unify two terms under an existing binding map.
+
+    Returns an extended binding map, or None if unification fails.  In a
+    function-free language the occurs check is unnecessary.
+    """
+    bindings = dict(base) if base else {}
+
+    def resolve(term: Term) -> Term:
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        return term
+
+    left = resolve(left)
+    right = resolve(right)
+    if left == right:
+        return bindings
+    if isinstance(left, Variable):
+        bindings[left] = right
+        return bindings
+    if isinstance(right, Variable):
+        bindings[right] = left
+        return bindings
+    # Two distinct constants.
+    return None
+
+
+def unify_atoms(left: Atom, right: Atom) -> Optional[Substitution]:
+    """Unify two atoms; return a most general unifier or None.
+
+    The unifier maps variables of either atom; callers that need one-sided
+    matching should use homomorphism search instead.
+    """
+    if left.predicate != right.predicate:
+        return None
+    bindings: Optional[dict[Variable, Term]] = {}
+    for l_term, r_term in zip(left.arguments, right.arguments):
+        bindings = unify_terms(l_term, r_term, bindings)
+        if bindings is None:
+            return None
+    # Flatten chains so the substitution is idempotent.
+    flat: dict[Variable, Term] = {}
+    for var in bindings:
+        term: Term = var
+        while isinstance(term, Variable) and term in bindings:
+            term = bindings[term]
+        flat[var] = term
+    return Substitution(flat)
+
+
+def match_atom(pattern: Atom, ground: Atom,
+               base: Optional[dict[Variable, Term]] = None) -> Optional[dict[Variable, Term]]:
+    """One-sided matching: bind variables of *pattern* so it equals *ground*.
+
+    *ground* must not gain bindings; its variables are treated as constants.
+    Used by evaluation (pattern against a fact) and homomorphism search.
+    """
+    if pattern.predicate != ground.predicate:
+        return None
+    bindings = dict(base) if base else {}
+    for p_term, g_term in zip(pattern.arguments, ground.arguments):
+        if isinstance(p_term, Variable):
+            bound = bindings.get(p_term)
+            if bound is None:
+                bindings[p_term] = g_term
+            elif bound != g_term:
+                return None
+        elif p_term != g_term:
+            return None
+    return bindings
+
+
+def renaming_for(variables: Iterable[Variable], hint: str = "V") -> Substitution:
+    """Build a substitution renaming each of *variables* to a fresh variable."""
+    return Substitution({var: fresh_variable(hint) for var in variables})
+
+
+def rename_apart(atoms: Iterable[Atom], protect: Iterable[Variable] = ()) -> tuple[tuple[Atom, ...], Substitution]:
+    """Rename all variables of *atoms* except those in *protect* to fresh ones.
+
+    Returns the renamed atoms and the renaming used.
+    """
+    atoms = tuple(atoms)
+    protected = set(protect)
+    to_rename: dict[Variable, None] = {}
+    for atom in atoms:
+        for var in atom.variables():
+            if var not in protected:
+                to_rename.setdefault(var, None)
+    renaming = renaming_for(to_rename)
+    return renaming.apply_atoms(atoms), renaming

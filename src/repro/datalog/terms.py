@@ -1,0 +1,105 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper restricts attention to function-free rules, so the only terms
+are variables and constants.  Both are immutable value objects and can be
+used as dictionary keys and set members.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+_VARIABLE_NAME = re.compile(r"^[A-Z_][A-Za-z0-9_']*$")
+
+# A process-wide counter used to manufacture fresh variable names that are
+# guaranteed not to clash with user-written variables (which never contain
+# the '#' character).
+_fresh_counter = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A logical variable.
+
+    By convention (and enforced by the parser) variable names start with an
+    uppercase letter or underscore.  Programmatically constructed variables
+    may use any non-empty name.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Variable name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant value.
+
+    The paper's characterisation theorems assume constant-free rules, but
+    the storage and evaluation substrates support constants in facts and in
+    rule bodies (e.g. for selections), so constants are first-class terms.
+    """
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True if *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True if *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def fresh_variable(hint: str = "V") -> Variable:
+    """Return a variable with a globally unique name.
+
+    The produced name contains a ``#`` character, which the parser rejects,
+    so fresh variables can never collide with user-written ones.
+    """
+    return Variable(f"{hint}#{next(_fresh_counter)}")
+
+
+def variables_of(terms: Iterable[Term]) -> tuple[Variable, ...]:
+    """Return the variables occurring in *terms*, in order of first occurrence."""
+    seen: dict[Variable, None] = {}
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen[term] = None
+    return tuple(seen)
+
+
+def constants_of(terms: Iterable[Term]) -> tuple[Constant, ...]:
+    """Return the constants occurring in *terms*, in order of first occurrence."""
+    seen: dict[Constant, None] = {}
+    for term in terms:
+        if isinstance(term, Constant) and term not in seen:
+            seen[term] = None
+    return tuple(seen)
+
+
+def looks_like_variable_name(token: str) -> bool:
+    """Return True if *token* follows the textual convention for variables."""
+    return bool(_VARIABLE_NAME.match(token))

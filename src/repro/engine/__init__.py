@@ -1,0 +1,38 @@
+"""Evaluation engine: conjunctive-query evaluation and recursive fixpoints.
+
+The engine provides:
+
+* :mod:`repro.engine.conjunctive` — evaluation of one rule body against a
+  database (hash joins with binding propagation);
+* :mod:`repro.engine.naive` and :mod:`repro.engine.seminaive` — the naive
+  and semi-naive fixpoint baselines [Bancilhon 85];
+* :mod:`repro.engine.statistics` — derivation/duplicate accounting in the
+  model of Theorem 3.1;
+* :mod:`repro.engine.derivation_graph` — the explicit derivation graph of
+  Theorem 3.1;
+* :mod:`repro.engine.decomposed` — decomposed evaluation ``B*C*Q`` enabled
+  by commutativity;
+* :mod:`repro.engine.separable` — the separable algorithm (Algorithm 4.1)
+  with selection pushing.
+"""
+
+from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.engine.conjunctive import evaluate_rule
+from repro.engine.naive import naive_closure
+from repro.engine.seminaive import seminaive_closure, solve_linear_recursion
+from repro.engine.decomposed import decomposed_closure
+from repro.engine.separable import separable_evaluate
+from repro.engine.derivation_graph import DerivationGraph, build_derivation_graph
+
+__all__ = [
+    "DerivationGraph",
+    "EvaluationStatistics",
+    "JoinCounters",
+    "build_derivation_graph",
+    "decomposed_closure",
+    "evaluate_rule",
+    "naive_closure",
+    "seminaive_closure",
+    "separable_evaluate",
+    "solve_linear_recursion",
+]

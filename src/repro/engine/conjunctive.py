@@ -1,0 +1,202 @@
+"""Evaluation of a single rule body (a conjunctive query) against a database.
+
+The evaluator performs a left-deep sequence of index nested-loop joins:
+body atoms are ordered greedily (bound and small relations first), a hash
+index keyed on the currently-bound positions is built per atom, and
+bindings are propagated.  Equality atoms (``X = Y`` or ``X = c``) are
+treated as constraints/binding extensions rather than stored relations.
+
+The evaluator supports *overrides*: a mapping from predicate name to a
+relation that should be used instead of the database's relation.  The
+fixpoint engines use overrides to supply the current value (or the delta)
+of the recursive predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.engine.statistics import JoinCounters
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.relation import Relation, Row
+
+Bindings = dict[Variable, Any]
+
+
+def _relation_for_atom(atom: Atom, database: Database,
+                       overrides: Optional[Mapping[str, Relation]]) -> Relation:
+    """Resolve the relation an atom should be evaluated against."""
+    name = atom.predicate.name
+    if overrides and name in overrides:
+        relation = overrides[name]
+        if relation.arity != atom.arity:
+            raise EvaluationError(
+                f"Override for {name} has arity {relation.arity}, atom expects {atom.arity}"
+            )
+        return relation
+    return database.relation(name, atom.arity)
+
+
+def _order_atoms(atoms: Sequence[Atom], database: Database,
+                 overrides: Optional[Mapping[str, Relation]]) -> list[Atom]:
+    """Greedy join order: repeatedly pick the atom with the best score.
+
+    The score prefers atoms that share variables with what is already
+    bound, then smaller relations.  Equality atoms are scheduled as soon
+    as one side is bound.
+    """
+    remaining = list(atoms)
+    ordered: list[Atom] = []
+    bound: set[Variable] = set()
+
+    def score(atom: Atom) -> tuple[int, int]:
+        if atom.is_equality():
+            left, right = atom.arguments
+            left_known = not isinstance(left, Variable) or left in bound
+            right_known = not isinstance(right, Variable) or right in bound
+            if left_known or right_known:
+                return (-2, 0)
+            return (2, 0)
+        shared = sum(1 for var in atom.variables() if var in bound)
+        size = len(_relation_for_atom(atom, database, overrides))
+        # Prefer atoms with shared (bound) variables, break ties by size.
+        return (-shared, size)
+
+    while remaining:
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def _extend_with_equality(atom: Atom, bindings: Bindings) -> Optional[Bindings]:
+    """Apply an equality atom to the bindings; None means inconsistent."""
+    left, right = atom.arguments
+
+    def value_of(term: Term) -> tuple[bool, Any]:
+        if isinstance(term, Constant):
+            return True, term.value
+        if term in bindings:
+            return True, bindings[term]
+        return False, None
+
+    left_known, left_value = value_of(left)
+    right_known, right_value = value_of(right)
+    if left_known and right_known:
+        return bindings if left_value == right_value else None
+    extended = dict(bindings)
+    if left_known and isinstance(right, Variable):
+        extended[right] = left_value
+        return extended
+    if right_known and isinstance(left, Variable):
+        extended[left] = right_value
+        return extended
+    raise EvaluationError(
+        f"Equality atom {atom} has no bound side at evaluation time; the rule is unsafe"
+    )
+
+
+def _match_row(atom: Atom, row: Row, bindings: Bindings) -> Optional[Bindings]:
+    """Extend *bindings* so the atom's arguments match *row*, or None."""
+    extended = dict(bindings)
+    for term, value in zip(atom.arguments, row):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def evaluate_rule_multiset(rule: Rule, database: Database,
+                           overrides: Optional[Mapping[str, Relation]] = None,
+                           counters: Optional[JoinCounters] = None) -> list[Row]:
+    """Evaluate *rule*'s body and return every emitted head tuple, with repeats.
+
+    Each entry of the result is one successful derivation (one arc of the
+    derivation graph of Theorem 3.1).  :func:`evaluate_rule` deduplicates
+    the result into a :class:`Relation`.
+    """
+    counters = counters if counters is not None else JoinCounters()
+    head = rule.head
+    head_vars = head.variables()
+    body_vars = {var for atom in rule.body for var in atom.variables()}
+    for var in head_vars:
+        if var not in body_vars and rule.body:
+            raise EvaluationError(
+                f"Unsafe rule: head variable {var} does not occur in the body: {rule}"
+            )
+
+    if not rule.body:
+        if not head.is_ground():
+            raise EvaluationError(f"Non-ground fact cannot be evaluated: {rule}")
+        counters.tuples_emitted += 1
+        return [tuple(term.value for term in head.arguments if isinstance(term, Constant))]
+
+    ordered = _order_atoms(rule.body, database, overrides)
+    relations: dict[int, Relation] = {}
+    indexes: dict[tuple[int, tuple[int, ...]], HashIndex] = {}
+    for position, atom in enumerate(ordered):
+        if not atom.is_equality():
+            relations[position] = _relation_for_atom(atom, database, overrides)
+
+    emissions: list[Row] = []
+
+    def join(step: int, bindings: Bindings) -> None:
+        if step == len(ordered):
+            row = tuple(
+                term.value if isinstance(term, Constant) else bindings[term]
+                for term in head.arguments
+            )
+            counters.tuples_emitted += 1
+            emissions.append(row)
+            return
+        atom = ordered[step]
+        if atom.is_equality():
+            extended = _extend_with_equality(atom, bindings)
+            if extended is not None:
+                counters.bindings_extended += 1
+                join(step + 1, extended)
+            return
+        relation = relations[step]
+        bound_positions = []
+        bound_values = []
+        for position, term in enumerate(atom.arguments):
+            if isinstance(term, Constant):
+                bound_positions.append(position)
+                bound_values.append(term.value)
+            elif term in bindings:
+                bound_positions.append(position)
+                bound_values.append(bindings[term])
+        key = (step, tuple(bound_positions))
+        index = indexes.get(key)
+        if index is None:
+            index = HashIndex(relation, bound_positions)
+            indexes[key] = index
+        for row in index.lookup(bound_values):
+            counters.rows_probed += 1
+            extended = _match_row(atom, row, bindings)
+            if extended is not None:
+                counters.bindings_extended += 1
+                join(step + 1, extended)
+
+    join(0, {})
+    return emissions
+
+
+def evaluate_rule(rule: Rule, database: Database,
+                  overrides: Optional[Mapping[str, Relation]] = None,
+                  counters: Optional[JoinCounters] = None) -> Relation:
+    """Evaluate *rule*'s body and return the derived head relation (a set)."""
+    emissions = evaluate_rule_multiset(rule, database, overrides, counters)
+    return Relation(rule.head.predicate.name, rule.head.arity, frozenset(emissions))

@@ -1,0 +1,60 @@
+"""Naive fixpoint evaluation [Bancilhon 85].
+
+The naive method recomputes every rule against the *entire* current value
+of the recursive predicate at each iteration.  It is the least efficient
+baseline and is included because the paper's duplicate-count argument
+(Theorem 3.1 and Section 3.1) contrasts decomposed evaluation against both
+naive and semi-naive strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datalog.rules import Rule
+from repro.engine.conjunctive import evaluate_rule_multiset
+from repro.engine.statistics import EvaluationStatistics
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
+                  statistics: Optional[EvaluationStatistics] = None,
+                  max_iterations: int = 10_000) -> Relation:
+    """Compute ``(Σ A_i)* initial`` by naive iteration.
+
+    *rules* are linear recursive rules over the same predicate; *initial*
+    is the relation ``Q`` of equation (2.3).  The result contains
+    *initial* (the ``A^0 = 1`` term of the closure).
+    """
+    rules = tuple(rules)
+    statistics = statistics if statistics is not None else EvaluationStatistics()
+    statistics.initial_size = len(initial)
+    predicate_name = initial.name
+
+    total = initial
+    for _ in range(max_iterations):
+        statistics.iterations += 1
+        produced: set = set()
+        for rule in rules:
+            if rule.head.predicate.name != predicate_name:
+                raise EvaluationError(
+                    f"Rule head {rule.head.predicate.name} does not match relation "
+                    f"{predicate_name}"
+                )
+            statistics.rule_applications += 1
+            emissions = evaluate_rule_multiset(
+                rule, database, overrides={predicate_name: total}, counters=statistics.joins
+            )
+            for row in emissions:
+                statistics.record_production(row in total.rows or row in produced)
+                produced.add(row)
+        new_total = total.with_rows(produced)
+        if len(new_total) == len(total):
+            statistics.result_size = len(total)
+            return total
+        total = new_total
+    raise EvaluationError(
+        f"Naive evaluation did not converge within {max_iterations} iterations"
+    )

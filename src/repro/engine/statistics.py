@@ -1,0 +1,115 @@
+"""Evaluation statistics in the cost model of Theorem 3.1.
+
+The paper measures the quality of an evaluation by the number of *tuple
+derivations* it performs: every arc of the derivation graph is one
+derivation, and a derivation of a tuple that has already been produced is
+a *duplicate*.  Failed derivation attempts (join steps that produce no
+tuple) are not counted (footnote 2 of the paper); they are tracked
+separately here as join-probe work because they matter for wall-clock
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JoinCounters:
+    """Low-level work counters for one or more conjunctive evaluations."""
+
+    #: Number of candidate rows examined across all join steps.
+    rows_probed: int = 0
+    #: Number of (partial) bindings extended successfully.
+    bindings_extended: int = 0
+    #: Number of head tuples emitted (before any deduplication).
+    tuples_emitted: int = 0
+
+    def merge(self, other: "JoinCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.rows_probed += other.rows_probed
+        self.bindings_extended += other.bindings_extended
+        self.tuples_emitted += other.tuples_emitted
+
+
+@dataclass
+class EvaluationStatistics:
+    """Statistics for one recursive-query evaluation.
+
+    ``derivations`` counts every successful production of a head tuple by
+    a rule application (an arc of the derivation graph).  ``duplicates``
+    counts productions whose tuple was already known at the time it was
+    (re)produced, including re-productions within the same iteration.
+    Theorem 3.1's quantity |E| equals ``derivations``; the number of nodes
+    |V| equals ``result_size``.
+    """
+
+    #: Total successful tuple productions (arcs of the derivation graph).
+    derivations: int = 0
+    #: Productions of tuples already present (derivations - distinct new tuples).
+    duplicates: int = 0
+    #: Number of fixpoint iterations performed.
+    iterations: int = 0
+    #: Number of rule applications (one per rule per iteration or phase).
+    rule_applications: int = 0
+    #: Size of the initial relation Q.
+    initial_size: int = 0
+    #: Size of the final answer T.
+    result_size: int = 0
+    #: Low-level join work.
+    joins: JoinCounters = field(default_factory=JoinCounters)
+    #: Free-form labelled sub-phase statistics (e.g. the two phases of a
+    #: decomposed evaluation).
+    phases: dict[str, "EvaluationStatistics"] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def record_production(self, is_duplicate: bool) -> None:
+        """Record one successful tuple production."""
+        self.derivations += 1
+        if is_duplicate:
+            self.duplicates += 1
+
+    def new_tuples(self) -> int:
+        """Number of distinct tuples derived (excluding the initial relation)."""
+        return self.derivations - self.duplicates
+
+    def duplicate_ratio(self) -> float:
+        """Fraction of derivations that were duplicates (0 when no derivations)."""
+        if self.derivations == 0:
+            return 0.0
+        return self.duplicates / self.derivations
+
+    def merge(self, other: "EvaluationStatistics") -> None:
+        """Accumulate another statistics object into this one (phases kept)."""
+        self.derivations += other.derivations
+        self.duplicates += other.duplicates
+        self.iterations += other.iterations
+        self.rule_applications += other.rule_applications
+        self.joins.merge(other.joins)
+
+    def add_phase(self, name: str, stats: "EvaluationStatistics") -> None:
+        """Record a labelled sub-phase and fold its counters into the totals."""
+        self.phases[name] = stats
+        self.merge(stats)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"derivations={self.derivations} duplicates={self.duplicates} "
+            f"iterations={self.iterations} result={self.result_size} "
+            f"initial={self.initial_size}"
+        )
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Flat dictionary of the headline counters (for reports)."""
+        return {
+            "derivations": self.derivations,
+            "duplicates": self.duplicates,
+            "duplicate_ratio": round(self.duplicate_ratio(), 4),
+            "iterations": self.iterations,
+            "rule_applications": self.rule_applications,
+            "initial_size": self.initial_size,
+            "result_size": self.result_size,
+            "rows_probed": self.joins.rows_probed,
+        }

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatalogSyntaxError(ReproError):
+    """Raised when parsing Datalog text fails."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class RuleStructureError(ReproError):
+    """Raised when a rule does not have the structure an operation requires.
+
+    Examples: asking for the linear-recursion view of a non-linear rule,
+    composing rules with different consequents, or building an a-graph for
+    a rule that is not function-free.
+    """
+
+
+class SchemaError(ReproError):
+    """Raised on arity mismatches between atoms, relations, and databases."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation cannot proceed (e.g. unbound variables
+    in an unsafe rule, or a missing relation without a declared schema)."""
+
+
+class NotApplicableError(ReproError):
+    """Raised when a specialised algorithm's preconditions do not hold.
+
+    For example, running the separable algorithm on a pair of operators
+    that do not commute, or requesting the polynomial commutativity test
+    on rules outside the restricted class of Theorem 5.2.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised when a structural analysis cannot be completed."""

@@ -1,0 +1,19 @@
+"""Experiment harness reproducing the paper's figures, examples, and claims.
+
+Every artefact of the paper's evaluation has an experiment here; the
+``benchmarks/`` directory wraps these functions in pytest-benchmark
+targets and EXPERIMENTS.md records the measured outcomes.
+
+* :mod:`repro.experiments.figures` — FIG-1 … FIG-9 (a-graph reproductions);
+* :mod:`repro.experiments.examples` — the worked Examples 5.2–5.4, 6.1–6.3;
+* :mod:`repro.experiments.duplicates` — E-DUP (Theorem 3.1);
+* :mod:`repro.experiments.separable` — E-SEP (Theorem 4.1 / Algorithm 4.1);
+* :mod:`repro.experiments.complexity` — E-POLY (Theorem 5.3);
+* :mod:`repro.experiments.redundancy` — E-RED (Theorems 4.2/6.3/6.4);
+* :mod:`repro.experiments.identities` — E-ALG (formula 3.1, Lassez–Maher, Dong);
+* :mod:`repro.experiments.planner_experiment` — E-PLAN (end-to-end engine).
+"""
+
+from repro.experiments.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

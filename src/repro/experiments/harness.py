@@ -1,0 +1,72 @@
+"""Small harness utilities shared by the experiments.
+
+An experiment returns an :class:`ExperimentResult`: an identifier, a list
+of row dictionaries (the "table" the paper-style report prints), and a
+free-form notes section.  :func:`format_table` renders rows as an aligned
+text table so benchmark output and EXPERIMENTS.md stay readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one result row."""
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """The whole result as text (header, table, notes)."""
+        parts = [f"== {self.experiment_id}: {self.description} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render a sequence of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(cell(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            "  ".join(cell(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

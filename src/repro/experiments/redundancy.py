@@ -1,0 +1,118 @@
+"""E-RED: recursive redundancy (Theorems 4.2, 6.3, 6.4) as an evaluation win.
+
+For a rule with a recursively redundant factor ``C``, the closed form
+derived in Theorem 4.2 applies ``C`` only a bounded number of times
+(``NL − 1``), beyond which only the complementary factor ``B`` is
+iterated.  The experiment evaluates the closure of the Example 6.1 and
+6.2 rules both directly and with the redundancy-aware strategy on growing
+EDBs and reports derivations and join work for each, verifying the
+answers agree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.core.redundancy import (
+    direct_closure,
+    redundancy_aware_closure,
+    redundancy_factorization,
+)
+from repro.engine.statistics import EvaluationStatistics
+from repro.experiments.harness import ExperimentResult
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads.graphs import chain_edges, random_graph_edges
+from repro.workloads.relations import random_relation, random_unary_relation
+from repro.workloads.scenarios import example_6_1_rule, example_6_2_rule
+
+
+def run_redundant_buys(sizes: Iterable[int] = (16, 32, 64), seed: int = 17
+                       ) -> ExperimentResult:
+    """Example 6.1 workload: long 'knows' chains, a small 'cheap' filter."""
+    rule = example_6_1_rule()
+    factorization = redundancy_factorization(rule)
+    result = ExperimentResult(
+        "E-RED-6.1", "redundancy-aware evaluation of the knows/buys/cheap recursion"
+    )
+    for size in sizes:
+        rng = random.Random(seed)
+        knows = chain_edges(size, name="knows")
+        # A barely-selective filter is the regime where skipping the
+        # redundant join pays off (the filter prunes almost nothing, so the
+        # direct strategy re-joins with it every iteration for no benefit).
+        cheap = random_unary_relation(
+            "cheap", max(2, size * 9 // 10), domain_size=size, rng=rng
+        )
+        database = Database.of(knows, cheap)
+        initial = random_relation("buys", 2, size, domain_size=size + 1, rng=rng)
+
+        direct_stats = EvaluationStatistics()
+        direct = direct_closure(rule, initial, database, direct_stats)
+        aware_stats = EvaluationStatistics()
+        aware = redundancy_aware_closure(factorization, initial, database, aware_stats)
+
+        result.add_row(
+            size=size,
+            answer=len(direct),
+            # The quantity the theorem bounds: how many evaluation steps join
+            # with the redundant factor.  Direct evaluation joins with it at
+            # every iteration (grows with the data); the redundancy-aware
+            # evaluation needs it at most NL − 1 times (a constant).
+            direct_c_applications=direct_stats.iterations,
+            aware_c_bound=factorization.bounded_c_applications,
+            direct_derivations=direct_stats.derivations,
+            aware_derivations=aware_stats.derivations,
+            answers_equal=direct.rows == aware.rows,
+        )
+    violations = [row for row in result.rows if not row["answers_equal"]]
+    result.add_note(
+        f"answers agree on every workload: {'PASS' if not violations else 'FAIL'}"
+    )
+    result.add_note(
+        "the direct strategy joins with the redundant factor once per iteration "
+        "(a count that grows with the data), the redundancy-aware strategy at most "
+        "NL-1 times (a constant) — the efficiency claim of Theorem 4.2"
+    )
+    return result
+
+
+def run_factorized_evaluation(sizes: Iterable[int] = (6, 8, 10), seed: int = 23
+                              ) -> ExperimentResult:
+    """Example 6.2 workload: the 4-ary rule with a redundant 'r' factor."""
+    rule = example_6_2_rule()
+    factorization = redundancy_factorization(rule)
+    result = ExperimentResult(
+        "E-RED-6.2", "redundancy-aware evaluation of the Example 6.2 recursion"
+    )
+    for size in sizes:
+        rng = random.Random(seed)
+        # A dense EDB over a small domain so the 4-ary joins actually fire
+        # and the recursion runs for several iterations.
+        database = Database.of(
+            random_graph_edges(size, 4 * size, name="q", rng=rng, allow_self_loops=True),
+            random_graph_edges(size, 4 * size, name="r", rng=rng, allow_self_loops=True),
+            random_graph_edges(size, 4 * size, name="s", rng=rng, allow_self_loops=True),
+        )
+        initial = random_relation("p", 4, 6 * size, domain_size=size, rng=rng)
+
+        direct_stats = EvaluationStatistics()
+        direct = direct_closure(rule, initial, database, direct_stats)
+        aware_stats = EvaluationStatistics()
+        aware = redundancy_aware_closure(factorization, initial, database, aware_stats)
+
+        result.add_row(
+            size=size,
+            answer=len(direct),
+            direct_c_applications=direct_stats.iterations,
+            aware_c_bound=factorization.bounded_c_applications,
+            direct_derivations=direct_stats.derivations,
+            aware_derivations=aware_stats.derivations,
+            answers_equal=direct.rows == aware.rows,
+        )
+    violations = [row for row in result.rows if not row["answers_equal"]]
+    result.add_note(
+        f"answers agree on every workload: {'PASS' if not violations else 'FAIL'}"
+    )
+    return result

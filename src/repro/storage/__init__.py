@@ -1,0 +1,15 @@
+"""Relational storage substrate: relations, databases, indexes, selections."""
+
+from repro.storage.relation import Relation
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.selection import Selection, EqualitySelection, PositionEqualitySelection
+
+__all__ = [
+    "Database",
+    "EqualitySelection",
+    "HashIndex",
+    "PositionEqualitySelection",
+    "Relation",
+    "Selection",
+]

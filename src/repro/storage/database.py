@@ -1,0 +1,159 @@
+"""Databases: immutable mappings from predicate names to relations.
+
+A :class:`Database` is the extensional database (EDB) the evaluation
+engine runs against.  Looking up a predicate that has no stored relation
+returns an empty relation of the requested arity, which matches the
+logic-programming convention that unknown facts are false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.datalog.atoms import Predicate
+from repro.datalog.programs import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant
+from repro.exceptions import SchemaError
+from repro.storage.relation import Relation, Row
+
+
+@dataclass(frozen=True)
+class Database:
+    """An immutable collection of named relations."""
+
+    relations: Mapping[str, Relation] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", dict(self.relations))
+        for name, relation in self.relations.items():
+            if relation.name != name:
+                raise SchemaError(
+                    f"Relation stored under {name!r} is named {relation.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, *relations: Relation) -> "Database":
+        """Build a database from relations (names must be unique)."""
+        mapping: dict[str, Relation] = {}
+        for relation in relations:
+            if relation.name in mapping:
+                raise SchemaError(f"Duplicate relation name {relation.name!r}")
+            mapping[relation.name] = relation
+        return cls(mapping)
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Rule]) -> "Database":
+        """Build a database from ground facts (rules with empty bodies)."""
+        rows_by_name: dict[str, set[Row]] = {}
+        arities: dict[str, int] = {}
+        for fact in facts:
+            if fact.body:
+                raise SchemaError(f"Not a fact: {fact}")
+            if not fact.head.is_ground():
+                raise SchemaError(f"Fact contains variables: {fact}")
+            name = fact.head.predicate.name
+            arity = fact.head.predicate.arity
+            if arities.setdefault(name, arity) != arity:
+                raise SchemaError(f"Inconsistent arity for predicate {name}")
+            row = tuple(
+                term.value if isinstance(term, Constant) else term
+                for term in fact.head.arguments
+            )
+            rows_by_name.setdefault(name, set()).add(row)
+        return cls(
+            {
+                name: Relation(name, arities[name], frozenset(rows))
+                for name, rows in rows_by_name.items()
+            }
+        )
+
+    @classmethod
+    def from_program(cls, program: Program) -> "Database":
+        """Build a database from the facts of a parsed program."""
+        return cls.from_facts(program.facts())
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str, arity: int | None = None) -> Relation:
+        """Return the relation for *name*.
+
+        If it is not stored and *arity* is given, an empty relation of that
+        arity is returned; if it is not stored and no arity is given a
+        :class:`SchemaError` is raised.
+        """
+        stored = self.relations.get(name)
+        if stored is not None:
+            if arity is not None and stored.arity != arity:
+                raise SchemaError(
+                    f"Relation {name} has arity {stored.arity}, expected {arity}"
+                )
+            return stored
+        if arity is None:
+            raise SchemaError(f"Unknown relation {name!r} and no arity given")
+        return Relation.empty(name, arity)
+
+    def relation_for(self, predicate: Predicate) -> Relation:
+        """Return the relation for a predicate (empty if absent)."""
+        return self.relation(predicate.name, predicate.arity)
+
+    def has_relation(self, name: str) -> bool:
+        """True if a relation named *name* is stored."""
+        return name in self.relations
+
+    def names(self) -> frozenset[str]:
+        """Names of all stored relations."""
+        return frozenset(self.relations)
+
+    def total_rows(self) -> int:
+        """Total number of rows across all relations."""
+        return sum(len(relation) for relation in self.relations.values())
+
+    def active_domain(self) -> frozenset[Any]:
+        """All values appearing in any relation."""
+        return frozenset(
+            value for relation in self.relations.values() for value in relation.active_domain()
+        )
+
+    # ------------------------------------------------------------------
+    # Update (functional)
+    # ------------------------------------------------------------------
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """Return a database with *relation* added or replaced."""
+        updated = dict(self.relations)
+        updated[relation.name] = relation
+        return Database(updated)
+
+    def without_relation(self, name: str) -> "Database":
+        """Return a database with the named relation removed."""
+        updated = dict(self.relations)
+        updated.pop(name, None)
+        return Database(updated)
+
+    def merge(self, other: "Database") -> "Database":
+        """Union the relations of two databases (row-wise for shared names)."""
+        updated = dict(self.relations)
+        for name, relation in other.relations.items():
+            if name in updated:
+                updated[name] = updated[name].union(relation)
+            else:
+                updated[name] = relation
+        return Database(updated)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __str__(self) -> str:
+        parts = ", ".join(str(relation) for relation in self.relations.values())
+        return f"Database({parts})"

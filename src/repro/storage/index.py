@@ -1,0 +1,42 @@
+"""Hash indexes over relation columns, used by the join engine.
+
+An index maps a tuple of column values (for a chosen tuple of positions)
+to the rows having those values.  The conjunctive-query evaluator builds
+one index per body atom per join step, keyed by the positions that are
+bound at that point of the join order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.storage.relation import Relation, Row
+
+
+class HashIndex:
+    """A hash index on a subset of a relation's columns."""
+
+    def __init__(self, relation: Relation, positions: Iterable[int]):
+        self.relation = relation
+        self.positions = tuple(positions)
+        self._buckets: dict[tuple[Any, ...], list[Row]] = {}
+        for row in relation.rows:
+            key = tuple(row[p] for p in self.positions)
+            self._buckets.setdefault(key, []).append(row)
+
+    def lookup(self, key: Iterable[Any]) -> list[Row]:
+        """Rows whose indexed columns equal *key* (in position order)."""
+        return self._buckets.get(tuple(key), [])
+
+    def keys(self) -> Iterator[tuple[Any, ...]]:
+        """Distinct keys present in the index."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"HashIndex({self.relation.name}, positions={self.positions}, "
+            f"{len(self._buckets)} keys)"
+        )

@@ -1,0 +1,141 @@
+"""Relations: named, fixed-arity sets of tuples.
+
+Following the paper's typeless model, a relation's schema is just its
+arity.  A :class:`Relation` is an immutable value: operations return new
+relations.  Tuples contain plain Python values (the ``value`` payloads of
+:class:`repro.datalog.terms.Constant`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+Row = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable named relation with a fixed arity."""
+
+    name: str
+    arity: int
+    rows: frozenset[Row] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", frozenset(tuple(row) for row in self.rows))
+        for row in self.rows:
+            if len(row) != self.arity:
+                raise SchemaError(
+                    f"Row {row!r} has {len(row)} columns; relation "
+                    f"{self.name} expects {self.arity}"
+                )
+
+    @classmethod
+    def of(cls, name: str, arity: int, rows: Iterable[Iterable[Any]] = ()) -> "Relation":
+        """Build a relation from any iterable of rows."""
+        return cls(name, arity, frozenset(tuple(row) for row in rows))
+
+    @classmethod
+    def empty(cls, name: str, arity: int) -> "Relation":
+        """An empty relation of the given arity."""
+        return cls(name, arity, frozenset())
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; arities must agree (names follow the receiver)."""
+        self._check_compatible(other)
+        return Relation(self.name, self.arity, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; arities must agree."""
+        self._check_compatible(other)
+        return Relation(self.name, self.arity, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; arities must agree."""
+        self._check_compatible(other)
+        return Relation(self.name, self.arity, self.rows & other.rows)
+
+    def with_rows(self, rows: Iterable[Row]) -> "Relation":
+        """Return a relation with *rows* added."""
+        return Relation(self.name, self.arity, self.rows | frozenset(tuple(r) for r in rows))
+
+    def renamed(self, name: str) -> "Relation":
+        """Return the same relation under a different name."""
+        return Relation(name, self.arity, self.rows)
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Rows satisfying *predicate*."""
+        return Relation(self.name, self.arity, frozenset(r for r in self.rows if predicate(r)))
+
+    def project(self, positions: Iterable[int], name: str | None = None) -> "Relation":
+        """Project onto *positions* (0-based), preserving their order."""
+        positions = tuple(positions)
+        for position in positions:
+            if not 0 <= position < self.arity:
+                raise SchemaError(
+                    f"Projection position {position} out of range for arity {self.arity}"
+                )
+        projected = frozenset(tuple(row[p] for p in positions) for row in self.rows)
+        return Relation(name or self.name, len(positions), projected)
+
+    def select_equal(self, position: int, value: Any) -> "Relation":
+        """Rows whose *position* column equals *value*."""
+        if not 0 <= position < self.arity:
+            raise SchemaError(
+                f"Selection position {position} out of range for arity {self.arity}"
+            )
+        return self.filter(lambda row: row[position] == value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def column_values(self, position: int) -> frozenset[Any]:
+        """Distinct values in column *position*."""
+        if not 0 <= position < self.arity:
+            raise SchemaError(
+                f"Column {position} out of range for arity {self.arity}"
+            )
+        return frozenset(row[position] for row in self.rows)
+
+    def active_domain(self) -> frozenset[Any]:
+        """All values appearing anywhere in the relation."""
+        return frozenset(value for row in self.rows for value in row)
+
+    def is_empty(self) -> bool:
+        """True if the relation holds no rows."""
+        return not self.rows
+
+    def __contains__(self, row: Iterable[Any]) -> bool:
+        return tuple(row) in self.rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __le__(self, other: "Relation") -> bool:
+        self._check_compatible(other)
+        return self.rows <= other.rows
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if self.arity != other.arity:
+            raise SchemaError(
+                f"Relations {self.name}/{self.arity} and {other.name}/{other.arity} "
+                "have different arities"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}[{len(self.rows)} rows]"
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic order (for display and golden tests)."""
+        return sorted(self.rows, key=lambda row: tuple(str(v) for v in row))

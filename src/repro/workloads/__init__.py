@@ -1,0 +1,35 @@
+"""Synthetic workload generators and the paper's canonical scenarios.
+
+The paper's claims are analytic; these generators turn them into
+measurable experiments: graph-shaped EDBs of controllable size and shape,
+random relations for arbitrary schemas, random rule pairs of the
+restricted class (both commuting and non-commuting), and the exact rule
+sets of the paper's worked examples.
+"""
+
+from repro.workloads.graphs import (
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    layered_dag_edges,
+    random_graph_edges,
+    tree_edges,
+)
+from repro.workloads.relations import random_relation, random_unary_relation
+from repro.workloads.rulegen import random_commuting_pair, random_restricted_rule, random_rule_pair
+from repro.workloads import scenarios
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "grid_edges",
+    "layered_dag_edges",
+    "random_commuting_pair",
+    "random_graph_edges",
+    "random_relation",
+    "random_restricted_rule",
+    "random_rule_pair",
+    "random_unary_relation",
+    "scenarios",
+    "tree_edges",
+]

@@ -1,0 +1,92 @@
+"""Graph-shaped EDB generators.
+
+All generators return a :class:`~repro.storage.relation.Relation` of arity
+2 whose rows are the edges of the generated graph.  Node identifiers are
+integers starting at 0.  Generators accept an optional ``rng`` so callers
+control determinism (the benchmarks always pass a seeded generator).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.storage.relation import Relation
+
+
+def chain_edges(length: int, name: str = "edge") -> Relation:
+    """A simple path ``0 -> 1 -> ... -> length``."""
+    return Relation.of(name, 2, [(i, i + 1) for i in range(length)])
+
+
+def cycle_edges(length: int, name: str = "edge") -> Relation:
+    """A directed cycle on ``length`` nodes."""
+    if length <= 0:
+        return Relation.empty(name, 2)
+    return Relation.of(name, 2, [(i, (i + 1) % length) for i in range(length)])
+
+
+def tree_edges(depth: int, branching: int = 2, name: str = "edge") -> Relation:
+    """A complete ``branching``-ary tree of the given depth, edges parent -> child."""
+    edges: list[tuple[int, int]] = []
+    next_id = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier: list[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                edges.append((parent, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Relation.of(name, 2, edges)
+
+
+def grid_edges(rows: int, columns: int, name: str = "edge") -> Relation:
+    """A directed grid: edges go right and down; node ``(r, c)`` is ``r * columns + c``."""
+    edges: list[tuple[int, int]] = []
+    for row in range(rows):
+        for column in range(columns):
+            node = row * columns + column
+            if column + 1 < columns:
+                edges.append((node, node + 1))
+            if row + 1 < rows:
+                edges.append((node, node + columns))
+    return Relation.of(name, 2, edges)
+
+
+def random_graph_edges(nodes: int, edges: int, name: str = "edge",
+                       rng: Optional[random.Random] = None,
+                       allow_self_loops: bool = False) -> Relation:
+    """A random directed graph with *nodes* nodes and (about) *edges* edges."""
+    rng = rng if rng is not None else random.Random(0)
+    chosen: set[tuple[int, int]] = set()
+    attempts = 0
+    limit = edges * 20 + 100
+    while len(chosen) < edges and attempts < limit:
+        attempts += 1
+        source = rng.randrange(nodes)
+        target = rng.randrange(nodes)
+        if not allow_self_loops and source == target:
+            continue
+        chosen.add((source, target))
+    return Relation.of(name, 2, chosen)
+
+
+def layered_dag_edges(layers: int, width: int, fanout: int = 2, name: str = "edge",
+                      rng: Optional[random.Random] = None) -> Relation:
+    """A layered DAG: each node has *fanout* edges to random nodes of the next layer.
+
+    Node ``w`` of layer ``l`` has identifier ``l * width + w``.  Layered
+    DAGs produce many alternative derivation paths, which is the workload
+    shape where the duplicate savings of Theorem 3.1 are largest.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    edges: set[tuple[int, int]] = set()
+    for layer in range(layers - 1):
+        for position in range(width):
+            source = layer * width + position
+            for _ in range(fanout):
+                target = (layer + 1) * width + rng.randrange(width)
+                edges.add((source, target))
+    return Relation.of(name, 2, edges)

@@ -1,0 +1,41 @@
+"""Random relation generators for arbitrary schemas."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.storage.relation import Relation
+
+
+def random_relation(name: str, arity: int, rows: int, domain_size: int = 32,
+                    rng: Optional[random.Random] = None) -> Relation:
+    """A relation with *rows* random tuples over the domain ``0..domain_size-1``.
+
+    If the domain is too small to hold *rows* distinct tuples, as many
+    distinct tuples as possible are generated.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    capacity = domain_size ** arity
+    target = min(rows, capacity)
+    chosen: set[tuple[int, ...]] = set()
+    attempts = 0
+    limit = target * 50 + 100
+    while len(chosen) < target and attempts < limit:
+        attempts += 1
+        chosen.add(tuple(rng.randrange(domain_size) for _ in range(arity)))
+    return Relation.of(name, arity, chosen)
+
+
+def random_unary_relation(name: str, members: int, domain_size: int = 32,
+                          rng: Optional[random.Random] = None) -> Relation:
+    """A unary relation holding *members* distinct domain values."""
+    rng = rng if rng is not None else random.Random(0)
+    members = min(members, domain_size)
+    values = rng.sample(range(domain_size), members)
+    return Relation.of(name, 1, [(value,) for value in values])
+
+
+def relation_from_pairs(name: str, pairs: Sequence[tuple[int, int]]) -> Relation:
+    """Convenience wrapper building a binary relation from explicit pairs."""
+    return Relation.of(name, 2, pairs)

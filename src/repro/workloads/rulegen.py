@@ -1,0 +1,144 @@
+"""Random rule-pair generators for the restricted class of Theorem 5.2.
+
+The E-POLY benchmark compares the ``O(a log a)`` syntactic commutativity
+test with the definition-based test as rule size grows, and the detection
+experiments need large populations of both commuting and non-commuting
+pairs.  The generators here produce linear, function-free, constant-free,
+range-restricted rules with no repeated consequent variables and no
+repeated nonrecursive predicates, i.e. members of the restricted class.
+
+Construction of a *commuting* pair follows Theorem 5.1 directly: every
+consequent position is assigned a clause — (a) free 1-persistent in one
+rule and arbitrary-but-safe in the other, (b) link 1-persistent in both,
+or (d) carried by bridges built identically in the two rules (hence
+equivalent).  Construction of a generic pair places nonrecursive
+predicates at random, which with high probability breaks the condition.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+
+def _head(arity: int, predicate: str = "p") -> Atom:
+    return Atom(
+        Predicate(predicate, arity),
+        tuple(Variable(f"X{i}") for i in range(arity)),
+    )
+
+
+def random_restricted_rule(arity: int, nonrecursive_predicates: int,
+                           rng: Optional[random.Random] = None,
+                           predicate: str = "p",
+                           predicate_prefix: str = "q") -> Rule:
+    """One random linear rule of the restricted class.
+
+    Each consequent position is independently made 1-persistent (the body
+    literal repeats the head variable) or general (the body literal uses a
+    fresh nondistinguished variable).  Each nonrecursive predicate is
+    binary and connects two randomly chosen variables of the rule; every
+    head variable that is not 1-persistent is forced to appear in some
+    nonrecursive atom so the rule stays range-restricted.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    head = _head(arity, predicate)
+    head_vars = list(head.arguments)
+
+    body_args: list[Variable] = []
+    fresh_count = 0
+    general_positions: list[int] = []
+    for position in range(arity):
+        if rng.random() < 0.5:
+            body_args.append(head_vars[position])
+        else:
+            fresh_count += 1
+            body_args.append(Variable(f"N{fresh_count}"))
+            general_positions.append(position)
+    recursive = Atom(Predicate(predicate, arity), tuple(body_args))
+
+    pool: list[Variable] = list(dict.fromkeys(list(head_vars) + body_args))
+    atoms: list[Atom] = []
+    for index in range(nonrecursive_predicates):
+        name = f"{predicate_prefix}{index}"
+        first = rng.choice(pool)
+        second = rng.choice(pool)
+        atoms.append(Atom.of(name, first, second))
+
+    # Ensure range restriction: every general head variable must occur in
+    # the body; attach a dedicated predicate when it does not.
+    covered = {var for atom in atoms for var in atom.variables()} | set(body_args)
+    extra = 0
+    for position in general_positions:
+        variable = head_vars[position]
+        if variable not in covered:
+            atoms.append(Atom.of(f"{predicate_prefix}rr{extra}", variable, variable))
+            covered.add(variable)
+            extra += 1
+    return Rule(head, (recursive, *atoms))
+
+
+def random_rule_pair(arity: int, nonrecursive_predicates: int,
+                     rng: Optional[random.Random] = None) -> tuple[Rule, Rule]:
+    """Two independently random restricted rules over the same consequent.
+
+    The second rule uses a disjoint set of nonrecursive predicate names, so
+    the pair is function-free, constant-free, and shares only the
+    recursive predicate.  Such pairs usually do *not* commute.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    first = random_restricted_rule(arity, nonrecursive_predicates, rng, predicate_prefix="q")
+    second = random_restricted_rule(arity, nonrecursive_predicates, rng, predicate_prefix="r")
+    return first, second
+
+
+def random_commuting_pair(arity: int, rng: Optional[random.Random] = None
+                          ) -> tuple[Rule, Rule]:
+    """Two restricted rules built to satisfy the condition of Theorem 5.1.
+
+    Each consequent position is assigned one of:
+
+    * clause (a): the position is free 1-persistent in exactly one of the
+      two rules; in the other it is general, carried by a nonrecursive
+      predicate private to that rule;
+    * clause (b): the position is link 1-persistent in both rules, sharing
+      one nonrecursive predicate name (the shared bridge is identical,
+      hence equivalent).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    head = _head(arity)
+    head_vars = list(head.arguments)
+
+    first_body = list(head_vars)
+    second_body = list(head_vars)
+    first_atoms: list[Atom] = []
+    second_atoms: list[Atom] = []
+    fresh = 0
+
+    for position in range(arity):
+        variable = head_vars[position]
+        choice = rng.choice(["a-first", "a-second", "b"])
+        if choice == "b":
+            # Link 1-persistent in both rules: identical unary predicate.
+            atom = Atom.of(f"s{position}", variable)
+            first_atoms.append(atom)
+            second_atoms.append(atom)
+        elif choice == "a-first":
+            # Free 1-persistent in the first rule, general in the second.
+            fresh += 1
+            second_body[position] = Variable(f"N{fresh}")
+            second_atoms.append(Atom.of(f"r{position}", second_body[position], variable))
+        else:
+            # Free 1-persistent in the second rule, general in the first.
+            fresh += 1
+            first_body[position] = Variable(f"M{fresh}")
+            first_atoms.append(Atom.of(f"q{position}", first_body[position], variable))
+
+    predicate = Predicate("p", arity)
+    first = Rule(head, (Atom(predicate, tuple(first_body)), *first_atoms))
+    second = Rule(head, (Atom(predicate, tuple(second_body)), *second_atoms))
+    return first, second

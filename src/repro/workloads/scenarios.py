@@ -1,0 +1,139 @@
+"""The paper's canonical rules, examples, and figure inputs.
+
+Each scenario is exposed as a module-level function returning freshly
+parsed rules, so callers can mutate derived structures without affecting
+other users.  The scenarios are referenced by the figure-reproduction
+experiments (FIG-1 … FIG-9), the example applications, and many tests.
+
+OCR notes (documented here and in EXPERIMENTS.md):
+
+* The rule of Example 5.1 / Figure 1 is not recoverable verbatim from the
+  available text; :func:`example_5_1_rule` reconstructs a rule matching
+  the classification the paper states for it (z free 1-persistent, w and
+  y link 1-persistent, u and v free 2-persistent, x general).
+* In Example 5.1's second rule (Figure 2) the nonrecursive literal is
+  printed ambiguously; the wide rules listed in the paper
+  (``P(u,w,x,y,z) :- P(u,w,u,y,z), Q(...), S(x)``) pin it down to
+  ``Q(u,x,y)``, which is what :func:`figure_2_rule` uses.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.programs import Program
+from repro.datalog.rules import Rule
+
+
+# ----------------------------------------------------------------------
+# Section 5 examples
+# ----------------------------------------------------------------------
+
+def example_5_1_rule() -> Rule:
+    """A rule realising the classification stated in Example 5.1 (Figure 1).
+
+    ``z`` is free 1-persistent, ``w`` and ``y`` are link 1-persistent,
+    ``u`` and ``v`` are free 2-persistent, and ``x`` is general.
+    """
+    return parse_rule("p(U,V,W,X,Y,Z) :- p(V,U,W,Y,Y,Z), q(X,W), r(Y,Y).")
+
+
+def figure_2_rule() -> Rule:
+    """The 5-ary rule of Example 5.1 whose augmented bridges are Figure 2."""
+    return parse_rule("p(U,W,X,Y,Z) :- p(U,U,U,Y,Y), q(U,X,Y), r(W), s(X), t(Z).")
+
+
+def example_5_2_rules() -> tuple[Rule, Rule]:
+    """The two linear forms of transitive closure (Example 5.2, Figure 3)."""
+    first = parse_rule("p(X,Y) :- p(U,Y), q(X,U).")
+    second = parse_rule("p(X,Y) :- p(X,V), r(V,Y).")
+    return first, second
+
+
+def example_5_3_rules() -> tuple[Rule, Rule]:
+    """The commuting 3-ary pair of Example 5.3 (Figure 4)."""
+    first = parse_rule("p(X,Y,Z) :- p(U,Y,Z), q(X,Y).")
+    second = parse_rule("p(X,Y,Z) :- p(X,Y,V), r(Z,Y).")
+    return first, second
+
+
+def example_5_4_rules() -> tuple[Rule, Rule]:
+    """The pair of Example 5.4 (Figure 5): commute, yet the condition fails."""
+    first = parse_rule("p(X,Y) :- p(Y,W), q(X).")
+    second = parse_rule("p(X,Y) :- p(U,V), q(X), q(Y).")
+    return first, second
+
+
+# ----------------------------------------------------------------------
+# Section 6 examples
+# ----------------------------------------------------------------------
+
+def example_6_1_rule() -> Rule:
+    """Example 6.1 (Figure 6): ``cheap`` is recursively redundant."""
+    return parse_rule("buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).")
+
+
+def example_6_2_rule() -> Rule:
+    """Example 6.2 (Figures 7 and 8): ``r`` is recursively redundant; A² = BC²."""
+    return parse_rule("p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), r(X,Y), s(U,Z).")
+
+
+def example_6_3_rule() -> Rule:
+    """Example 6.3 (Figure 9): BC² ≠ C²B but C²(BC²) = C²(C²B)."""
+    return parse_rule("p(W,X,Y,Z) :- p(X,W,X,U), q(Y,U), r(X,Y), s(U,Z).")
+
+
+# ----------------------------------------------------------------------
+# Classic programs used by the examples and benchmarks
+# ----------------------------------------------------------------------
+
+def two_sided_transitive_closure_program() -> Program:
+    """Path reachability with prepend-edge and append-hop rules plus an exit rule."""
+    return parse_program(
+        """
+        path(X, Y) :- edge(X, U), path(U, Y).
+        path(X, Y) :- path(X, V), hop(V, Y).
+        path(X, Y) :- base(X, Y).
+        """
+    )
+
+
+def same_generation_program() -> Program:
+    """The same-generation program (the product of Example 5.2's rules)."""
+    return parse_program(
+        """
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        sg(X, Y) :- flat(X, Y).
+        """
+    )
+
+
+def separable_selection_program() -> Program:
+    """A two-operator recursion used by the separable-algorithm experiments."""
+    return parse_program(
+        """
+        reach(X, Y) :- left(X, U), reach(U, Y).
+        reach(X, Y) :- reach(X, V), right(V, Y).
+        reach(X, Y) :- start(X, Y).
+        """
+    )
+
+
+def redundant_buys_program() -> Program:
+    """Example 6.1 wrapped into a full program with an exit rule."""
+    return parse_program(
+        """
+        buys(X, Y) :- knows(X, Z), buys(Z, Y), cheap(Y).
+        buys(X, Y) :- likes(X, Y).
+        """
+    )
+
+
+def noncommuting_program() -> Program:
+    """A two-rule recursion whose operators do not commute (control case)."""
+    return parse_program(
+        """
+        t(X, Y) :- a(X, U), t(U, Y).
+        t(X, Y) :- b(X, U), t(U, Y).
+        t(X, Y) :- seed(X, Y).
+        """
+    )

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def tc_rules():
+    """The two commuting transitive-closure forms (Example 5.2)."""
+    return (
+        parse_rule("p(X,Y) :- p(U,Y), q(X,U)."),
+        parse_rule("p(X,Y) :- p(X,V), r(V,Y)."),
+    )
+
+
+@pytest.fixture
+def path_rules():
+    """Prepend-edge / append-hop path rules over named EDB relations."""
+    return (
+        parse_rule("path(X, Y) :- edge(X, U), path(U, Y)."),
+        parse_rule("path(X, Y) :- path(X, V), hop(V, Y)."),
+    )
+
+
+@pytest.fixture
+def chain_database():
+    """A 6-node chain for both 'edge' and 'hop'."""
+    edge = Relation.of("edge", 2, [(i, i + 1) for i in range(5)])
+    hop = Relation.of("hop", 2, [(i, i + 1) for i in range(5)])
+    return Database.of(edge, hop)
+
+
+@pytest.fixture
+def identity_initial():
+    """The identity relation over the 6-node chain domain, named 'path'."""
+    return Relation.of("path", 2, [(i, i) for i in range(6)])
+
+
+@pytest.fixture
+def rng():
+    """A seeded random generator for deterministic tests."""
+    return random.Random(12345)

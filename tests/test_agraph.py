@@ -1,0 +1,224 @@
+"""Tests for a-graph construction, classification, bridges, narrow/wide rules."""
+
+import pytest
+
+from repro.agraph.bridges import (
+    bridge_containing,
+    bridges_with_respect_to,
+    commutativity_bridges,
+    default_anchor_arcs,
+    redundancy_anchor_arcs,
+    redundancy_bridges,
+)
+from repro.agraph.classification import (
+    VariableKind,
+    classify_variables,
+    link_one_persistent_variables,
+    persistent_and_ray_variables,
+)
+from repro.agraph.graph import AlphaGraph
+from repro.agraph.narrow_wide import bridges_equivalent, narrow_rule, wide_rule
+from repro.agraph.render import render_ascii, render_dot
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.exceptions import NotApplicableError
+from repro.workloads import scenarios
+
+U, V, W, X, Y, Z = (Variable(name) for name in "UVWXYZ")
+
+
+class TestGraphConstruction:
+    def test_nodes_are_all_variables(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(U, Y), q(X, U)."))
+        assert set(graph.nodes) == {X, Y, U}
+
+    def test_static_arcs_follow_consecutive_positions(self):
+        graph = AlphaGraph(parse_rule("p(X) :- p(X), q(X, Y, Z)."))
+        arcs = [(arc.source, arc.target) for arc in graph.static_arcs]
+        assert arcs == [(X, Y), (Y, Z)]
+
+    def test_unary_predicate_gives_self_loop(self):
+        graph = AlphaGraph(parse_rule("p(X) :- p(X), q(X)."))
+        assert [(arc.source, arc.target) for arc in graph.static_arcs] == [(X, X)]
+
+    def test_dynamic_arcs_go_antecedent_to_consequent(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(U, Y), q(X, U)."))
+        arcs = {(arc.source, arc.target) for arc in graph.dynamic_arcs}
+        assert arcs == {(U, X), (Y, Y)}
+
+    def test_constants_rejected(self):
+        with pytest.raises(NotApplicableError):
+            AlphaGraph(parse_rule("p(X) :- p(X), q(X, a)."))
+
+    def test_connected_components(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(X, Y), q(X), r(Y)."))
+        assert len(graph.connected_components()) == 2
+
+    def test_shortest_dynamic_path(self):
+        graph = AlphaGraph(parse_rule("p(X, Y, Z) :- p(U, X, Y), q(U, U)."))
+        # Dynamic arcs: U->X, X->Y, Y->Z.
+        assert graph.shortest_dynamic_path_length(Z, frozenset({X})) == 2
+        assert graph.shortest_dynamic_path_length(Z, frozenset({Z})) == 0
+        assert graph.shortest_dynamic_path_length(Z, frozenset({Variable("Q")})) is None
+
+
+class TestClassification:
+    def test_figure_1_classification(self):
+        graph = AlphaGraph(scenarios.example_5_1_rule())
+        classes = classify_variables(graph)
+        assert classes[Z].kind == VariableKind.FREE_PERSISTENT and classes[Z].period == 1
+        assert classes[W].kind == VariableKind.LINK_PERSISTENT and classes[W].period == 1
+        assert classes[Y].kind == VariableKind.LINK_PERSISTENT
+        assert classes[U].kind == VariableKind.FREE_PERSISTENT and classes[U].period == 2
+        assert classes[V].kind == VariableKind.FREE_PERSISTENT and classes[V].period == 2
+        assert classes[X].is_general
+
+    def test_general_when_h_is_nondistinguished(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(U, Y), q(X, U)."))
+        classes = classify_variables(graph)
+        assert classes[X].is_general
+        assert classes[Y].is_free_persistent
+
+    def test_link_persistence_from_extra_recursive_occurrence(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(X, X), q(Y)."))
+        classes = classify_variables(graph)
+        assert classes[X].is_link_persistent
+
+    def test_ray_variables(self):
+        graph = AlphaGraph(scenarios.example_6_2_rule())
+        classes = classify_variables(graph)
+        assert classes[Y].is_ray and classes[Y].ray_length == 1
+        assert classes[Z].is_general and not classes[Z].is_ray
+        assert classes[W].is_link_persistent and classes[W].period == 2
+
+    def test_helper_sets(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        assert link_one_persistent_variables(graph) == frozenset({U, Y})
+        graph_62 = AlphaGraph(scenarios.example_6_2_rule())
+        assert persistent_and_ray_variables(graph_62) == frozenset({W, X, Y})
+
+    def test_describe_strings(self):
+        graph = AlphaGraph(scenarios.example_5_1_rule())
+        classes = classify_variables(graph)
+        assert classes[U].describe() == "free 2-persistent"
+        assert classes[W].describe() == "link 1-persistent"
+
+
+class TestBridges:
+    def test_figure_2_has_three_augmented_bridges(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        bridges = commutativity_bridges(graph)
+        assert len(bridges) == 3
+        node_sets = {frozenset(node.name for node in bridge.nodes) for bridge in bridges}
+        assert frozenset({"U", "W"}) in node_sets
+        assert frozenset({"Y", "Z"}) in node_sets
+        assert frozenset({"U", "X", "Y"}) in node_sets
+
+    def test_figure_2_narrow_rules_match_paper(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        bridges = commutativity_bridges(graph)
+        narrow_texts = {str(narrow_rule(graph, bridge)) for bridge in bridges}
+        assert "p(U, W) :- p(U, U), r(W)." in narrow_texts
+        assert "p(Y, Z) :- p(Y, Y), t(Z)." in narrow_texts
+        assert "p(U, X, Y) :- p(U, U, Y), q(U, X, Y), s(X)." in narrow_texts
+
+    def test_figure_2_wide_rules_match_paper(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        bridges = commutativity_bridges(graph)
+        wide_texts = {str(wide_rule(graph, bridge)) for bridge in bridges}
+        assert "p(U, W, X, Y, Z) :- p(U, U, X, Y, Z), r(W)." in wide_texts
+        assert "p(U, W, X, Y, Z) :- p(U, W, U, Y, Z), q(U, X, Y), s(X)." in wide_texts
+        assert "p(U, W, X, Y, Z) :- p(U, W, X, Y, Y), t(Z)." in wide_texts
+
+    def test_default_anchor_arcs_are_self_loops(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        anchors = default_anchor_arcs(graph)
+        assert all(arc.source == arc.target for arc in anchors)
+        assert {arc.source for arc in anchors} == {U, Y}
+
+    def test_bridge_containing(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        bridges = commutativity_bridges(graph)
+        bridge = bridge_containing(bridges, Variable("X"))
+        assert bridge is not None and Variable("X") in bridge.nodes
+        assert bridge_containing(bridges, Variable("missing")) is None
+
+    def test_every_distinguished_variable_is_in_some_bridge(self):
+        graph = AlphaGraph(scenarios.example_6_3_rule())
+        bridges = commutativity_bridges(graph)
+        for variable in graph.view.distinguished_variables:
+            assert bridge_containing(bridges, variable) is not None
+
+    def test_redundancy_bridges_use_g_i(self):
+        graph = AlphaGraph(scenarios.example_6_2_rule())
+        anchors = redundancy_anchor_arcs(graph)
+        assert {(arc.source.name, arc.target.name) for arc in anchors} == {
+            ("X", "W"), ("W", "X"), ("X", "Y"),
+        }
+        bridges = redundancy_bridges(graph)
+        r_bridges = [
+            bridge for bridge in bridges
+            if any(getattr(arc, "label", None) == "r" for arc in bridge.arcs)
+        ]
+        assert len(r_bridges) == 1
+        assert {node.name for node in r_bridges[0].nodes} == {"W", "X", "Y"}
+
+    def test_bridges_with_no_anchor(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(U, Y), q(X, U)."))
+        bridges = bridges_with_respect_to(graph, ())
+        # Everything falls into one bridge per connected component.
+        assert all(not bridge.anchor_arcs for bridge in bridges)
+
+
+class TestNarrowWideAndEquivalence:
+    def test_wide_rule_of_example_6_2_matches_paper_c(self):
+        graph = AlphaGraph(scenarios.example_6_2_rule())
+        bridges = redundancy_bridges(graph)
+        r_bridge = next(
+            bridge for bridge in bridges
+            if any(getattr(arc, "label", None) == "r" for arc in bridge.arcs)
+        )
+        assert str(wide_rule(graph, r_bridge)) == "p(W, X, Y, Z) :- p(X, W, X, Z), r(X, Y)."
+
+    def test_bridgeless_variable_has_no_narrow_rule(self):
+        graph = AlphaGraph(parse_rule("p(X, Y) :- p(X, Y), q(Z, Z)."))
+        bridges = commutativity_bridges(graph)
+        nondistinguished_only = [
+            bridge for bridge in bridges
+            if not (bridge.nodes & set(graph.view.distinguished_variables))
+        ]
+        for bridge in nondistinguished_only:
+            with pytest.raises(NotApplicableError):
+                narrow_rule(graph, bridge)
+
+    def test_equivalent_bridges_across_rules(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, Y).")
+        second = parse_rule("p(X, Y) :- p(V, Y), q(X, Y).")
+        first_graph, second_graph = AlphaGraph(first), AlphaGraph(second)
+        first_bridge = bridge_containing(commutativity_bridges(first_graph), X)
+        second_bridge = bridge_containing(commutativity_bridges(second_graph), X)
+        assert bridges_equivalent(first_graph, first_bridge, second_graph, second_bridge)
+
+    def test_inequivalent_bridges_detected(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, Y).")
+        second = parse_rule("p(X, Y) :- p(V, Y), r(X, Y).")
+        first_graph, second_graph = AlphaGraph(first), AlphaGraph(second)
+        first_bridge = bridge_containing(commutativity_bridges(first_graph), X)
+        second_bridge = bridge_containing(commutativity_bridges(second_graph), X)
+        assert not bridges_equivalent(first_graph, first_bridge, second_graph, second_bridge)
+
+
+class TestRendering:
+    def test_ascii_mentions_all_nodes_and_arcs(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        text = render_ascii(graph, title="Figure 2")
+        assert "Figure 2" in text
+        for node in graph.nodes:
+            assert node.name in text
+        assert "static arcs" in text and "dynamic arcs" in text
+
+    def test_dot_output_is_well_formed(self):
+        graph = AlphaGraph(scenarios.example_5_2_rules()[0])
+        dot = render_dot(graph, name="fig3")
+        assert dot.startswith("digraph fig3 {") and dot.rstrip().endswith("}")
+        assert "style=bold" in dot

@@ -1,0 +1,91 @@
+"""Unit tests for repro.datalog.atoms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Predicate, equality_atom
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import SchemaError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestPredicate:
+    def test_equality(self):
+        assert Predicate("p", 2) == Predicate("p", 2)
+        assert Predicate("p", 2) != Predicate("p", 3)
+        assert Predicate("p", 2) != Predicate("q", 2)
+
+    def test_str(self):
+        assert str(Predicate("edge", 2)) == "edge/2"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Predicate("", 1)
+        with pytest.raises(ValueError):
+            Predicate("p", -1)
+
+
+class TestAtomConstruction:
+    def test_of_builds_arity_from_arguments(self):
+        atom = Atom.of("p", X, Y)
+        assert atom.predicate == Predicate("p", 2)
+        assert atom.arguments == (X, Y)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Atom(Predicate("p", 3), (X, Y))
+
+    def test_zero_arity(self):
+        atom = Atom.of("done")
+        assert atom.arity == 0
+        assert atom.is_ground()
+
+    def test_name_and_arity_accessors(self):
+        atom = Atom.of("edge", X, Constant(3))
+        assert atom.name == "edge"
+        assert atom.arity == 2
+
+
+class TestAtomQueries:
+    def test_variables_dedupe_in_order(self):
+        atom = Atom.of("p", X, Y, X, Z)
+        assert atom.variables() == (X, Y, Z)
+
+    def test_constants(self):
+        atom = Atom.of("p", Constant(1), X, Constant("a"), Constant(1))
+        assert atom.constants() == (Constant(1), Constant("a"))
+
+    def test_is_ground(self):
+        assert Atom.of("p", Constant(1), Constant(2)).is_ground()
+        assert not Atom.of("p", Constant(1), X).is_ground()
+
+    def test_positions_of(self):
+        atom = Atom.of("p", X, Y, X)
+        assert atom.positions_of(X) == (0, 2)
+        assert atom.positions_of(Z) == ()
+
+    def test_iteration(self):
+        atom = Atom.of("p", X, Constant(1))
+        assert list(atom) == [X, Constant(1)]
+
+    def test_str(self):
+        assert str(Atom.of("p", X, Constant(1))) == "p(X, 1)"
+
+
+class TestAtomRewriting:
+    def test_with_arguments_changes_arity_safely(self):
+        atom = Atom.of("p", X, Y)
+        shrunk = atom.with_arguments([X])
+        assert shrunk.arity == 1
+        assert shrunk.name == "p"
+
+    def test_equality_atom(self):
+        atom = equality_atom(X, Constant(1))
+        assert atom.is_equality()
+        assert atom.arguments == (X, Constant(1))
+
+    def test_non_equality_atom(self):
+        assert not Atom.of("p", X).is_equality()
+
+    def test_atoms_are_hashable_values(self):
+        assert len({Atom.of("p", X, Y), Atom.of("p", X, Y)}) == 1

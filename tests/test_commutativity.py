@@ -1,0 +1,167 @@
+"""Tests for the commutativity tests of Section 5 (core.commutativity)."""
+
+import pytest
+
+from repro.core.commutativity import (
+    ConditionClause,
+    commute,
+    commute_by_definition,
+    commute_polynomial,
+    compose_both_ways,
+    in_restricted_class,
+    simple_sufficient_condition,
+    sufficient_condition,
+)
+from repro.cq.containment import is_equivalent
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+from repro.exceptions import NotApplicableError
+from repro.workloads import scenarios
+from repro.workloads.rulegen import random_commuting_pair, random_rule_pair
+
+
+class TestDefinitionTest:
+    def test_example_5_2_commutes(self):
+        assert commute_by_definition(*scenarios.example_5_2_rules())
+
+    def test_example_5_3_commutes(self):
+        assert commute_by_definition(*scenarios.example_5_3_rules())
+
+    def test_example_5_4_commutes(self):
+        assert commute_by_definition(*scenarios.example_5_4_rules())
+
+    def test_noncommuting_pair(self):
+        first = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        second = parse_rule("p(X, Y) :- b(X, U), p(U, Y).")
+        assert not commute_by_definition(first, second)
+
+    def test_rule_commutes_with_itself(self):
+        rule = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        assert commute_by_definition(rule, rule)
+
+    def test_compose_both_ways_returns_both_composites(self):
+        first, second = scenarios.example_5_2_rules()
+        composite_12, composite_21 = compose_both_ways(first, second)
+        expected = parse_rule("p(X, Y) :- p(U, V), q(X, U), r(V, Y).")
+        assert is_equivalent(composite_12, expected)
+        assert is_equivalent(composite_21, expected)
+
+
+class TestSufficientCondition:
+    def test_example_5_2_clause_a(self):
+        report = sufficient_condition(*scenarios.example_5_2_rules())
+        assert report.satisfied and report.exact
+        assert all(
+            verdict.clause == ConditionClause.FREE_ONE_PERSISTENT
+            for verdict in report.verdicts.values()
+        )
+
+    def test_example_5_3_clauses(self):
+        report = sufficient_condition(*scenarios.example_5_3_rules())
+        assert report.satisfied
+        clauses = {
+            variable.name: verdict.clause
+            for variable, verdict in report.verdicts.items()
+        }
+        assert clauses["Y"] == ConditionClause.LINK_ONE_PERSISTENT_BOTH
+        assert clauses["X"] == ConditionClause.FREE_ONE_PERSISTENT
+        assert clauses["Z"] == ConditionClause.FREE_ONE_PERSISTENT
+
+    def test_example_5_4_condition_fails_but_rules_commute(self):
+        report = sufficient_condition(*scenarios.example_5_4_rules())
+        assert not report.satisfied
+        assert not report.exact  # repeated nonrecursive predicate q
+        assert commute_by_definition(*scenarios.example_5_4_rules())
+
+    def test_clause_c_free_persistent_cycles(self):
+        # Both rules permute two free columns; the permutations commute.
+        first = parse_rule("p(X, Y, Z) :- p(Y, X, Z), a(Z).")
+        second = parse_rule("p(X, Y, Z) :- p(Y, X, Z), b(Z).")
+        report = sufficient_condition(first, second)
+        assert report.satisfied
+        assert report.verdicts[Variable("X")].clause == ConditionClause.FREE_PERSISTENT_COMMUTING
+
+    def test_clause_c_violated_when_permutations_do_not_commute(self):
+        # A 3-cycle against a transposition do not commute as permutations.
+        first = parse_rule("p(X, Y, Z) :- p(Y, Z, X), a(W), q(W).")
+        second = parse_rule("p(X, Y, Z) :- p(Y, X, Z), b(W), s(W).")
+        report = sufficient_condition(first, second)
+        assert not report.satisfied
+        assert not commute_by_definition(first, second)
+
+    def test_clause_d_equivalent_bridges(self):
+        # X is general in both rules with an identical bridge (same q atom);
+        # the second position differs but is free 1-persistent in one rule.
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(U, V), q(X, U), r(V, Y).")
+        report = sufficient_condition(first, second)
+        assert report.satisfied
+        assert report.verdicts[Variable("X")].clause == ConditionClause.EQUIVALENT_BRIDGES
+        assert commute_by_definition(first, second)
+
+    def test_failing_variables_reported(self):
+        first = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        second = parse_rule("p(X, Y) :- b(X, U), p(U, Y).")
+        report = sufficient_condition(first, second)
+        assert Variable("X") in report.failing_variables()
+
+    def test_explain_mentions_every_variable(self):
+        report = sufficient_condition(*scenarios.example_5_3_rules())
+        text = report.explain()
+        for variable in report.verdicts:
+            assert variable.name in text
+
+
+class TestPolynomialTest:
+    def test_agrees_with_definition_on_restricted_pairs(self, rng):
+        for index in range(8):
+            if index % 2 == 0:
+                first, second = random_commuting_pair(3, rng)
+            else:
+                first, second = random_rule_pair(3, 2, rng)
+            if not in_restricted_class(first, second):
+                continue
+            assert commute_polynomial(first, second) == commute_by_definition(first, second)
+
+    def test_not_applicable_outside_restricted_class(self):
+        first, second = scenarios.example_5_4_rules()
+        with pytest.raises(NotApplicableError):
+            commute_polynomial(first, second)
+
+    def test_negative_decision_is_exact(self):
+        first = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        second = parse_rule("p(X, Y) :- b(X, U), p(U, Y).")
+        assert not commute_polynomial(first, second)
+
+
+class TestDispatcher:
+    def test_commute_uses_definition_fallback(self):
+        first, second = scenarios.example_5_4_rules()
+        assert commute(first, second)
+
+    def test_commute_respects_exact_negative(self):
+        first = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        second = parse_rule("p(X, Y) :- b(X, U), p(U, Y).")
+        assert not commute(first, second)
+
+    def test_commute_accepts_precomputed_report(self):
+        first, second = scenarios.example_5_2_rules()
+        report = sufficient_condition(first, second)
+        assert commute(first, second, report=report)
+
+
+class TestWeakerBaselineCondition:
+    def test_detects_example_5_2(self):
+        assert simple_sufficient_condition(*scenarios.example_5_2_rules())
+
+    def test_misses_clause_d_pairs(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(U, V), q(X, U), r(V, Y).")
+        assert not simple_sufficient_condition(first, second)
+        assert sufficient_condition(first, second).satisfied
+
+    def test_never_claims_commutativity_wrongly(self, rng):
+        for _ in range(5):
+            first, second = random_rule_pair(3, 2, rng)
+            if simple_sufficient_condition(first, second):
+                assert commute_by_definition(first, second)

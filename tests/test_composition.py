@@ -1,0 +1,115 @@
+"""Unit tests for repro.datalog.composition (rule composition and powers)."""
+
+import pytest
+
+from repro.cq.containment import is_equivalent
+from repro.datalog.composition import compose, compose_chain, identity_rule, power
+from repro.datalog.normalize import standardize_pair
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import LinearRuleView
+from repro.exceptions import RuleStructureError
+
+
+class TestCompose:
+    def test_transitive_closure_composite_shape(self):
+        outer = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        composite = compose(outer, outer)
+        assert composite.head == outer.head
+        assert [atom.name for atom in composite.body].count("e") == 2
+        assert [atom.name for atom in composite.body].count("p") == 1
+
+    def test_composite_is_still_linear(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert compose(rule, rule).is_linear_recursive()
+
+    def test_composition_matches_paper_example_5_2(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(X, V), r(V, Y).")
+        first, second = standardize_pair(first, second)
+        expected = parse_rule("p(X, Y) :- p(U, V), q(X, U), r(V, Y).")
+        assert is_equivalent(compose(first, second), expected)
+        assert is_equivalent(compose(second, first), expected)
+
+    def test_composition_order_matters_for_noncommuting_rules(self):
+        first = parse_rule("p(X, Y) :- a(X, Z), p(Z, Y).")
+        second = parse_rule("p(X, Y) :- b(X, Z), p(Z, Y).")
+        first, second = standardize_pair(first, second)
+        assert not is_equivalent(compose(first, second), compose(second, first))
+
+    def test_different_predicates_rejected(self):
+        first = parse_rule("p(X) :- q(X), p(X).")
+        second = parse_rule("s(X) :- q(X), s(X).")
+        with pytest.raises(RuleStructureError):
+            compose(first, second)
+
+    def test_inner_nondistinguished_variables_renamed(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        composite = compose(rule, rule)
+        # The two 'e' atoms must not share their nondistinguished endpoint.
+        e_atoms = [atom for atom in composite.body if atom.name == "e"]
+        assert e_atoms[0].arguments[1] != e_atoms[1].arguments[1] or (
+            e_atoms[0].arguments[0] != e_atoms[1].arguments[0]
+        )
+
+    def test_repeated_head_variables_rejected(self):
+        outer = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        inner = parse_rule("p(X, X) :- e(X, Z), p(Z, X).")
+        with pytest.raises(RuleStructureError):
+            compose(outer, inner)
+
+
+class TestPower:
+    def test_power_one_is_the_rule(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert power(rule, 1) == rule
+
+    def test_power_zero_is_identity(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        identity = power(rule, 0)
+        assert is_equivalent(identity, identity_rule(LinearRuleView(rule)))
+
+    def test_power_counts_nonrecursive_atoms(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        cubed = power(rule, 3)
+        assert [atom.name for atom in cubed.body].count("e") == 3
+
+    def test_negative_power_rejected(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        with pytest.raises(ValueError):
+            power(rule, -1)
+
+    def test_power_associativity(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert is_equivalent(power(rule, 4), compose(power(rule, 2), power(rule, 2)))
+
+
+class TestComposeChain:
+    def test_chain_of_three(self):
+        a = parse_rule("p(X, Y) :- a(X, Z), p(Z, Y).")
+        b = parse_rule("p(X, Y) :- b(X, Z), p(Z, Y).")
+        c = parse_rule("p(X, Y) :- c(X, Z), p(Z, Y).")
+        chained = compose_chain(a, b, c)
+        names = [atom.name for atom in chained.body if atom.name != "p"]
+        assert names == ["a", "b", "c"]
+
+    def test_chain_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            compose_chain()
+
+    def test_chain_of_one_is_identityish(self):
+        a = parse_rule("p(X, Y) :- a(X, Z), p(Z, Y).")
+        assert compose_chain(a) == a
+
+
+class TestIdentityRule:
+    def test_identity_rule_shape(self):
+        view = LinearRuleView(parse_rule("p(X, Y) :- e(X, Z), p(Z, Y)."))
+        identity = identity_rule(view)
+        assert identity.head == identity.body[0]
+        assert len(identity.body) == 1
+
+    def test_identity_composes_neutrally(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        identity = identity_rule(LinearRuleView(rule))
+        assert is_equivalent(compose(rule, identity), rule)
+        assert is_equivalent(compose(identity, rule), rule)

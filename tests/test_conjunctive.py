@@ -1,0 +1,121 @@
+"""Unit tests for the conjunctive-query evaluator."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.engine.conjunctive import evaluate_rule, evaluate_rule_multiset
+from repro.engine.statistics import JoinCounters
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@pytest.fixture
+def graph_db():
+    return Database.of(
+        Relation.of("edge", 2, [(1, 2), (2, 3), (3, 4), (2, 4)]),
+        Relation.of("colour", 2, [(2, "red"), (3, "blue"), (4, "red")]),
+        Relation.of("label", 1, [(2,), (4,)]),
+    )
+
+
+class TestBasicEvaluation:
+    def test_single_atom(self, graph_db):
+        rule = parse_rule("out(X, Y) :- edge(X, Y).")
+        assert evaluate_rule(rule, graph_db).rows == graph_db.relation("edge").rows
+
+    def test_join(self, graph_db):
+        rule = parse_rule("two(X, Z) :- edge(X, Y), edge(Y, Z).")
+        assert evaluate_rule(rule, graph_db).rows == frozenset(
+            {(1, 3), (1, 4), (2, 4), (2, 4), (1, 4)}
+        )
+
+    def test_three_way_join(self, graph_db):
+        rule = parse_rule("r(X, C) :- edge(X, Y), edge(Y, Z), colour(Z, C).")
+        result = evaluate_rule(rule, graph_db)
+        assert (1, "blue") in result
+        assert (1, "red") in result
+
+    def test_constant_in_body(self, graph_db):
+        rule = parse_rule("red(X) :- colour(X, red).")
+        assert evaluate_rule(rule, graph_db).rows == frozenset({(2,), (4,)})
+
+    def test_constant_in_head(self, graph_db):
+        rule = parse_rule("tagged(X, yes) :- label(X).")
+        assert evaluate_rule(rule, graph_db).rows == frozenset({(2, "yes"), (4, "yes")})
+
+    def test_repeated_variable_in_atom(self, graph_db):
+        database = graph_db.with_relation(Relation.of("pair", 2, [(1, 1), (1, 2)]))
+        rule = parse_rule("diag(X) :- pair(X, X).")
+        assert evaluate_rule(rule, database).rows == frozenset({(1,)})
+
+    def test_cartesian_product(self, graph_db):
+        rule = parse_rule("prod(X, Y) :- label(X), label(Y).")
+        assert len(evaluate_rule(rule, graph_db)) == 4
+
+    def test_empty_relation_gives_empty_result(self, graph_db):
+        rule = parse_rule("out(X) :- missing(X).")
+        assert evaluate_rule(rule, graph_db.with_relation(Relation.empty("missing", 1))).is_empty()
+
+    def test_unknown_relation_defaults_to_empty(self, graph_db):
+        rule = parse_rule("out(X) :- never_seen(X).")
+        assert evaluate_rule(rule, graph_db).is_empty()
+
+
+class TestEqualityAtoms:
+    def test_variable_constant_equality(self, graph_db):
+        rule = parse_rule("out(X, Y) :- edge(X, Y), X = 1.")
+        assert evaluate_rule(rule, graph_db).rows == frozenset({(1, 2)})
+
+    def test_variable_variable_equality(self, graph_db):
+        rule = parse_rule("out(X) :- edge(X, Y), label(Z), Y = Z.")
+        assert evaluate_rule(rule, graph_db).rows == frozenset({(1,), (2,), (3,)})
+
+    def test_unsatisfiable_equality(self, graph_db):
+        rule = parse_rule("out(X, Y) :- edge(X, Y), X = 99.")
+        assert evaluate_rule(rule, graph_db).is_empty()
+
+
+class TestOverridesAndSafety:
+    def test_override_replaces_stored_relation(self, graph_db):
+        rule = parse_rule("out(X, Y) :- edge(X, Y).")
+        override = {"edge": Relation.of("edge", 2, [(7, 8)])}
+        assert evaluate_rule(rule, graph_db, overrides=override).rows == frozenset({(7, 8)})
+
+    def test_override_arity_mismatch(self, graph_db):
+        rule = parse_rule("out(X, Y) :- edge(X, Y).")
+        with pytest.raises(EvaluationError):
+            evaluate_rule(rule, graph_db, overrides={"edge": Relation.of("edge", 3, [])})
+
+    def test_unsafe_rule_rejected(self, graph_db):
+        with pytest.raises(EvaluationError):
+            evaluate_rule(parse_rule("out(X, Y) :- edge(X, X)."), graph_db)
+
+    def test_ground_fact_evaluation(self, graph_db):
+        assert evaluate_rule(parse_rule("out(1, 2)."), graph_db).rows == frozenset({(1, 2)})
+
+    def test_non_ground_fact_rejected(self, graph_db):
+        with pytest.raises(EvaluationError):
+            evaluate_rule(parse_rule("out(X)."), graph_db)
+
+
+class TestMultisetAndCounters:
+    def test_multiset_counts_every_derivation(self):
+        # A diamond: (1, 4) is derivable through 2 and through 3.
+        database = Database.of(Relation.of("edge", 2, [(1, 2), (1, 3), (2, 4), (3, 4)]))
+        rule = parse_rule("two(X, Z) :- edge(X, Y), edge(Y, Z).")
+        emissions = evaluate_rule_multiset(rule, database)
+        assert emissions.count((1, 4)) == 2
+
+    def test_counters_accumulate(self, graph_db):
+        rule = parse_rule("two(X, Z) :- edge(X, Y), edge(Y, Z).")
+        counters = JoinCounters()
+        evaluate_rule(rule, graph_db, counters=counters)
+        assert counters.tuples_emitted == len(evaluate_rule_multiset(rule, graph_db))
+        assert counters.rows_probed >= counters.tuples_emitted
+
+    def test_counters_merge(self):
+        first = JoinCounters(rows_probed=1, bindings_extended=2, tuples_emitted=3)
+        second = JoinCounters(rows_probed=10, bindings_extended=20, tuples_emitted=30)
+        first.merge(second)
+        assert (first.rows_probed, first.bindings_extended, first.tuples_emitted) == (11, 22, 33)

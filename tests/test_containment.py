@@ -1,0 +1,86 @@
+"""Unit tests for conjunctive-query containment and equivalence."""
+
+from repro.cq.containment import is_contained_in, is_equivalent, strictly_contained_in
+from repro.cq.minimize import is_minimal, minimize_rule
+from repro.datalog.parser import parse_rule
+
+
+class TestContainment:
+    def test_more_constrained_is_contained(self):
+        tight = parse_rule("p(X) :- e(X, Z), f(Z).")
+        loose = parse_rule("p(X) :- e(X, Z).")
+        assert is_contained_in(tight, loose)
+        assert not is_contained_in(loose, tight)
+
+    def test_containment_is_reflexive(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        assert is_contained_in(rule, rule)
+
+    def test_containment_with_constants(self):
+        constant_rule = parse_rule("p(X) :- e(X, a).")
+        variable_rule = parse_rule("p(X) :- e(X, Z).")
+        assert is_contained_in(constant_rule, variable_rule)
+        assert not is_contained_in(variable_rule, constant_rule)
+
+    def test_strict_containment(self):
+        tight = parse_rule("p(X) :- e(X, Z), f(Z).")
+        loose = parse_rule("p(X) :- e(X, Z).")
+        assert strictly_contained_in(tight, loose)
+        assert not strictly_contained_in(loose, loose)
+
+    def test_incomparable_rules(self):
+        left = parse_rule("p(X) :- e(X, Z).")
+        right = parse_rule("p(X) :- f(X, Z).")
+        assert not is_contained_in(left, right)
+        assert not is_contained_in(right, left)
+
+
+class TestEquivalence:
+    def test_renamed_rules_are_equivalent(self):
+        first = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        second = parse_rule("p(X, Y) :- e(X, W), e(W, Y).")
+        assert is_equivalent(first, second)
+
+    def test_redundant_atom_preserves_equivalence(self):
+        minimal = parse_rule("p(X) :- e(X, Z).")
+        redundant = parse_rule("p(X) :- e(X, Z), e(X, W).")
+        assert is_equivalent(minimal, redundant)
+
+    def test_non_equivalent_rules(self):
+        chain2 = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        chain3 = parse_rule("p(X, Y) :- e(X, Z), e(Z, W), e(W, Y).")
+        assert not is_equivalent(chain2, chain3)
+
+    def test_body_order_is_irrelevant(self):
+        first = parse_rule("p(X) :- a(X), b(X), c(X).")
+        second = parse_rule("p(X) :- c(X), a(X), b(X).")
+        assert is_equivalent(first, second)
+
+
+class TestMinimization:
+    def test_redundant_atom_removed(self):
+        redundant = parse_rule("p(X) :- e(X, Z), e(X, W).")
+        core = minimize_rule(redundant)
+        assert len(core.body) == 1
+        assert is_equivalent(core, redundant)
+
+    def test_minimal_rule_unchanged(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        assert len(minimize_rule(rule).body) == 2
+        assert is_minimal(rule)
+
+    def test_classic_triangle_core(self):
+        # The path of length 2 folds onto the edge when the head only
+        # exposes the start point.
+        rule = parse_rule("p(X) :- e(X, Y), e(Y, Z), e(X, W).")
+        core = minimize_rule(rule)
+        assert is_equivalent(core, rule)
+        assert len(core.body) <= 2
+
+    def test_head_variables_keep_atoms_alive(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), e(X, Y).")
+        core = minimize_rule(rule)
+        assert any("Y" in str(atom) for atom in core.body)
+
+    def test_is_minimal_detects_redundancy(self):
+        assert not is_minimal(parse_rule("p(X) :- e(X, Z), e(X, W)."))

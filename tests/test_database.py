@@ -1,0 +1,127 @@
+"""Unit tests for repro.storage.database, index and selection."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.exceptions import SchemaError
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.relation import Relation
+from repro.storage.selection import (
+    ConjunctiveSelection,
+    EqualitySelection,
+    PositionEqualitySelection,
+    TrueSelection,
+)
+
+
+class TestDatabaseConstruction:
+    def test_of(self):
+        database = Database.of(Relation.of("e", 2, [(1, 2)]))
+        assert database.has_relation("e")
+        assert len(database) == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Database.of(Relation.empty("e", 2), Relation.empty("e", 2))
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Database({"x": Relation.empty("y", 1)})
+
+    def test_from_facts(self):
+        program = parse_program("edge(1, 2).\nedge(2, 3).\nnode(1).")
+        database = Database.from_program(program)
+        assert len(database.relation("edge")) == 2
+        assert len(database.relation("node")) == 1
+
+    def test_from_facts_rejects_rules_and_variables(self):
+        with pytest.raises(SchemaError):
+            Database.from_facts([parse_rule("p(X) :- q(X).")])
+        with pytest.raises(SchemaError):
+            Database.from_facts([parse_rule("p(X).")])
+
+    def test_from_facts_rejects_inconsistent_arity(self):
+        with pytest.raises(SchemaError):
+            Database.from_facts([parse_rule("p(1)."), parse_rule("p(1, 2).")])
+
+
+class TestDatabaseAccess:
+    def test_missing_relation_with_arity_is_empty(self):
+        database = Database({})
+        relation = database.relation("ghost", 2)
+        assert relation.is_empty() and relation.arity == 2
+
+    def test_missing_relation_without_arity_raises(self):
+        with pytest.raises(SchemaError):
+            Database({}).relation("ghost")
+
+    def test_arity_check_on_lookup(self):
+        database = Database.of(Relation.of("e", 2, [(1, 2)]))
+        with pytest.raises(SchemaError):
+            database.relation("e", 3)
+
+    def test_with_and_without_relation(self):
+        database = Database({}).with_relation(Relation.of("e", 2, [(1, 2)]))
+        assert database.has_relation("e")
+        assert not database.without_relation("e").has_relation("e")
+
+    def test_merge_unions_shared_relations(self):
+        first = Database.of(Relation.of("e", 2, [(1, 2)]))
+        second = Database.of(Relation.of("e", 2, [(2, 3)]), Relation.of("f", 1, [(1,)]))
+        merged = first.merge(second)
+        assert len(merged.relation("e")) == 2
+        assert merged.has_relation("f")
+
+    def test_totals_and_domain(self):
+        database = Database.of(
+            Relation.of("e", 2, [(1, 2)]), Relation.of("f", 1, [(7,)])
+        )
+        assert database.total_rows() == 2
+        assert database.active_domain() == frozenset({1, 2, 7})
+        assert database.names() == frozenset({"e", "f"})
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        relation = Relation.of("e", 2, [(1, 2), (1, 3), (2, 3)])
+        index = HashIndex(relation, [0])
+        assert sorted(index.lookup([1])) == [(1, 2), (1, 3)]
+        assert index.lookup([9]) == []
+
+    def test_multi_column_and_empty_key(self):
+        relation = Relation.of("e", 2, [(1, 2), (1, 3)])
+        assert HashIndex(relation, [0, 1]).lookup([1, 3]) == [(1, 3)]
+        assert len(HashIndex(relation, []).lookup([])) == 2
+
+    def test_keys(self):
+        relation = Relation.of("e", 2, [(1, 2), (2, 3)])
+        assert set(HashIndex(relation, [0]).keys()) == {(1,), (2,)}
+
+
+class TestSelections:
+    def test_equality_selection(self):
+        relation = Relation.of("r", 2, [(1, 2), (3, 4)])
+        selection = EqualitySelection(0, 1)
+        assert selection.apply(relation).rows == frozenset({(1, 2)})
+        assert selection.positions() == frozenset({0})
+
+    def test_position_equality_selection(self):
+        relation = Relation.of("r", 2, [(1, 1), (1, 2)])
+        selection = PositionEqualitySelection(0, 1)
+        assert selection(relation).rows == frozenset({(1, 1)})
+
+    def test_conjunction(self):
+        relation = Relation.of("r", 2, [(1, 1), (1, 2), (2, 2)])
+        selection = EqualitySelection(0, 1).conjoin(PositionEqualitySelection(0, 1))
+        assert isinstance(selection, ConjunctiveSelection)
+        assert selection.apply(relation).rows == frozenset({(1, 1)})
+        assert selection.positions() == frozenset({0, 1})
+
+    def test_true_selection(self):
+        relation = Relation.of("r", 1, [(1,), (2,)])
+        assert TrueSelection().apply(relation).rows == relation.rows
+        assert TrueSelection().positions() == frozenset()
+
+    def test_selection_str(self):
+        assert "0" in str(EqualitySelection(0, "a"))

@@ -1,0 +1,140 @@
+"""Tests for decomposed evaluation and the separable algorithm engine."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.engine.decomposed import decomposed_closure, pairwise_decomposed_closure
+from repro.engine.seminaive import seminaive_closure
+from repro.engine.separable import direct_selection_evaluate, separable_evaluate
+from repro.engine.statistics import EvaluationStatistics
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.selection import EqualitySelection
+
+PREPEND = parse_rule("path(X, Y) :- edge(X, U), path(U, Y).")
+APPEND = parse_rule("path(X, Y) :- path(X, V), hop(V, Y).")
+
+
+@pytest.fixture
+def diamond_db():
+    edge = Relation.of("edge", 2, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    hop = Relation.of("hop", 2, [(3, 4), (4, 5), (3, 5)])
+    return Database.of(edge, hop)
+
+
+@pytest.fixture
+def initial():
+    return Relation.of("path", 2, [(i, i) for i in range(6)])
+
+
+class TestDecomposedClosure:
+    def test_matches_direct_closure(self, diamond_db, initial):
+        direct = seminaive_closure((PREPEND, APPEND), initial, diamond_db)
+        decomposed = decomposed_closure([(PREPEND,), (APPEND,)], initial, diamond_db)
+        assert direct.rows == decomposed.rows
+
+    def test_pairwise_wrapper(self, diamond_db, initial):
+        direct = seminaive_closure((PREPEND, APPEND), initial, diamond_db)
+        decomposed = pairwise_decomposed_closure((PREPEND,), (APPEND,), initial, diamond_db)
+        assert direct.rows == decomposed.rows
+
+    def test_rightmost_group_runs_first(self, diamond_db, initial):
+        statistics = EvaluationStatistics()
+        decomposed_closure(
+            [(PREPEND,), (APPEND,)], initial, diamond_db, statistics,
+            phase_names=["outer", "inner"],
+        )
+        assert set(statistics.phases) == {"outer", "inner"}
+        # The inner (rightmost) phase starts from the initial relation.
+        assert statistics.phases["inner"].initial_size == len(initial)
+
+    def test_duplicates_never_exceed_direct(self, diamond_db, initial):
+        direct_stats = EvaluationStatistics()
+        seminaive_closure((PREPEND, APPEND), initial, diamond_db, direct_stats)
+        decomposed_stats = EvaluationStatistics()
+        decomposed_closure([(PREPEND,), (APPEND,)], initial, diamond_db, decomposed_stats)
+        assert decomposed_stats.duplicates <= direct_stats.duplicates
+
+    def test_three_phase_decomposition(self):
+        # Three mutually commuting operators, one per column of a 3-ary
+        # predicate (each column is free 1-persistent in the other rules).
+        rules = (
+            parse_rule("t(X, Y, Z) :- t(U, Y, Z), a(X, U)."),
+            parse_rule("t(X, Y, Z) :- t(X, V, Z), b(V, Y)."),
+            parse_rule("t(X, Y, Z) :- t(X, Y, W), c(W, Z)."),
+        )
+        database = Database.of(
+            Relation.of("a", 2, [(1, 0), (2, 1)]),
+            Relation.of("b", 2, [(0, 1), (1, 2)]),
+            Relation.of("c", 2, [(0, 1), (1, 2)]),
+        )
+        initial = Relation.of("t", 3, [(0, 0, 0)])
+        direct = seminaive_closure(rules, initial, database)
+        phased = decomposed_closure([(rules[0],), (rules[1],), (rules[2],)], initial, database)
+        assert direct.rows == phased.rows
+        assert len(direct) == 27
+
+    def test_phase_name_count_checked(self, diamond_db, initial):
+        with pytest.raises(ValueError):
+            decomposed_closure(
+                [(PREPEND,), (APPEND,)], initial, diamond_db, phase_names=["only-one"]
+            )
+
+    def test_single_group_is_plain_closure(self, diamond_db, initial):
+        single = decomposed_closure([(PREPEND, APPEND)], initial, diamond_db)
+        direct = seminaive_closure((PREPEND, APPEND), initial, diamond_db)
+        assert single.rows == direct.rows
+
+
+class TestSeparableEvaluation:
+    def test_matches_direct_selection(self, diamond_db, initial):
+        selection = EqualitySelection(0, 0)
+        direct = direct_selection_evaluate((PREPEND, APPEND), selection, initial, diamond_db)
+        separable = separable_evaluate(
+            (APPEND,), (PREPEND,), selection, initial, diamond_db, push_into_initial=False
+        )
+        assert direct.rows == separable.rows
+
+    def test_push_into_initial_when_selection_commutes_with_inner(self, diamond_db, initial):
+        # Selection on position 0 commutes with APPEND (X is 1-persistent
+        # there), so APPEND can be the inner operator with pushing enabled.
+        selection = EqualitySelection(0, 0)
+        direct = direct_selection_evaluate((PREPEND, APPEND), selection, initial, diamond_db)
+        separable = separable_evaluate(
+            (PREPEND,), (APPEND,), selection, initial, diamond_db, push_into_initial=True
+        )
+        # PREPEND does not commute with the selection, so this ordering is
+        # not covered by Theorem 4.1; the test documents that the engine
+        # computes exactly the algebraic expression it was given.
+        assert separable.rows <= direct.rows
+
+    def test_valid_theorem_4_1_instance(self, diamond_db, initial):
+        # Outer = APPEND (selection commutes with it), inner = PREPEND.
+        selection = EqualitySelection(0, 0)
+        direct = direct_selection_evaluate((PREPEND, APPEND), selection, initial, diamond_db)
+        separable = separable_evaluate(
+            (APPEND,), (PREPEND,), selection, initial, diamond_db, push_into_initial=False
+        )
+        assert separable.rows == direct.rows
+
+    def test_separable_does_less_join_work(self, initial):
+        edge = Relation.of("edge", 2, [(i, i + 1) for i in range(20)])
+        hop = Relation.of("hop", 2, [(i, i + 1) for i in range(20)])
+        database = Database.of(edge, hop)
+        big_initial = Relation.of("path", 2, [(i, i) for i in range(21)])
+        selection = EqualitySelection(0, 0)
+        direct_stats = EvaluationStatistics()
+        direct_selection_evaluate((PREPEND, APPEND), selection, big_initial, database, direct_stats)
+        separable_stats = EvaluationStatistics()
+        separable_evaluate(
+            (APPEND,), (PREPEND,), selection, big_initial, database, separable_stats,
+            push_into_initial=False,
+        )
+        assert separable_stats.derivations <= direct_stats.derivations
+
+    def test_statistics_phases_recorded(self, diamond_db, initial):
+        statistics = EvaluationStatistics()
+        separable_evaluate(
+            (APPEND,), (PREPEND,), EqualitySelection(0, 0), initial, diamond_db, statistics
+        )
+        assert set(statistics.phases) == {"inner-closure", "outer-closure"}

@@ -1,0 +1,108 @@
+"""Tests for the experiment harness and every experiment module.
+
+These are small-configuration runs: they check that each experiment
+produces its table, that the PASS/FAIL notes report PASS, and that the
+quantitative claims (never more duplicates, answers agree, syntactic test
+faster) hold on the tested configurations.
+"""
+
+from repro.experiments.complexity import run_test_scaling
+from repro.experiments.duplicates import run_duplicate_comparison
+from repro.experiments.examples import run_example_checks
+from repro.experiments.figures import run_all_figures
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.experiments.identities import run_identity_checks
+from repro.experiments.planner_experiment import run_planner_comparison
+from repro.experiments.redundancy import run_factorized_evaluation, run_redundant_buys
+from repro.experiments.separable import run_selection_benefit, run_separable_implies_commutes
+
+
+class TestHarness:
+    def test_result_accumulates_rows_and_notes(self):
+        result = ExperimentResult("X", "demo")
+        result.add_row(a=1, b=2)
+        result.add_row(a=3, b=4)
+        result.add_note("done")
+        assert result.column("a") == [1, 3]
+        assert "done" in result.render()
+
+    def test_format_table_alignment(self):
+        table = format_table([{"col": 1, "other": "ab"}, {"col": 222, "other": "c"}])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("col")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_handles_missing_keys_and_floats(self):
+        table = format_table([{"a": 1.23456}, {"b": "x"}])
+        assert "1.235" in table
+
+
+class TestFigureExperiments:
+    def test_all_figures_run(self):
+        results = run_all_figures()
+        assert len(results) == 8
+        assert all(result.rows or result.notes for result in results)
+
+    def test_figure_1_matches_paper(self):
+        figure = run_all_figures()[0]
+        assert any("matches the paper's statement: True" in note for note in figure.notes)
+
+    def test_figure_2_has_three_bridges(self):
+        figure = next(result for result in run_all_figures() if result.experiment_id == "FIG-2")
+        assert len(figure.rows) == 3
+
+
+class TestExampleChecks:
+    def test_every_claim_matches(self):
+        result = run_example_checks()
+        assert result.rows
+        assert all(row["expected"] == row["measured"] for row in result.rows)
+
+
+class TestQuantitativeExperiments:
+    def test_duplicates_theorem_3_1(self):
+        result = run_duplicate_comparison(shapes=("dag",), sizes=(16,))
+        for row in result.rows:
+            assert row["answers_equal"]
+            assert row["decomposed_duplicates"] <= row["direct_duplicates"]
+
+    def test_selection_benefit(self):
+        result = run_selection_benefit(sizes=(8,))
+        for row in result.rows:
+            assert row["answers_equal"]
+            assert row["separable_derivations"] <= row["direct_derivations"]
+
+    def test_separable_implies_commutes(self):
+        result = run_separable_implies_commutes(pairs=5)
+        assert any("0 violations" in note for note in result.notes)
+
+    def test_complexity_scaling(self):
+        result = run_test_scaling(arities=(2, 3), pairs_per_size=2)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["syntactic_seconds"] >= 0
+
+    def test_redundant_buys(self):
+        result = run_redundant_buys(sizes=(10,))
+        for row in result.rows:
+            assert row["answers_equal"]
+            assert row["aware_c_bound"] <= row["direct_c_applications"] or row["size"] <= row["aware_c_bound"]
+
+    def test_factorized_evaluation(self):
+        result = run_factorized_evaluation(sizes=(4,))
+        assert all(row["answers_equal"] for row in result.rows)
+
+    def test_identities(self):
+        result = run_identity_checks(sizes=(6,))
+        for row in result.rows:
+            assert row["formula_3_1"] and row["lassez_maher"] and row["dong"]
+
+    def test_planner_comparison(self):
+        result = run_planner_comparison(size=12)
+        strategies = {row["case"]: row["strategy"] for row in result.rows}
+        assert strategies["two-sided transitive closure"] == "decomposed"
+        assert strategies["non-commuting control"] == "direct"
+        assert all(row["answers_equal"] for row in result.rows)

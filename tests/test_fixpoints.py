@@ -1,0 +1,147 @@
+"""Unit tests for naive / semi-naive evaluation and the derivation graph."""
+
+import pytest
+
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.engine.derivation_graph import build_derivation_graph
+from repro.engine.naive import naive_closure
+from repro.engine.seminaive import evaluate_exit_rules, seminaive_closure, solve_linear_recursion
+from repro.engine.statistics import EvaluationStatistics
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def chain_db(length=5):
+    return Database.of(Relation.of("edge", 2, [(i, i + 1) for i in range(length)]))
+
+
+def expected_reachability(length=5):
+    return frozenset(
+        (i, j) for i in range(length + 1) for j in range(i, length + 1)
+    )
+
+
+TC_RULE = parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y).")
+IDENTITY = Relation.of("path", 2, [(i, i) for i in range(6)])
+
+
+class TestSemiNaive:
+    def test_transitive_closure_on_chain(self):
+        result = seminaive_closure((TC_RULE,), IDENTITY, chain_db())
+        assert result.rows == expected_reachability()
+
+    def test_result_contains_initial(self):
+        result = seminaive_closure((TC_RULE,), IDENTITY, chain_db())
+        assert IDENTITY.rows <= result.rows
+
+    def test_empty_initial_relation(self):
+        empty = Relation.empty("path", 2)
+        assert seminaive_closure((TC_RULE,), empty, chain_db()).is_empty()
+
+    def test_statistics_populated(self):
+        stats = EvaluationStatistics()
+        seminaive_closure((TC_RULE,), IDENTITY, chain_db(), stats)
+        assert stats.initial_size == 6
+        assert stats.result_size == 21
+        assert stats.derivations == stats.duplicates + (21 - 6)
+        assert stats.iterations >= 5
+
+    def test_rule_relation_name_mismatch_rejected(self):
+        wrong = Relation.of("other", 2, [(0, 0)])
+        with pytest.raises(EvaluationError):
+            seminaive_closure((TC_RULE,), wrong, chain_db())
+
+    def test_max_iterations_guard(self):
+        with pytest.raises(EvaluationError):
+            seminaive_closure((TC_RULE,), IDENTITY, chain_db(), max_iterations=1)
+
+    def test_multiple_rules_union(self):
+        append = parse_rule("path(X, Y) :- path(X, Z), edge(Z, Y).")
+        both = seminaive_closure((TC_RULE, append), IDENTITY, chain_db())
+        assert both.rows == expected_reachability()
+
+
+class TestNaive:
+    def test_matches_seminaive(self):
+        naive = naive_closure((TC_RULE,), IDENTITY, chain_db())
+        semi = seminaive_closure((TC_RULE,), IDENTITY, chain_db())
+        assert naive.rows == semi.rows
+
+    def test_naive_produces_at_least_as_many_duplicates(self):
+        naive_stats = EvaluationStatistics()
+        semi_stats = EvaluationStatistics()
+        naive_closure((TC_RULE,), IDENTITY, chain_db(), naive_stats)
+        seminaive_closure((TC_RULE,), IDENTITY, chain_db(), semi_stats)
+        assert naive_stats.duplicates >= semi_stats.duplicates
+
+    def test_naive_iteration_guard(self):
+        with pytest.raises(EvaluationError):
+            naive_closure((TC_RULE,), IDENTITY, chain_db(), max_iterations=1)
+
+
+class TestLinearRecursionDriver:
+    def test_solve_with_exit_rules(self):
+        program = parse_program(
+            """
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            path(X, Y) :- edge(X, Y).
+            """
+        )
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        result = solve_linear_recursion(recursion, chain_db())
+        assert result.rows == frozenset(
+            (i, j) for i in range(6) for j in range(i + 1, 6)
+        )
+
+    def test_evaluate_exit_rules_only(self):
+        program = parse_program(
+            """
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            path(X, Y) :- edge(X, Y).
+            """
+        )
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        initial = evaluate_exit_rules(recursion, chain_db())
+        assert initial.rows == chain_db().relation("edge").rows
+
+
+class TestDerivationGraph:
+    def test_nodes_and_initial(self):
+        graph = build_derivation_graph((TC_RULE,), IDENTITY, chain_db())
+        assert IDENTITY.rows <= graph.nodes
+        assert graph.initial == set(IDENTITY.rows)
+
+    def test_arc_count_matches_statistics_on_single_rule(self):
+        stats = EvaluationStatistics()
+        seminaive_closure((TC_RULE,), IDENTITY, chain_db(), stats)
+        graph = build_derivation_graph((TC_RULE,), IDENTITY, chain_db())
+        assert graph.total_arcs() == stats.derivations
+
+    def test_duplicates_definition(self):
+        graph = build_derivation_graph((TC_RULE,), IDENTITY, chain_db())
+        derived = graph.nodes - graph.initial
+        assert graph.duplicates() == graph.total_arcs() - len(derived)
+
+    def test_in_degree(self):
+        graph = build_derivation_graph((TC_RULE,), IDENTITY, chain_db())
+        # Tuple (0, 5) is derived only from (1, 5) by prepending edge (0, 1).
+        assert graph.in_degree((0, 5)) == 1
+
+    def test_labels_default_to_rule_text(self):
+        graph = build_derivation_graph((TC_RULE,), IDENTITY, chain_db())
+        assert graph.labels() == frozenset({str(TC_RULE)})
+
+    def test_custom_labels(self):
+        graph = build_derivation_graph(
+            (TC_RULE,), IDENTITY, chain_db(), labels={TC_RULE: "B"}
+        )
+        assert graph.labels() == frozenset({"B"})
+
+    def test_nodes_with_duplicates_on_diamond(self):
+        # A diamond graph gives (0, 3) two derivations.
+        database = Database.of(Relation.of("edge", 2, [(0, 1), (0, 2), (1, 3), (2, 3)]))
+        initial = Relation.of("path", 2, [(i, i) for i in range(4)])
+        graph = build_derivation_graph((TC_RULE,), initial, database)
+        assert (0, 3) in graph.nodes_with_duplicates()

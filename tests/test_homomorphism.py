@@ -1,0 +1,85 @@
+"""Unit tests for homomorphism search between rules."""
+
+from repro.cq.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+)
+from repro.datalog.parser import parse_rule
+from repro.datalog.terms import Variable
+
+
+class TestFindHomomorphism:
+    def test_identity_homomorphism(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), e(Z, Y).")
+        mapping = find_homomorphism(rule, rule)
+        assert mapping is not None
+        assert is_homomorphism(mapping, rule, rule)
+
+    def test_folding_homomorphism(self):
+        general = parse_rule("p(X) :- e(X, Z), e(X, W).")
+        specific = parse_rule("p(X) :- e(X, Z).")
+        mapping = find_homomorphism(general, specific)
+        assert mapping is not None
+        assert mapping[Variable("Z")] == mapping[Variable("W")]
+
+    def test_no_homomorphism_when_atom_missing(self):
+        source = parse_rule("p(X) :- e(X, Z), f(Z).")
+        target = parse_rule("p(X) :- e(X, Z).")
+        assert find_homomorphism(source, target) is None
+
+    def test_distinguished_variables_must_be_fixed(self):
+        source = parse_rule("p(X, Y) :- e(X, Y).")
+        target = parse_rule("p(X, Y) :- e(Y, X).")
+        assert find_homomorphism(source, target) is None
+
+    def test_head_predicate_must_match(self):
+        source = parse_rule("p(X) :- e(X, X).")
+        target = parse_rule("q(X) :- e(X, X).")
+        assert find_homomorphism(source, target) is None
+
+    def test_constants_map_to_themselves(self):
+        source = parse_rule("p(X) :- e(X, a).")
+        target_same = parse_rule("p(X) :- e(X, a).")
+        target_other = parse_rule("p(X) :- e(X, b).")
+        assert find_homomorphism(source, target_same) is not None
+        assert find_homomorphism(source, target_other) is None
+
+    def test_positional_head_correspondence(self):
+        # Heads with different variable names but the same pattern.
+        source = parse_rule("p(A, B) :- e(A, B).")
+        target = parse_rule("p(X, Y) :- e(X, Y), f(Y).")
+        mapping = find_homomorphism(source, target)
+        assert mapping is not None
+        assert mapping[Variable("A")] == Variable("X")
+
+
+class TestEnumerationAndChecking:
+    def test_homomorphism_count_on_cycle(self):
+        # Body is a 2-cycle with no head variables involved: both rotations work.
+        source = parse_rule("p(X) :- q(X), e(A, B), e(B, A).")
+        target = parse_rule("p(X) :- q(X), e(A, B), e(B, A).")
+        assert count_homomorphisms(source, target) >= 2
+
+    def test_homomorphisms_yields_only_valid_mappings(self):
+        source = parse_rule("p(X) :- e(X, Z), f(Z, W).")
+        target = parse_rule("p(X) :- e(X, U), f(U, V), f(U, W).")
+        for mapping in homomorphisms(source, target):
+            assert is_homomorphism(mapping, source, target)
+
+    def test_is_homomorphism_rejects_bad_mapping(self):
+        source = parse_rule("p(X) :- e(X, Z).")
+        target = parse_rule("p(X) :- e(X, U).")
+        bad = {Variable("Z"): Variable("X")}
+        assert not is_homomorphism(bad, source, target)
+
+    def test_count_respects_limit(self):
+        source = parse_rule("p(X) :- q(X), e(A, B).")
+        target = parse_rule("p(X) :- q(X), e(A, B), e(C, D), e(E, F).")
+        assert count_homomorphisms(source, target, limit=2) == 2
+
+    def test_empty_body_always_maps(self):
+        source = parse_rule("p(a).")
+        target = parse_rule("p(a).")
+        assert find_homomorphism(source, target) is not None

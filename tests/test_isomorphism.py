@@ -1,0 +1,79 @@
+"""Unit tests for the fast restricted-class equivalence test (Lemma 5.4)."""
+
+import pytest
+
+from repro.cq.containment import is_equivalent
+from repro.cq.isomorphism import fast_equivalence, find_isomorphism
+from repro.datalog.parser import parse_rule
+from repro.exceptions import NotApplicableError
+
+
+class TestFastEquivalence:
+    def test_identical_rules(self):
+        rule = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        assert fast_equivalence(rule, rule)
+
+    def test_renamed_nondistinguished_variables(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(W, Y), q(X, W).")
+        assert fast_equivalence(first, second)
+
+    def test_different_predicates_not_equivalent(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(U, Y), r(X, U).")
+        assert not fast_equivalence(first, second)
+
+    def test_different_wiring_not_equivalent(self):
+        first = parse_rule("p(X, Y) :- q(X, Y), r(Y, X).")
+        second = parse_rule("p(X, Y) :- q(X, Y), r(X, Y).")
+        assert not fast_equivalence(first, second)
+
+    def test_reordered_bodies_are_equivalent(self):
+        first = parse_rule("p(X, Y) :- q(X, U), r(U, Y).")
+        second = parse_rule("p(X, Y) :- r(U, Y), q(X, U).")
+        assert fast_equivalence(first, second)
+
+    def test_non_injective_mapping_rejected(self):
+        first = parse_rule("p(X) :- q(X, U), r(X, V).")
+        second = parse_rule("p(X) :- q(X, W), r(X, W).")
+        assert not fast_equivalence(first, second)
+
+    def test_agrees_with_general_equivalence_on_restricted_rules(self):
+        pairs = [
+            ("p(X, Y) :- p(U, Y), q(X, U).", "p(X, Y) :- q(X, V), p(V, Y)."),
+            ("p(X, Y) :- p(X, V), r(V, Y).", "p(X, Y) :- p(X, V), r(Y, V)."),
+            ("p(X) :- p(X), a(X), b(X).", "p(X) :- b(X), p(X), a(X)."),
+        ]
+        for first_text, second_text in pairs:
+            first = parse_rule(first_text)
+            second = parse_rule(second_text)
+            assert fast_equivalence(first, second) == is_equivalent(first, second)
+
+
+class TestRestrictions:
+    def test_repeated_nonrecursive_predicates_rejected(self):
+        rule = parse_rule("p(X) :- q(X, U), q(U, X).")
+        with pytest.raises(NotApplicableError):
+            fast_equivalence(rule, rule)
+
+    def test_repeated_head_variables_rejected(self):
+        rule = parse_rule("p(X, X) :- q(X).")
+        with pytest.raises(NotApplicableError):
+            fast_equivalence(rule, rule)
+
+
+class TestFindIsomorphism:
+    def test_returns_mapping_fixing_distinguished_variables(self):
+        first = parse_rule("p(X, Y) :- q(X, U), r(U, Y).")
+        second = parse_rule("p(X, Y) :- q(X, W), r(W, Y).")
+        mapping = find_isomorphism(first, second)
+        assert mapping is not None
+        from repro.datalog.terms import Variable
+
+        assert mapping[Variable("X")] == Variable("X")
+        assert mapping[Variable("U")] == Variable("W")
+
+    def test_returns_none_when_predicate_sets_differ(self):
+        first = parse_rule("p(X) :- q(X, U).")
+        second = parse_rule("p(X) :- q(X, U), s(U).")
+        assert find_isomorphism(first, second) is None

@@ -1,0 +1,110 @@
+"""Unit tests for repro.datalog.normalize."""
+
+import pytest
+
+from repro.datalog.normalize import (
+    eliminate_equalities,
+    rectify,
+    standardize_many,
+    standardize_pair,
+)
+from repro.datalog.parser import parse_rule
+from repro.exceptions import RuleStructureError
+
+
+class TestRectify:
+    def test_no_change_for_rectified_rule(self):
+        rule = parse_rule("p(X, Y) :- q(X, Y).")
+        assert rectify(rule) is rule
+
+    def test_repeated_head_variable_gets_equality(self):
+        rule = parse_rule("p(X, X) :- q(X).")
+        rectified = rectify(rule)
+        assert not rectified.has_repeated_head_variables()
+        equalities = [atom for atom in rectified.body if atom.is_equality()]
+        assert len(equalities) == 1
+
+    def test_head_constant_replaced(self):
+        rule = parse_rule("p(X, a) :- q(X).")
+        rectified = rectify(rule)
+        assert all(not term_is_constant for term_is_constant in (
+            not hasattr(term, "name") for term in rectified.head.arguments
+        ))
+        assert any(atom.is_equality() for atom in rectified.body)
+
+    def test_rectified_rule_equivalent_after_equality_elimination(self):
+        rule = parse_rule("p(X, X) :- q(X, Y).")
+        roundtrip = eliminate_equalities(rectify(rule))
+        assert roundtrip.head.predicate == rule.head.predicate
+        assert len(roundtrip.body) == len(rule.body)
+
+
+class TestEliminateEqualities:
+    def test_variable_variable_equality(self):
+        rule = parse_rule("p(X, Y) :- q(X, Z), Y = Z.")
+        simplified = eliminate_equalities(rule)
+        assert not any(atom.is_equality() for atom in simplified.body)
+        assert simplified.head.arguments[1] in simplified.body[0].arguments
+
+    def test_variable_constant_equality(self):
+        rule = parse_rule("p(X) :- q(X, Z), Z = a.")
+        simplified = eliminate_equalities(rule)
+        assert str(simplified.body[0]) == "q(X, a)"
+
+    def test_trivial_equality_dropped(self):
+        rule = parse_rule("p(X) :- q(X), X = X.")
+        simplified = eliminate_equalities(rule)
+        assert len(simplified.body) == 1
+
+    def test_contradictory_equality_raises(self):
+        rule = parse_rule("p(X) :- q(X), a = b.")
+        with pytest.raises(RuleStructureError):
+            eliminate_equalities(rule)
+
+    def test_head_variable_kept_as_representative(self):
+        rule = parse_rule("p(X) :- q(Z), X = Z.")
+        simplified = eliminate_equalities(rule)
+        assert str(simplified.body[0]) == "q(X)"
+
+
+class TestStandardizePair:
+    def test_same_consequent_after_standardization(self):
+        first = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        second = parse_rule("p(A, B) :- p(A, C), f(C, B).")
+        first_std, second_std = standardize_pair(first, second)
+        assert first_std.head == second_std.head
+
+    def test_no_shared_nondistinguished_variables(self):
+        first = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        second = parse_rule("p(X, Y) :- f(X, Z), p(Z, Y).")
+        first_std, second_std = standardize_pair(first, second)
+        first_nd = set(first_std.nondistinguished_variables())
+        second_nd = set(second_std.nondistinguished_variables())
+        assert not (first_nd & second_nd)
+
+    def test_different_predicates_rejected(self):
+        first = parse_rule("p(X) :- q(X), p(X).")
+        second = parse_rule("r(X) :- q(X), r(X).")
+        with pytest.raises(RuleStructureError):
+            standardize_pair(first, second)
+
+    def test_repeated_head_variables_rectified(self):
+        first = parse_rule("p(X, X) :- q(X), p(X, X).")
+        second = parse_rule("p(A, B) :- r(A, B), p(A, B).")
+        first_std, second_std = standardize_pair(first, second)
+        assert not first_std.has_repeated_head_variables()
+        assert first_std.head == second_std.head
+
+    def test_standardize_many(self):
+        rules = [
+            parse_rule("p(X, Y) :- e(X, Z), p(Z, Y)."),
+            parse_rule("p(A, B) :- p(A, C), f(C, B)."),
+            parse_rule("p(U, V) :- g(U), p(U, V)."),
+        ]
+        standardized = standardize_many(rules)
+        assert len(standardized) == 3
+        heads = {rule.head for rule in standardized}
+        assert len(heads) == 1
+
+    def test_standardize_many_empty(self):
+        assert standardize_many([]) == ()

@@ -1,0 +1,111 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.datalog.parser import parse_atom, parse_program, parse_rule, parse_term
+from repro.datalog.terms import Constant, Variable
+from repro.exceptions import DatalogSyntaxError
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("Xyz") == Variable("Xyz")
+        assert parse_term("_tmp") == Variable("_tmp")
+
+    def test_lowercase_constant(self):
+        assert parse_term("alice") == Constant("alice")
+
+    def test_integer_constant(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-3") == Constant(-3)
+
+    def test_quoted_constant(self):
+        assert parse_term('"Hello World"') == Constant("Hello World")
+        assert parse_term("'x y'") == Constant("x y")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_term("X Y")
+
+
+class TestAtoms:
+    def test_basic_atom(self):
+        atom = parse_atom("edge(X, b)")
+        assert atom.name == "edge"
+        assert atom.arguments == (Variable("X"), Constant("b"))
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("done").arity == 0
+
+    def test_infix_equality(self):
+        atom = parse_atom("X = a")
+        assert atom.is_equality()
+        assert atom.arguments == (Variable("X"), Constant("a"))
+
+    def test_nested_parentheses_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("p(q(X))")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("edge(a, b).")
+        assert rule.is_fact()
+        assert rule.head.is_ground()
+
+    def test_rule_with_body(self):
+        rule = parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y).")
+        assert rule.head.name == "path"
+        assert [atom.name for atom in rule.body] == ["edge", "path"]
+
+    def test_rule_with_equality_in_body(self):
+        rule = parse_rule("p(X, Y) :- q(X, Z), Y = Z.")
+        assert any(atom.is_equality() for atom in rule.body)
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- q(X)")
+
+    def test_missing_body_after_arrow_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(X) :- .")
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule('p("abc).')
+
+    def test_error_carries_location(self):
+        try:
+            parse_rule("p(X) :-\n  q(X& ).")
+        except DatalogSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover - defensive
+            pytest.fail("expected a syntax error")
+
+
+class TestPrograms:
+    def test_program_with_comments_and_facts(self):
+        program = parse_program(
+            """
+            % transitive closure
+            path(X, Y) :- edge(X, Z), path(Z, Y).  # recursive
+            path(X, Y) :- edge(X, Y).
+            edge(1, 2).
+            edge(2, 3).
+            """
+        )
+        assert len(program) == 4
+        assert len(program.facts()) == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% only a comment\n")) == 0
+
+    def test_program_roundtrip(self):
+        text = "p(X, Y) :- e(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y)."
+        program = parse_program(text)
+        assert parse_program(str(program)).rules == program.rules
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("p(X) :- q(X) & r(X).")

@@ -1,0 +1,178 @@
+"""Tests for the planner, the end-to-end engine, and the analyzer."""
+
+import pytest
+
+from repro.core.analysis import RecursionAnalyzer
+from repro.core.decomposition import partition_commuting, verify_star_decomposition
+from repro.core.engine import RecursiveQueryEngine
+from repro.core.planner import QueryPlanner, Strategy
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.exceptions import AnalysisError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.storage.selection import EqualitySelection
+from repro.workloads import scenarios
+
+
+def two_sided_db():
+    return Database.of(
+        Relation.of("edge", 2, [(0, 1), (1, 2), (2, 3)]),
+        Relation.of("hop", 2, [(2, 4), (3, 4), (4, 5)]),
+        Relation.of("base", 2, [(i, i) for i in range(6)]),
+    )
+
+
+class TestPartitioning:
+    def test_commuting_rules_split_into_singletons(self, path_rules):
+        groups = partition_commuting(path_rules)
+        assert len(groups) == 2
+
+    def test_noncommuting_rules_stay_together(self):
+        first = parse_rule("t(X, Y) :- a(X, U), t(U, Y).")
+        second = parse_rule("t(X, Y) :- b(X, U), t(U, Y).")
+        groups = partition_commuting((first, second))
+        assert len(groups) == 1
+
+    def test_mixed_partition(self, path_rules):
+        third = parse_rule("path(X, Y) :- extra(X, U), path(U, Y).")
+        groups = partition_commuting((*path_rules, third))
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [1, 2]
+
+    def test_verify_star_decomposition(self, path_rules, chain_database, identity_initial):
+        groups = partition_commuting(path_rules)
+        assert verify_star_decomposition(groups, identity_initial, chain_database)
+
+
+class TestPlanner:
+    def test_decomposed_plan_for_commuting_rules(self):
+        program = scenarios.two_sided_transitive_closure_program()
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        plan = QueryPlanner().plan(recursion)
+        assert plan.strategy == Strategy.DECOMPOSED
+        assert len(plan.groups) == 2
+        assert "commute" in plan.explain()
+
+    def test_direct_plan_for_noncommuting_rules(self):
+        program = scenarios.noncommuting_program()
+        recursion = program.linear_recursion_of(Predicate("t", 2))
+        plan = QueryPlanner().plan(recursion)
+        assert plan.strategy == Strategy.DIRECT
+
+    def test_separable_plan_with_selection(self):
+        program = scenarios.separable_selection_program()
+        recursion = program.linear_recursion_of(Predicate("reach", 2))
+        plan = QueryPlanner().plan(recursion, EqualitySelection(0, 0))
+        assert plan.strategy == Strategy.SEPARABLE
+        assert plan.separable is not None
+
+    def test_redundancy_plan_for_single_rule(self):
+        program = scenarios.redundant_buys_program()
+        recursion = program.linear_recursion_of(Predicate("buys", 2))
+        plan = QueryPlanner().plan(recursion)
+        assert plan.strategy == Strategy.REDUNDANCY_AWARE
+        assert plan.factorization is not None
+
+    def test_feature_switches(self):
+        program = scenarios.two_sided_transitive_closure_program()
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        plan = QueryPlanner(allow_decomposition=False).plan(recursion)
+        assert plan.strategy == Strategy.DIRECT
+
+        buys = scenarios.redundant_buys_program().linear_recursion_of(Predicate("buys", 2))
+        assert QueryPlanner(allow_redundancy=False).plan(buys).strategy == Strategy.DIRECT
+
+    def test_plan_rules_subset(self):
+        program = scenarios.two_sided_transitive_closure_program()
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        subset_plan = QueryPlanner().plan_rules(recursion.recursive_rules[:1], recursion)
+        assert subset_plan.strategy == Strategy.DIRECT
+
+
+class TestEngine:
+    def test_query_matches_baseline(self):
+        engine = RecursiveQueryEngine()
+        program = scenarios.two_sided_transitive_closure_program()
+        database = two_sided_db()
+        planned = engine.query(program, "path", database)
+        direct = engine.baseline(program, "path", database)
+        assert planned.relation.rows == direct.relation.rows
+        assert planned.plan.strategy == Strategy.DECOMPOSED
+        assert planned.statistics.result_size == len(planned.relation)
+
+    def test_query_accepts_source_text_and_facts(self):
+        engine = RecursiveQueryEngine()
+        text = """
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            path(X, Y) :- edge(X, Y).
+            edge(1, 2).
+            edge(2, 3).
+        """
+        result = engine.query(text, "path")
+        assert result.relation.rows == frozenset({(1, 2), (2, 3), (1, 3)})
+
+    def test_query_with_selection(self):
+        engine = RecursiveQueryEngine()
+        program = scenarios.separable_selection_program()
+        database = Database.of(
+            Relation.of("left", 2, [(0, 1), (1, 2)]),
+            Relation.of("right", 2, [(2, 3)]),
+            Relation.of("start", 2, [(i, i) for i in range(4)]),
+        )
+        selection = EqualitySelection(0, 0)
+        planned = engine.query(program, "reach", database, selection=selection)
+        direct = engine.baseline(program, "reach", database, selection=selection)
+        assert planned.relation.rows == direct.relation.rows
+        assert all(row[0] == 0 for row in planned.relation.rows)
+
+    def test_explicit_initial_relation(self):
+        engine = RecursiveQueryEngine()
+        program = scenarios.two_sided_transitive_closure_program()
+        database = two_sided_db()
+        initial = Relation.of("seed", 2, [(2, 2)])
+        result = engine.query(program, "path", database, initial=initial)
+        assert (0, 5) in result.relation
+
+    def test_unknown_predicate_rejected(self):
+        engine = RecursiveQueryEngine()
+        with pytest.raises(AnalysisError):
+            engine.query("p(X) :- q(X).", "zzz", Database({}))
+
+    def test_redundancy_plan_execution_matches_direct(self):
+        engine = RecursiveQueryEngine()
+        program = scenarios.redundant_buys_program()
+        database = Database.of(
+            Relation.of("knows", 2, [(i, i + 1) for i in range(6)]),
+            Relation.of("cheap", 1, [(i,) for i in range(0, 7, 2)]),
+            Relation.of("likes", 2, [(i, i) for i in range(7)]),
+        )
+        planned = engine.query(program, "buys", database)
+        direct = engine.baseline(program, "buys", database)
+        assert planned.plan.strategy == Strategy.REDUNDANCY_AWARE
+        assert planned.relation.rows == direct.relation.rows
+
+    def test_result_len_and_explain(self):
+        engine = RecursiveQueryEngine()
+        result = engine.query("p(X) :- q(X), p(X).\np(X) :- base(X).\nbase(1).", "p")
+        assert len(result) == 1
+        assert "strategy" in result.explain()
+
+
+class TestAnalyzer:
+    def test_report_covers_pairs_and_plan(self):
+        program = scenarios.two_sided_transitive_closure_program()
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        report = RecursionAnalyzer().analyze(recursion)
+        assert len(report.pairs) == 1
+        assert report.pairs[0].commute
+        assert report.plan is not None and report.plan.strategy == Strategy.DECOMPOSED
+        text = report.render()
+        assert "a-graph" in text and "pairwise analysis" in text
+
+    def test_report_detects_redundancy(self):
+        program = scenarios.redundant_buys_program()
+        recursion = program.linear_recursion_of(Predicate("buys", 2))
+        report = RecursionAnalyzer().analyze(recursion)
+        assert any(findings for findings in report.redundancies.values())
+        assert "recursively redundant" in report.render()

@@ -1,0 +1,115 @@
+"""Unit tests for repro.datalog.programs."""
+
+import pytest
+
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.programs import LinearRecursion, Program
+from repro.exceptions import RuleStructureError
+
+TC_PROGRAM = """
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    path(X, Y) :- path(X, Z), hop(Z, Y).
+    path(X, Y) :- edge(X, Y).
+    edge(1, 2).
+"""
+
+
+class TestPredicateClassification:
+    def test_idb_and_edb(self):
+        program = parse_program(TC_PROGRAM)
+        assert Predicate("path", 2) in program.idb_predicates
+        assert Predicate("edge", 2) in program.edb_predicates
+        assert Predicate("hop", 2) in program.edb_predicates
+
+    def test_facts_and_proper_rules(self):
+        program = parse_program(TC_PROGRAM)
+        assert len(program.facts()) == 1
+        assert len(program.proper_rules()) == 3
+
+    def test_rules_for(self):
+        program = parse_program(TC_PROGRAM)
+        assert len(program.rules_for(Predicate("path", 2))) == 3
+        assert program.rules_for(Predicate("missing", 1)) == ()
+
+    def test_all_predicates(self):
+        program = parse_program(TC_PROGRAM)
+        names = {predicate.name for predicate in program.predicates}
+        assert names == {"path", "edge", "hop"}
+
+    def test_program_concatenation(self):
+        first = parse_program("p(X) :- q(X).")
+        second = parse_program("q(a).")
+        assert len(first + second) == 2
+
+
+class TestDependencyAnalysis:
+    def test_depends_on_self(self):
+        program = parse_program(TC_PROGRAM)
+        assert program.is_recursive_predicate(Predicate("path", 2))
+        assert not program.is_recursive_predicate(Predicate("edge", 2))
+
+    def test_recursive_predicates(self):
+        program = parse_program(TC_PROGRAM)
+        assert program.recursive_predicates() == frozenset({Predicate("path", 2)})
+
+    def test_transitive_dependency(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- c(X).
+            """
+        )
+        assert program.depends_on(Predicate("a", 1), Predicate("c", 1))
+        assert not program.depends_on(Predicate("c", 1), Predicate("a", 1))
+
+    def test_linear_in(self):
+        program = parse_program(TC_PROGRAM)
+        assert program.is_linear_in(Predicate("path", 2))
+
+    def test_nonlinear_detected(self):
+        program = parse_program("p(X, Y) :- p(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).")
+        assert not program.is_linear_in(Predicate("p", 2))
+
+    def test_mutual_recursion_counts_as_nonlinear(self):
+        program = parse_program(
+            """
+            p(X) :- q(X).
+            q(X) :- p(X).
+            """
+        )
+        assert not program.is_linear_in(Predicate("p", 1))
+
+
+class TestLinearRecursionExtraction:
+    def test_extraction_splits_rules(self):
+        program = parse_program(TC_PROGRAM)
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        assert recursion.operator_count() == 2
+        assert len(recursion.exit_rules) == 1
+        assert recursion.arity == 2
+
+    def test_unknown_predicate_rejected(self):
+        program = parse_program(TC_PROGRAM)
+        with pytest.raises(RuleStructureError):
+            program.linear_recursion_of(Predicate("unknown", 2))
+
+    def test_nonlinear_recursion_rejected(self):
+        program = parse_program("p(X, Y) :- p(X, Z), p(Z, Y).\np(X, Y) :- e(X, Y).")
+        with pytest.raises(RuleStructureError):
+            program.linear_recursion_of(Predicate("p", 2))
+
+    def test_linear_recursion_validation(self):
+        recursive = parse_rule("p(X) :- q(X), p(X).")
+        exit_rule = parse_rule("p(X) :- base(X).")
+        recursion = LinearRecursion(Predicate("p", 1), (recursive,), (exit_rule,))
+        assert recursion.operator_count() == 1
+        with pytest.raises(RuleStructureError):
+            LinearRecursion(Predicate("p", 1), (exit_rule,), ())
+        with pytest.raises(RuleStructureError):
+            LinearRecursion(Predicate("p", 1), (recursive,), (recursive,))
+
+    def test_str_contains_all_rules(self):
+        program = parse_program(TC_PROGRAM)
+        recursion = program.linear_recursion_of(Predicate("path", 2))
+        assert str(recursion).count(":-") == 3

@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The strategies generate random small graphs, relations, and rules of the
+restricted class, and check the library's structural invariants:
+
+* semi-naive, naive, and operator-closure evaluation agree;
+* the closure is a fixpoint containing the initial relation;
+* Theorem 3.1: decomposition of a commuting pair never adds duplicates
+  and never changes the answer;
+* Theorem 5.2: on the restricted class the syntactic condition agrees
+  with the definition-based commutativity test;
+* Theorem 6.2: separable pairs always commute;
+* formula (3.1) holds for arbitrary pairs;
+* rule composition is associative up to equivalence, and containment is
+  transitive.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.commutativity import commute_by_definition, sufficient_condition
+from repro.core.decomposition import check_formula_3_1
+from repro.core.separability import is_separable
+from repro.cq.containment import is_contained_in, is_equivalent
+from repro.datalog.composition import compose
+from repro.datalog.normalize import standardize_many
+from repro.datalog.parser import parse_rule
+from repro.engine.decomposed import decomposed_closure
+from repro.engine.naive import naive_closure
+from repro.engine.seminaive import seminaive_closure
+from repro.engine.statistics import EvaluationStatistics
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads.rulegen import random_commuting_pair, random_restricted_rule, random_rule_pair
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=25
+)
+seeds_strategy = st.integers(0, 10_000)
+
+PREPEND = parse_rule("path(X, Y) :- edge(X, U), path(U, Y).")
+APPEND = parse_rule("path(X, Y) :- path(X, V), hop(V, Y).")
+
+
+def _database(edge_rows, hop_rows):
+    return Database.of(
+        Relation.of("edge", 2, edge_rows), Relation.of("hop", 2, hop_rows)
+    )
+
+
+def _identity(*row_sets):
+    nodes = {value for rows in row_sets for row in rows for value in row} or {0}
+    return Relation.of("path", 2, [(node, node) for node in nodes])
+
+
+class TestEvaluationInvariants:
+    @SETTINGS
+    @given(edges_strategy)
+    def test_naive_and_seminaive_agree(self, edge_rows):
+        database = _database(edge_rows, [])
+        initial = _identity(edge_rows)
+        semi = seminaive_closure((PREPEND,), initial, database)
+        naive = naive_closure((PREPEND,), initial, database)
+        assert semi.rows == naive.rows
+
+    @SETTINGS
+    @given(edges_strategy)
+    def test_closure_is_a_fixpoint_containing_initial(self, edge_rows):
+        database = _database(edge_rows, [])
+        initial = _identity(edge_rows)
+        closure = seminaive_closure((PREPEND,), initial, database)
+        assert initial.rows <= closure.rows
+        again = seminaive_closure((PREPEND,), closure, database)
+        assert again.rows == closure.rows
+
+    @SETTINGS
+    @given(edges_strategy, edges_strategy)
+    def test_theorem_3_1_on_random_graphs(self, edge_rows, hop_rows):
+        database = _database(edge_rows, hop_rows)
+        initial = _identity(edge_rows, hop_rows)
+        direct_stats = EvaluationStatistics()
+        direct = seminaive_closure((PREPEND, APPEND), initial, database, direct_stats)
+        decomposed_stats = EvaluationStatistics()
+        decomposed = decomposed_closure(
+            [(PREPEND,), (APPEND,)], initial, database, decomposed_stats
+        )
+        assert direct.rows == decomposed.rows
+        assert decomposed_stats.duplicates <= direct_stats.duplicates
+
+    @SETTINGS
+    @given(edges_strategy, edges_strategy)
+    def test_formula_3_1_on_random_graphs(self, edge_rows, hop_rows):
+        database = _database(edge_rows, hop_rows)
+        initial = _identity(edge_rows, hop_rows)
+        assert check_formula_3_1(PREPEND, APPEND, initial, database)
+
+    @SETTINGS
+    @given(edges_strategy)
+    def test_closure_monotone_in_the_initial_relation(self, edge_rows):
+        database = _database(edge_rows, [])
+        initial = _identity(edge_rows)
+        smaller_rows = sorted(initial.rows)[: len(initial.rows) // 2]
+        smaller = Relation.of("path", 2, smaller_rows)
+        assert seminaive_closure((PREPEND,), smaller, database).rows <= seminaive_closure(
+            (PREPEND,), initial, database
+        ).rows
+
+
+class TestRuleInvariants:
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_restricted_class_condition_is_exact(self, seed):
+        rng = random.Random(seed)
+        if seed % 2 == 0:
+            first, second = random_commuting_pair(3, rng)
+        else:
+            first, second = random_rule_pair(3, 2, rng)
+        report = sufficient_condition(first, second)
+        if report.exact:
+            assert report.satisfied == commute_by_definition(first, second)
+        elif report.satisfied:
+            assert commute_by_definition(first, second)
+
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_separable_implies_commutative(self, seed):
+        rng = random.Random(seed)
+        first, second = random_commuting_pair(3, rng)
+        if is_separable(first, second).separable:
+            assert commute_by_definition(first, second)
+
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_composition_is_associative_up_to_equivalence(self, seed):
+        rng = random.Random(seed)
+        rules = standardize_many([
+            random_restricted_rule(3, 2, rng, predicate_prefix=prefix)
+            for prefix in ("a", "b", "c")
+        ])
+        left = compose(compose(rules[0], rules[1]), rules[2])
+        right = compose(rules[0], compose(rules[1], rules[2]))
+        assert is_equivalent(left, right)
+
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_containment_is_transitive_on_generated_rules(self, seed):
+        rng = random.Random(seed)
+        base = random_restricted_rule(3, 2, rng)
+        # Adding conjuncts can only shrink the result.
+        middle = parse_rule(str(base)[:-1] + ", extra0(X0).")
+        tight = parse_rule(str(middle)[:-1] + ", extra1(X1).")
+        assert is_contained_in(middle, base)
+        assert is_contained_in(tight, middle)
+        assert is_contained_in(tight, base)
+
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_commuting_generator_satisfies_condition(self, seed):
+        rng = random.Random(seed)
+        first, second = random_commuting_pair(4, rng)
+        assert sufficient_condition(first, second).satisfied
+
+    @SETTINGS
+    @given(seeds_strategy)
+    def test_self_commutativity(self, seed):
+        rng = random.Random(seed)
+        rule = random_restricted_rule(3, 2, rng)
+        assert commute_by_definition(rule, rule)

@@ -1,0 +1,148 @@
+"""Tests for recursive redundancy (Theorems 4.2, 6.3, 6.4)."""
+
+import random
+
+import pytest
+
+from repro.core.redundancy import (
+    direct_closure,
+    find_redundant_predicates,
+    is_recursively_redundant,
+    redundancy_aware_closure,
+    redundancy_factorization,
+)
+from repro.cq.containment import is_equivalent
+from repro.datalog.composition import compose_chain, power
+from repro.datalog.parser import parse_rule
+from repro.exceptions import NotApplicableError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads import scenarios
+from repro.workloads.graphs import chain_edges, random_graph_edges
+from repro.workloads.relations import random_relation, random_unary_relation
+
+
+class TestDetection:
+    def test_example_6_1_cheap_is_redundant(self):
+        rule = scenarios.example_6_1_rule()
+        names = {finding.predicate_name for finding in find_redundant_predicates(rule)}
+        assert names == {"cheap"}
+        assert is_recursively_redundant(rule, "cheap")
+        assert not is_recursively_redundant(rule, "knows")
+
+    def test_example_6_2_r_is_redundant(self):
+        rule = scenarios.example_6_2_rule()
+        names = {finding.predicate_name for finding in find_redundant_predicates(rule)}
+        assert "r" in names
+        assert "q" not in names and "s" not in names
+
+    def test_plain_transitive_closure_has_no_redundancy(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert find_redundant_predicates(rule) == ()
+
+    def test_finding_reports_witness(self):
+        rule = scenarios.example_6_1_rule()
+        finding = find_redundant_predicates(rule)[0]
+        assert finding.witness.low < finding.witness.high
+        assert "cheap" in str(finding)
+
+
+class TestFactorization:
+    def test_example_6_2_factorization_matches_paper(self):
+        rule = scenarios.example_6_2_rule()
+        factorization = redundancy_factorization(rule)
+        assert factorization.exponent == 2
+        assert str(factorization.factor_c) == "p(W, X, Y, Z) :- p(X, W, X, Z), r(X, Y)."
+        c_power = power(factorization.factor_c, 2)
+        assert is_equivalent(
+            power(rule, 2), compose_chain(factorization.factor_b, c_power)
+        )
+        # B and C^2 commute (stated in Example 6.2 via Theorem 5.1).
+        assert is_equivalent(
+            compose_chain(factorization.factor_b, c_power),
+            compose_chain(c_power, factorization.factor_b),
+        )
+
+    def test_example_6_3_factorization_without_commutation(self):
+        rule = scenarios.example_6_3_rule()
+        factorization = redundancy_factorization(rule)
+        c_power = power(factorization.factor_c, factorization.exponent)
+        bc = compose_chain(factorization.factor_b, c_power)
+        cb = compose_chain(c_power, factorization.factor_b)
+        assert not is_equivalent(bc, cb)
+        assert is_equivalent(compose_chain(c_power, bc), compose_chain(c_power, cb))
+
+    def test_example_6_1_factorization(self):
+        factorization = redundancy_factorization(scenarios.example_6_1_rule())
+        assert factorization.exponent == 1
+        assert factorization.bounded_c_applications >= 1
+        assert "cheap" in str(factorization.factor_c)
+        assert "cheap" not in str(factorization.factor_b)
+
+    def test_no_redundancy_raises(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        with pytest.raises(NotApplicableError):
+            redundancy_factorization(rule)
+
+    def test_explain_mentions_bound(self):
+        factorization = redundancy_factorization(scenarios.example_6_1_rule())
+        assert "at most" in factorization.explain()
+
+
+class TestRedundancyAwareEvaluation:
+    def _random_database_61(self, size, seed):
+        rng = random.Random(seed)
+        return (
+            Database.of(
+                chain_edges(size, name="knows"),
+                random_unary_relation("cheap", size // 2 + 1, domain_size=size, rng=rng),
+            ),
+            random_relation("buys", 2, size, domain_size=size + 1, rng=rng),
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_direct_closure_on_example_6_1(self, seed):
+        rule = scenarios.example_6_1_rule()
+        factorization = redundancy_factorization(rule)
+        database, initial = self._random_database_61(12, seed)
+        direct = direct_closure(rule, initial, database)
+        aware = redundancy_aware_closure(factorization, initial, database)
+        assert direct.rows == aware.rows
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_matches_direct_closure_on_example_6_2(self, seed):
+        rule = scenarios.example_6_2_rule()
+        factorization = redundancy_factorization(rule)
+        rng = random.Random(seed)
+        database = Database.of(
+            random_graph_edges(6, 14, name="q", rng=rng, allow_self_loops=True),
+            random_graph_edges(6, 14, name="r", rng=rng, allow_self_loops=True),
+            random_graph_edges(6, 14, name="s", rng=rng, allow_self_loops=True),
+        )
+        initial = random_relation("p", 4, 25, domain_size=6, rng=rng)
+        direct = direct_closure(rule, initial, database)
+        aware = redundancy_aware_closure(factorization, initial, database)
+        assert direct.rows == aware.rows
+
+    def test_matches_direct_closure_on_example_6_3(self):
+        rule = scenarios.example_6_3_rule()
+        factorization = redundancy_factorization(rule)
+        rng = random.Random(9)
+        database = Database.of(
+            random_graph_edges(5, 12, name="q", rng=rng, allow_self_loops=True),
+            random_graph_edges(5, 12, name="r", rng=rng, allow_self_loops=True),
+            random_graph_edges(5, 12, name="s", rng=rng, allow_self_loops=True),
+        )
+        initial = random_relation("p", 4, 20, domain_size=5, rng=rng)
+        direct = direct_closure(rule, initial, database)
+        aware = redundancy_aware_closure(factorization, initial, database)
+        assert direct.rows == aware.rows
+
+    def test_empty_initial_relation(self):
+        rule = scenarios.example_6_1_rule()
+        factorization = redundancy_factorization(rule)
+        database = Database.of(
+            chain_edges(4, name="knows"), Relation.of("cheap", 1, [(1,)])
+        )
+        empty = Relation.empty("buys", 2)
+        assert redundancy_aware_closure(factorization, empty, database).is_empty()

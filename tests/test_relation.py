@@ -1,0 +1,101 @@
+"""Unit tests for repro.storage.relation."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.storage.relation import Relation
+
+
+class TestConstruction:
+    def test_of_normalises_rows(self):
+        relation = Relation.of("r", 2, [[1, 2], (1, 2), (3, 4)])
+        assert len(relation) == 2
+
+    def test_empty(self):
+        relation = Relation.empty("r", 3)
+        assert relation.is_empty()
+        assert relation.arity == 3
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.of("r", 2, [(1, 2, 3)])
+
+    def test_membership_and_iteration(self):
+        relation = Relation.of("r", 2, [(1, 2)])
+        assert (1, 2) in relation
+        assert [1, 2] in relation
+        assert (2, 1) not in relation
+        assert list(relation) == [(1, 2)]
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        first = Relation.of("r", 1, [(1,), (2,)])
+        second = Relation.of("s", 1, [(2,), (3,)])
+        assert len(first.union(second)) == 3
+        assert first.union(second).name == "r"
+
+    def test_difference_and_intersection(self):
+        first = Relation.of("r", 1, [(1,), (2,)])
+        second = Relation.of("r", 1, [(2,)])
+        assert first.difference(second).rows == frozenset({(1,)})
+        assert first.intersection(second).rows == frozenset({(2,)})
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.of("r", 1, []).union(Relation.of("r", 2, []))
+
+    def test_with_rows(self):
+        relation = Relation.of("r", 1, [(1,)]).with_rows([(2,), (1,)])
+        assert len(relation) == 2
+
+    def test_subset_ordering(self):
+        small = Relation.of("r", 1, [(1,)])
+        big = Relation.of("r", 1, [(1,), (2,)])
+        assert small <= big
+        assert not big <= small
+
+    def test_renamed(self):
+        relation = Relation.of("r", 1, [(1,)]).renamed("s")
+        assert relation.name == "s"
+        assert relation.rows == frozenset({(1,)})
+
+
+class TestQueries:
+    def test_filter(self):
+        relation = Relation.of("r", 2, [(1, 2), (3, 4)])
+        assert relation.filter(lambda row: row[0] == 1).rows == frozenset({(1, 2)})
+
+    def test_project(self):
+        relation = Relation.of("r", 3, [(1, 2, 3), (1, 5, 6)])
+        projected = relation.project([0])
+        assert projected.arity == 1
+        assert projected.rows == frozenset({(1,)})
+
+    def test_project_reorders_columns(self):
+        relation = Relation.of("r", 2, [(1, 2)])
+        assert relation.project([1, 0]).rows == frozenset({(2, 1)})
+
+    def test_project_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Relation.of("r", 2, []).project([2])
+
+    def test_select_equal(self):
+        relation = Relation.of("r", 2, [(1, 2), (3, 2), (3, 4)])
+        assert relation.select_equal(0, 3).rows == frozenset({(3, 2), (3, 4)})
+        with pytest.raises(SchemaError):
+            relation.select_equal(5, 3)
+
+    def test_column_values_and_active_domain(self):
+        relation = Relation.of("r", 2, [(1, 2), (3, 2)])
+        assert relation.column_values(1) == frozenset({2})
+        assert relation.active_domain() == frozenset({1, 2, 3})
+        with pytest.raises(SchemaError):
+            relation.column_values(9)
+
+    def test_sorted_rows_deterministic(self):
+        relation = Relation.of("r", 2, [(3, 1), (1, 2), (2, 2)])
+        assert relation.sorted_rows() == sorted(relation.rows, key=lambda r: tuple(map(str, r)))
+
+    def test_str_mentions_name_and_size(self):
+        assert "r/2" in str(Relation.of("r", 2, [(1, 2)]))

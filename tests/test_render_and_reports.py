@@ -1,0 +1,76 @@
+"""Tests for rendering helpers and report objects across the library."""
+
+from repro.agraph.graph import AlphaGraph
+from repro.agraph.render import render_ascii, render_dot
+from repro.core.analysis import RecursionAnalyzer
+from repro.core.commutativity import sufficient_condition
+from repro.core.planner import QueryPlanner, Strategy
+from repro.core.redundancy import redundancy_factorization
+from repro.core.separability import is_separable, separable_plan
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_rule
+from repro.storage.selection import EqualitySelection
+from repro.workloads import scenarios
+
+
+class TestAgraphRendering:
+    def test_ascii_lists_classification_of_each_distinguished_variable(self):
+        graph = AlphaGraph(scenarios.example_6_2_rule())
+        text = render_ascii(graph)
+        assert "link 2-persistent" in text
+        assert "general (1-ray)" in text
+
+    def test_ascii_marks_nondistinguished_variables(self):
+        graph = AlphaGraph(parse_rule("p(X) :- p(U), q(X, U)."))
+        assert "nondistinguished" in render_ascii(graph)
+
+    def test_dot_has_one_edge_line_per_arc(self):
+        graph = AlphaGraph(scenarios.figure_2_rule())
+        dot = render_dot(graph)
+        arrow_lines = [line for line in dot.splitlines() if "->" in line]
+        assert len(arrow_lines) == len(graph.static_arcs) + len(graph.dynamic_arcs)
+
+
+class TestReportExplanations:
+    def test_commutativity_report_explains_exactness(self):
+        report = sufficient_condition(*scenarios.example_5_2_rules())
+        assert "exact" in report.explain()
+
+    def test_separability_report_explain(self):
+        text = is_separable(*scenarios.example_5_3_rules()).explain()
+        assert "separable: False" in text
+
+    def test_separable_plan_explain_names_operators(self):
+        first, second = scenarios.example_5_2_rules()
+        plan = separable_plan(first, second, EqualitySelection(1, "a"))
+        assert "outer" in plan.explain() and "inner" in plan.explain()
+
+    def test_factorization_explain_mentions_power_and_bound(self):
+        factorization = redundancy_factorization(scenarios.example_6_2_rule())
+        text = factorization.explain()
+        assert "A^2" in text and "at most" in text
+
+    def test_plan_explain_for_each_strategy(self):
+        planner = QueryPlanner()
+        decomposed = planner.plan(
+            scenarios.two_sided_transitive_closure_program().linear_recursion_of(
+                Predicate("path", 2)
+            )
+        )
+        assert decomposed.strategy == Strategy.DECOMPOSED
+        assert "evaluation order" in decomposed.explain()
+
+        redundant = planner.plan(
+            scenarios.redundant_buys_program().linear_recursion_of(Predicate("buys", 2))
+        )
+        assert redundant.strategy == Strategy.REDUNDANCY_AWARE
+        assert "C factor" in redundant.explain()
+
+    def test_analyzer_report_renders_for_single_rule_recursion(self):
+        recursion = scenarios.same_generation_program().linear_recursion_of(
+            Predicate("sg", 2)
+        )
+        report = RecursionAnalyzer().analyze(recursion)
+        text = report.render()
+        assert "predicate: sg/2" in text
+        assert "suggested plan" in text

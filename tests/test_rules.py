@@ -1,0 +1,135 @@
+"""Unit tests for repro.datalog.rules."""
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.datalog.rules import LinearRuleView, Rule, require_same_consequent, same_consequent
+from repro.datalog.terms import Variable
+from repro.exceptions import RuleStructureError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestRuleStructure:
+    def test_fact_detection(self):
+        assert parse_rule("edge(a, b).").is_fact()
+        assert not parse_rule("p(X) :- q(X).").is_fact()
+
+    def test_variables_in_order(self):
+        rule = parse_rule("p(X, Y) :- q(Y, Z), r(X).")
+        assert rule.variables() == (X, Y, Z)
+
+    def test_distinguished_and_nondistinguished(self):
+        rule = parse_rule("p(X, Y) :- q(Y, Z), r(X, W).")
+        assert rule.distinguished_variables() == (X, Y)
+        assert set(rule.nondistinguished_variables()) == {Z, Variable("W")}
+
+    def test_constant_free(self):
+        assert parse_rule("p(X) :- q(X, Y).").is_constant_free()
+        assert not parse_rule("p(X) :- q(X, a).").is_constant_free()
+
+    def test_range_restricted(self):
+        assert parse_rule("p(X, Y) :- q(X), r(Y).").is_range_restricted()
+        assert not parse_rule("p(X, Y) :- q(X).").is_range_restricted()
+
+    def test_repeated_head_variables(self):
+        assert parse_rule("p(X, X) :- q(X).").has_repeated_head_variables()
+        assert not parse_rule("p(X, Y) :- q(X, Y).").has_repeated_head_variables()
+
+    def test_body_predicates_with_repeats(self):
+        rule = parse_rule("p(X) :- q(X), q(X), r(X).")
+        assert [pred.name for pred in rule.body_predicates()] == ["q", "q", "r"]
+
+
+class TestRecursionStructure:
+    def test_linear_recursive(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert rule.is_recursive()
+        assert rule.is_linear_recursive()
+        assert not rule.is_nonrecursive()
+
+    def test_nonlinear_recursive(self):
+        rule = parse_rule("p(X, Y) :- p(X, Z), p(Z, Y).")
+        assert rule.is_recursive()
+        assert not rule.is_linear_recursive()
+
+    def test_exit_rule(self):
+        rule = parse_rule("p(X, Y) :- e(X, Y).")
+        assert rule.is_nonrecursive()
+        assert rule.recursive_atoms() == ()
+
+    def test_nonrecursive_atoms(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y), f(Y).")
+        assert [atom.name for atom in rule.nonrecursive_atoms()] == ["e", "f"]
+
+    def test_repeated_nonrecursive_predicates(self):
+        assert parse_rule("p(X) :- q(X), q(X), p(X).").has_repeated_nonrecursive_predicates()
+        assert not parse_rule("p(X) :- q(X), r(X), p(X).").has_repeated_nonrecursive_predicates()
+
+    def test_restricted_class(self):
+        assert parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).").in_restricted_class()
+        assert not parse_rule("p(X, X) :- e(X, Z), p(Z, X).").in_restricted_class()
+        assert not parse_rule("p(X, Y) :- e(X, Z), e(Z, Y), p(Z, Y).").in_restricted_class()
+        assert not parse_rule("p(X, Y) :- p(Z, Y).").in_restricted_class()
+
+
+class TestLinearRuleView:
+    def test_requires_linear_rule(self):
+        with pytest.raises(RuleStructureError):
+            LinearRuleView(parse_rule("p(X) :- q(X)."))
+        with pytest.raises(RuleStructureError):
+            LinearRuleView(parse_rule("p(X) :- p(X), p(X)."))
+
+    def test_recursive_atom_and_parameters(self):
+        view = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y), f(Y).").linear_view()
+        assert view.recursive_atom.name == "p"
+        assert [atom.name for atom in view.nonrecursive_atoms] == ["e", "f"]
+        assert view.predicate.name == "p"
+
+    def test_h_function(self):
+        view = parse_rule("p(X, Y) :- p(U, Y), q(X, U).").linear_view()
+        assert view.h_of(X) == Variable("U")
+        assert view.h_of(Y) == Y
+
+    def test_h_power(self):
+        view = parse_rule("p(X, Y) :- p(Y, X), q(X).").linear_view()
+        assert view.h_power(X, 1) == Y
+        assert view.h_power(X, 2) == X
+        assert view.h_power(X, 0) == X
+
+    def test_h_power_stops_at_nondistinguished(self):
+        view = parse_rule("p(X, Y) :- p(U, X), q(Y, U).").linear_view()
+        assert view.h_power(X, 1) == Variable("U")
+        assert view.h_power(X, 2) is None
+
+    def test_occurrence_counts(self):
+        view = parse_rule("p(X, Y) :- p(Y, Y), q(X, Y).").linear_view()
+        assert view.head_occurrences(X) == 1
+        assert view.recursive_occurrences(Y) == 2
+        assert view.occurrences_outside_dynamic(Y) == 1
+        assert view.occurrences_outside_dynamic(X) == 1
+
+    def test_head_position_of(self):
+        view = parse_rule("p(X, Y) :- p(X, Y), q(X).").linear_view()
+        assert view.head_position_of(Y) == 1
+        with pytest.raises(KeyError):
+            view.head_position_of(Z)
+
+
+class TestConsequentHelpers:
+    def test_same_consequent(self):
+        first = parse_rule("p(X, Y) :- q(X, Y).")
+        second = parse_rule("p(X, Y) :- r(X, Y).")
+        third = parse_rule("p(A, B) :- r(A, B).")
+        assert same_consequent(first, second)
+        assert not same_consequent(first, third)
+
+    def test_require_same_consequent_raises(self):
+        first = parse_rule("p(X, Y) :- q(X, Y).")
+        third = parse_rule("p(A, B) :- r(A, B).")
+        with pytest.raises(RuleStructureError):
+            require_same_consequent(first, third)
+
+    def test_rule_str_roundtrips_through_parser(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert parse_rule(str(rule)) == rule

@@ -1,0 +1,119 @@
+"""Tests for separability (Section 6.1, Theorems 4.1 and 6.2)."""
+
+from repro.core.commutativity import commute
+from repro.core.separability import (
+    is_separable,
+    selection_commutes_with,
+    separable_plan,
+)
+from repro.datalog.parser import parse_rule
+from repro.storage.selection import EqualitySelection, PositionEqualitySelection
+from repro.workloads import scenarios
+
+
+class TestSeparabilityDetection:
+    def test_transitive_closure_forms_are_separable(self):
+        report = is_separable(*scenarios.example_5_2_rules())
+        assert report.separable
+        assert report.disjoint_nonrecursive_variables
+
+    def test_example_5_3_not_separable(self):
+        report = is_separable(*scenarios.example_5_3_rules())
+        assert not report.separable
+        # The paper notes conditions (2) and (3) are the ones violated.
+        assert not report.condition_2 or not report.condition_3
+
+    def test_condition_1_violation(self):
+        # X maps to another distinguished variable (a 2-cycle).
+        first = parse_rule("p(X, Y) :- p(Y, X), q(X).")
+        second = parse_rule("p(X, Y) :- p(X, V), r(V, Y).")
+        assert not is_separable(first, second).condition_1
+
+    def test_condition_4_violation(self):
+        # Static subgraph of the first rule is disconnected (q and s parts).
+        first = parse_rule("p(X, Y) :- p(U, V), q(X, U), s(Y, V).")
+        second = parse_rule("p(X, Y) :- p(X, Y), t(X, Y).")
+        report = is_separable(first, second)
+        assert not report.condition_4
+
+    def test_explain_contains_all_conditions(self):
+        text = is_separable(*scenarios.example_5_2_rules()).explain()
+        assert "(1)" in text and "(4)" in text and "separable: True" in text
+
+
+class TestTheorem62:
+    def test_separable_implies_commutative(self):
+        first, second = scenarios.example_5_2_rules()
+        assert is_separable(first, second).separable
+        assert commute(first, second)
+
+    def test_commutative_does_not_imply_separable(self):
+        first, second = scenarios.example_5_3_rules()
+        assert commute(first, second)
+        assert not is_separable(first, second).separable
+
+    def test_handcrafted_separable_pairs_commute(self):
+        pairs = [
+            (
+                parse_rule("p(X, Y) :- p(U, Y), q(X, U)."),
+                parse_rule("p(X, Y) :- p(X, V), r(V, Y)."),
+            ),
+            (
+                parse_rule("p(X, Y, Z) :- p(U, Y, Z), a(X, U)."),
+                parse_rule("p(X, Y, Z) :- p(X, V, W), b(V, Y), b(W, Z)."),
+            ),
+        ]
+        for first, second in pairs:
+            if is_separable(first, second).separable:
+                assert commute(first, second)
+
+
+class TestSelectionCommutation:
+    def test_selection_on_persistent_position_commutes(self):
+        rule = parse_rule("p(X, Y) :- p(X, V), r(V, Y).")
+        assert selection_commutes_with(rule, EqualitySelection(0, "a"))
+        assert not selection_commutes_with(rule, EqualitySelection(1, "a"))
+
+    def test_position_equality_selection(self):
+        rule = parse_rule("p(X, Y, Z) :- p(X, Y, W), r(W, Z).")
+        assert selection_commutes_with(rule, PositionEqualitySelection(0, 1))
+        assert not selection_commutes_with(rule, PositionEqualitySelection(0, 2))
+
+    def test_out_of_range_position(self):
+        rule = parse_rule("p(X, Y) :- p(X, V), r(V, Y).")
+        assert not selection_commutes_with(rule, EqualitySelection(7, "a"))
+
+
+class TestSeparablePlan:
+    def test_plan_for_theorem_4_1_instance(self):
+        first, second = scenarios.example_5_2_rules()
+        # Selection on position 1: commutes with the first rule (Y persists).
+        plan = separable_plan(first, second, EqualitySelection(1, "a"))
+        assert plan is not None
+        assert plan.outer.head.predicate.name == "p"
+        assert "Theorem 4.1" in plan.explain()
+
+    def test_plan_orientation_follows_selection(self):
+        first, second = scenarios.example_5_2_rules()
+        plan = separable_plan(first, second, EqualitySelection(0, "a"))
+        assert plan is not None
+        # Position 0 is persistent in the second rule, so it becomes outer.
+        assert plan.outer == plan.commutativity.second
+        assert not plan.push_into_initial
+
+    def test_push_when_selection_commutes_with_both(self):
+        first = parse_rule("p(X, Y, Z) :- p(X, U, Z), a(U, Y).")
+        second = parse_rule("p(X, Y, Z) :- p(X, Y, W), b(W, Z).")
+        plan = separable_plan(first, second, EqualitySelection(0, "a"))
+        assert plan is not None and plan.push_into_initial
+
+    def test_no_plan_without_commutativity(self):
+        first = parse_rule("p(X, Y) :- a(X, U), p(U, Y).")
+        second = parse_rule("p(X, Y) :- b(X, U), p(U, Y).")
+        assert separable_plan(first, second, EqualitySelection(0, "a")) is None
+
+    def test_no_plan_when_selection_commutes_with_neither(self):
+        first = parse_rule("p(X, Y) :- p(U, Y), q(X, U).")
+        second = parse_rule("p(X, Y) :- p(U, V), q(X, U), r(V, Y).")
+        # Position 0 (X) is general in both rules.
+        assert separable_plan(first, second, EqualitySelection(0, "a")) is None

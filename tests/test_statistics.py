@@ -1,0 +1,85 @@
+"""Unit tests for evaluation statistics and the exception hierarchy."""
+
+import pytest
+
+from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.exceptions import (
+    AnalysisError,
+    DatalogSyntaxError,
+    EvaluationError,
+    NotApplicableError,
+    ReproError,
+    RuleStructureError,
+    SchemaError,
+)
+
+
+class TestEvaluationStatistics:
+    def test_record_production_counts_duplicates(self):
+        stats = EvaluationStatistics()
+        stats.record_production(is_duplicate=False)
+        stats.record_production(is_duplicate=True)
+        stats.record_production(is_duplicate=True)
+        assert stats.derivations == 3
+        assert stats.duplicates == 2
+        assert stats.new_tuples() == 1
+
+    def test_duplicate_ratio(self):
+        stats = EvaluationStatistics()
+        assert stats.duplicate_ratio() == 0.0
+        stats.record_production(False)
+        stats.record_production(True)
+        assert stats.duplicate_ratio() == pytest.approx(0.5)
+
+    def test_merge_accumulates_counters(self):
+        first = EvaluationStatistics(derivations=3, duplicates=1, iterations=2)
+        second = EvaluationStatistics(derivations=5, duplicates=2, iterations=1)
+        first.merge(second)
+        assert first.derivations == 8 and first.duplicates == 3 and first.iterations == 3
+
+    def test_add_phase_folds_counters_and_keeps_phase(self):
+        total = EvaluationStatistics()
+        phase = EvaluationStatistics(derivations=4, duplicates=1)
+        total.add_phase("inner", phase)
+        assert total.derivations == 4
+        assert total.phases["inner"] is phase
+
+    def test_summary_and_as_dict(self):
+        stats = EvaluationStatistics(derivations=2, duplicates=1, iterations=3,
+                                     initial_size=4, result_size=5)
+        assert "derivations=2" in stats.summary()
+        data = stats.as_dict()
+        assert data["result_size"] == 5
+        assert data["duplicate_ratio"] == 0.5
+
+    def test_join_counters_defaults(self):
+        counters = JoinCounters()
+        assert counters.rows_probed == 0
+        counters.merge(JoinCounters(rows_probed=2))
+        assert counters.rows_probed == 2
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            DatalogSyntaxError,
+            RuleStructureError,
+            SchemaError,
+            EvaluationError,
+            NotApplicableError,
+            AnalysisError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_syntax_error_formats_location(self):
+        error = DatalogSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_syntax_error_without_location(self):
+        error = DatalogSyntaxError("unexpected end of input")
+        assert error.line is None
+        assert "line" not in str(error)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.datalog.substitution."""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.substitution import (
+    Substitution,
+    match_atom,
+    rename_apart,
+    renaming_for,
+    unify_atoms,
+    unify_terms,
+)
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestSubstitutionBasics:
+    def test_identity_is_empty(self):
+        assert len(Substitution.identity()) == 0
+
+    def test_apply_term(self):
+        theta = Substitution.of({X: Y})
+        assert theta.apply_term(X) == Y
+        assert theta.apply_term(Z) == Z
+        assert theta.apply_term(Constant(1)) == Constant(1)
+
+    def test_apply_atom(self):
+        theta = Substitution.of({X: Constant(1)})
+        assert theta.apply_atom(Atom.of("p", X, Y)) == Atom.of("p", Constant(1), Y)
+
+    def test_apply_atoms(self):
+        theta = Substitution.of({X: Z})
+        atoms = (Atom.of("p", X), Atom.of("q", Y))
+        assert theta.apply_atoms(atoms) == (Atom.of("p", Z), Atom.of("q", Y))
+
+    def test_extend_and_get(self):
+        theta = Substitution.identity().extend(X, Y)
+        assert theta[X] == Y
+        assert theta.get(Z) is None
+        assert X in theta
+
+    def test_restrict(self):
+        theta = Substitution.of({X: Y, Z: W})
+        restricted = theta.restrict([X])
+        assert X in restricted and Z not in restricted
+
+    def test_compose_applies_left_then_right(self):
+        first = Substitution.of({X: Y})
+        second = Substitution.of({Y: Constant(1), Z: W})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == Constant(1)
+        assert composed.apply_term(Z) == W
+
+    def test_domain(self):
+        assert Substitution.of({X: Y, Z: W}).domain() == frozenset({X, Z})
+
+
+class TestUnification:
+    def test_unify_equal_constants(self):
+        assert unify_terms(Constant(1), Constant(1)) == {}
+
+    def test_unify_distinct_constants_fails(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_unify_variable_with_constant(self):
+        assert unify_terms(X, Constant(1)) == {X: Constant(1)}
+
+    def test_unify_atoms_success(self):
+        theta = unify_atoms(Atom.of("p", X, Y), Atom.of("p", Constant(1), Z))
+        assert theta is not None
+        assert theta.apply_atom(Atom.of("p", X, Y)) == theta.apply_atom(
+            Atom.of("p", Constant(1), Z)
+        )
+
+    def test_unify_atoms_different_predicates(self):
+        assert unify_atoms(Atom.of("p", X), Atom.of("q", X)) is None
+
+    def test_unify_atoms_clash(self):
+        assert unify_atoms(
+            Atom.of("p", Constant(1), X), Atom.of("p", Constant(2), Y)
+        ) is None
+
+    def test_unify_repeated_variable(self):
+        theta = unify_atoms(Atom.of("p", X, X), Atom.of("p", Constant(1), Y))
+        assert theta is not None
+        applied = theta.apply_atom(Atom.of("p", X, X))
+        assert applied == theta.apply_atom(Atom.of("p", Constant(1), Y))
+
+
+class TestMatching:
+    def test_match_binds_pattern_only(self):
+        bindings = match_atom(Atom.of("p", X, Y), Atom.of("p", Constant(1), Constant(2)))
+        assert bindings == {X: Constant(1), Y: Constant(2)}
+
+    def test_match_respects_existing_bindings(self):
+        base = {X: Constant(1)}
+        assert match_atom(Atom.of("p", X), Atom.of("p", Constant(2)), base) is None
+        assert match_atom(Atom.of("p", X), Atom.of("p", Constant(1)), base) == base
+
+    def test_match_repeated_variable(self):
+        assert match_atom(
+            Atom.of("p", X, X), Atom.of("p", Constant(1), Constant(2))
+        ) is None
+
+    def test_match_constant_mismatch(self):
+        assert match_atom(Atom.of("p", Constant(1)), Atom.of("p", Constant(2))) is None
+
+
+class TestRenaming:
+    def test_renaming_for_produces_fresh_names(self):
+        theta = renaming_for([X, Y])
+        assert theta[X] != theta[Y]
+        assert theta[X].name != "X"
+
+    def test_rename_apart_protects_variables(self):
+        atoms = (Atom.of("p", X, Y), Atom.of("q", Y, Z))
+        renamed, theta = rename_apart(atoms, protect=[Y])
+        assert renamed[0].arguments[1] == Y
+        assert renamed[0].arguments[0] != X
+        assert X in theta
+
+    def test_rename_apart_consistent_across_atoms(self):
+        atoms = (Atom.of("p", X), Atom.of("q", X))
+        renamed, _ = rename_apart(atoms)
+        assert renamed[0].arguments[0] == renamed[1].arguments[0]

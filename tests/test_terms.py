@@ -1,0 +1,98 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+
+from repro.datalog.terms import (
+    Constant,
+    Variable,
+    constants_of,
+    fresh_variable,
+    is_constant,
+    is_variable,
+    looks_like_variable_name,
+    variables_of,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_ordering(self):
+        assert Variable("A") < Variable("B")
+
+    def test_str(self):
+        assert str(Variable("Foo")) == "Foo"
+
+    def test_repr_contains_name(self):
+        assert "Foo" in repr(Variable("Foo"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant("a") != Constant("b")
+
+    def test_int_and_str_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_str(self):
+        assert str(Constant("a")) == "a"
+        assert str(Constant(3)) == "3"
+
+
+class TestPredicatesOnTerms:
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant(1))
+
+    def test_is_constant(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("X"))
+
+
+class TestFreshVariable:
+    def test_fresh_variables_are_distinct(self):
+        names = {fresh_variable().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_variable_uses_hint(self):
+        assert fresh_variable("Z").name.startswith("Z#")
+
+    def test_fresh_variable_never_parses_as_user_name(self):
+        assert not looks_like_variable_name(fresh_variable().name)
+
+
+class TestCollections:
+    def test_variables_of_preserves_order_and_dedupes(self):
+        terms = [Variable("B"), Constant(1), Variable("A"), Variable("B")]
+        assert variables_of(terms) == (Variable("B"), Variable("A"))
+
+    def test_constants_of(self):
+        terms = [Constant(2), Variable("A"), Constant(1), Constant(2)]
+        assert constants_of(terms) == (Constant(2), Constant(1))
+
+    def test_empty_input(self):
+        assert variables_of([]) == ()
+        assert constants_of([]) == ()
+
+
+class TestVariableNameConvention:
+    @pytest.mark.parametrize("name", ["X", "Xyz", "_tmp", "X1", "A_b'"])
+    def test_variable_like_names(self, name):
+        assert looks_like_variable_name(name)
+
+    @pytest.mark.parametrize("name", ["x", "1X", "", "foo", "#a"])
+    def test_non_variable_like_names(self, name):
+        assert not looks_like_variable_name(name)

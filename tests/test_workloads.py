@@ -1,0 +1,125 @@
+"""Tests for the workload generators and canonical scenarios."""
+
+import random
+
+from repro.core.commutativity import commute_by_definition, sufficient_condition
+from repro.datalog.atoms import Predicate
+from repro.workloads import scenarios
+from repro.workloads.graphs import (
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    layered_dag_edges,
+    random_graph_edges,
+    tree_edges,
+)
+from repro.workloads.relations import random_relation, random_unary_relation, relation_from_pairs
+from repro.workloads.rulegen import (
+    random_commuting_pair,
+    random_restricted_rule,
+    random_rule_pair,
+)
+
+
+class TestGraphGenerators:
+    def test_chain(self):
+        edges = chain_edges(5)
+        assert len(edges) == 5 and (0, 1) in edges and (4, 5) in edges
+
+    def test_cycle(self):
+        edges = cycle_edges(4)
+        assert len(edges) == 4 and (3, 0) in edges
+        assert cycle_edges(0).is_empty()
+
+    def test_tree(self):
+        edges = tree_edges(3, branching=2)
+        assert len(edges) == 2 + 4 + 8
+        parents = {source for source, _ in edges.rows}
+        assert 0 in parents
+
+    def test_grid(self):
+        edges = grid_edges(3, 3)
+        assert len(edges) == 12
+        assert (0, 1) in edges and (0, 3) in edges
+
+    def test_random_graph_is_deterministic_per_seed(self):
+        first = random_graph_edges(20, 40, rng=random.Random(1))
+        second = random_graph_edges(20, 40, rng=random.Random(1))
+        assert first.rows == second.rows
+        assert all(source != target for source, target in first.rows)
+
+    def test_layered_dag_goes_forward_only(self):
+        edges = layered_dag_edges(4, 3, rng=random.Random(2))
+        for source, target in edges.rows:
+            assert target // 3 == source // 3 + 1
+
+
+class TestRelationGenerators:
+    def test_random_relation_size_and_domain(self):
+        relation = random_relation("r", 3, 50, domain_size=10, rng=random.Random(3))
+        assert len(relation) == 50 and relation.arity == 3
+        assert all(0 <= value < 10 for row in relation.rows for value in row)
+
+    def test_random_relation_respects_capacity(self):
+        relation = random_relation("r", 1, 100, domain_size=5, rng=random.Random(4))
+        assert len(relation) == 5
+
+    def test_random_unary_relation(self):
+        relation = random_unary_relation("u", 4, domain_size=10, rng=random.Random(5))
+        assert len(relation) == 4 and relation.arity == 1
+
+    def test_relation_from_pairs(self):
+        assert relation_from_pairs("e", [(1, 2)]).rows == frozenset({(1, 2)})
+
+
+class TestRuleGenerators:
+    def test_restricted_rule_is_in_restricted_class(self, rng):
+        for _ in range(10):
+            rule = random_restricted_rule(4, 3, rng)
+            assert rule.is_linear_recursive()
+            assert rule.in_restricted_class()
+            assert rule.is_constant_free()
+
+    def test_random_pair_shares_only_the_recursive_predicate(self, rng):
+        first, second = random_rule_pair(3, 2, rng)
+        first_names = {atom.name for atom in first.nonrecursive_atoms()}
+        second_names = {atom.name for atom in second.nonrecursive_atoms()}
+        assert not (first_names & second_names)
+
+    def test_commuting_pair_actually_commutes(self, rng):
+        for _ in range(6):
+            first, second = random_commuting_pair(3, rng)
+            assert sufficient_condition(first, second).satisfied
+            assert commute_by_definition(first, second)
+
+    def test_commuting_pair_stays_in_restricted_class(self, rng):
+        first, second = random_commuting_pair(4, rng)
+        assert first.in_restricted_class() and second.in_restricted_class()
+
+
+class TestScenarios:
+    def test_all_scenario_rules_are_linear(self):
+        rules = [
+            scenarios.example_5_1_rule(),
+            scenarios.figure_2_rule(),
+            *scenarios.example_5_2_rules(),
+            *scenarios.example_5_3_rules(),
+            *scenarios.example_5_4_rules(),
+            scenarios.example_6_1_rule(),
+            scenarios.example_6_2_rule(),
+            scenarios.example_6_3_rule(),
+        ]
+        assert all(rule.is_linear_recursive() for rule in rules)
+
+    def test_programs_extract_linear_recursions(self):
+        cases = [
+            (scenarios.two_sided_transitive_closure_program(), Predicate("path", 2), 2),
+            (scenarios.same_generation_program(), Predicate("sg", 2), 1),
+            (scenarios.separable_selection_program(), Predicate("reach", 2), 2),
+            (scenarios.redundant_buys_program(), Predicate("buys", 2), 1),
+            (scenarios.noncommuting_program(), Predicate("t", 2), 2),
+        ]
+        for program, predicate, expected_operators in cases:
+            recursion = program.linear_recursion_of(predicate)
+            assert recursion.operator_count() == expected_operators
+            assert len(recursion.exit_rules) >= 1
