@@ -79,7 +79,12 @@ class RecursiveQueryEngine:
 
     def execute(self, plan: QueryPlan, database: Database,
                 initial: Optional[Relation] = None) -> QueryResult:
-        """Execute a previously produced plan."""
+        """Execute a previously produced plan.
+
+        All strategies dispatch through the compiled execution path: the
+        fixpoint drivers compile each rule on entry (plans are cached by
+        rule value) and share the database's persistent EDB index cache.
+        """
         statistics = EvaluationStatistics()
         recursion = plan.recursion
         if initial is None:

@@ -2,8 +2,13 @@
 
 The engine provides:
 
+* :mod:`repro.engine.plan` — compiled rule plans (plan once / execute
+  many): greedy atom order, slot-based bindings with trail undo, and the
+  persistent per-database index cache; see ``src/repro/engine/README.md``
+  for the compile/execute split and the cache-invalidation rules;
 * :mod:`repro.engine.conjunctive` — evaluation of one rule body against a
-  database (hash joins with binding propagation);
+  database (thin wrappers over the compiled path, plus the interpreted
+  reference evaluator);
 * :mod:`repro.engine.naive` and :mod:`repro.engine.seminaive` — the naive
   and semi-naive fixpoint baselines [Bancilhon 85];
 * :mod:`repro.engine.statistics` — derivation/duplicate accounting in the
@@ -17,6 +22,7 @@ The engine provides:
 """
 
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
 from repro.engine.seminaive import seminaive_closure, solve_linear_recursion
@@ -25,10 +31,12 @@ from repro.engine.separable import separable_evaluate
 from repro.engine.derivation_graph import DerivationGraph, build_derivation_graph
 
 __all__ = [
+    "CompiledRule",
     "DerivationGraph",
     "EvaluationStatistics",
     "JoinCounters",
     "build_derivation_graph",
+    "compile_rule",
     "decomposed_closure",
     "evaluate_rule",
     "naive_closure",

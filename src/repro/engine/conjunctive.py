@@ -10,6 +10,15 @@ The evaluator supports *overrides*: a mapping from predicate name to a
 relation that should be used instead of the database's relation.  The
 fixpoint engines use overrides to supply the current value (or the delta)
 of the recursive predicate.
+
+:func:`evaluate_rule` and :func:`evaluate_rule_multiset` are thin
+compatibility wrappers over the compiled execution path of
+:mod:`repro.engine.plan`, which plans each rule once (greedy atom order,
+slot-based bindings) and reuses the database's persistent index cache.
+The original interpreted implementation is kept as
+:func:`evaluate_rule_multiset_interpreted`: it re-plans and re-indexes on
+every call and serves as the semantic reference the compiled path is
+tested against.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Term, Variable
+from repro.engine.plan import compile_rule
 from repro.engine.statistics import JoinCounters
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
@@ -103,18 +113,22 @@ def _extend_with_equality(atom: Atom, bindings: Bindings) -> Optional[Bindings]:
 
 
 def _match_row(atom: Atom, row: Row, bindings: Bindings) -> Optional[Bindings]:
-    """Extend *bindings* so the atom's arguments match *row*, or None."""
+    """Extend *bindings* so the atom's arguments match *row*, or None.
+
+    Boundness is tested with ``in``, not ``.get(...) is None``: ``None``
+    is a legal column value, and a variable legitimately bound to ``None``
+    must fail (not be silently rebound) when the row disagrees.
+    """
     extended = dict(bindings)
     for term, value in zip(atom.arguments, row):
         if isinstance(term, Constant):
             if term.value != value:
                 return None
-        else:
-            bound = extended.get(term)
-            if bound is None:
-                extended[term] = value
-            elif bound != value:
+        elif term in extended:
+            if extended[term] != value:
                 return None
+        else:
+            extended[term] = value
     return extended
 
 
@@ -126,6 +140,24 @@ def evaluate_rule_multiset(rule: Rule, database: Database,
     Each entry of the result is one successful derivation (one arc of the
     derivation graph of Theorem 3.1).  :func:`evaluate_rule` deduplicates
     the result into a :class:`Relation`.
+
+    This is a compatibility wrapper over the compiled execution path
+    (:mod:`repro.engine.plan`); the emission *multiset* — and therefore
+    all derivation/duplicate statistics — is identical to the interpreted
+    reference, though the emission order may differ.
+    """
+    return compile_rule(rule, database, overrides).execute(database, overrides, counters)
+
+
+def evaluate_rule_multiset_interpreted(
+        rule: Rule, database: Database,
+        overrides: Optional[Mapping[str, Relation]] = None,
+        counters: Optional[JoinCounters] = None) -> list[Row]:
+    """The original interpreted evaluator (semantic reference path).
+
+    Re-plans the join order and rebuilds every index on each call; kept
+    for differential testing against :class:`repro.engine.plan.CompiledRule`
+    and for before/after benchmarking.
     """
     counters = counters if counters is not None else JoinCounters()
     head = rule.head
@@ -199,4 +231,6 @@ def evaluate_rule(rule: Rule, database: Database,
                   counters: Optional[JoinCounters] = None) -> Relation:
     """Evaluate *rule*'s body and return the derived head relation (a set)."""
     emissions = evaluate_rule_multiset(rule, database, overrides, counters)
-    return Relation(rule.head.predicate.name, rule.head.arity, frozenset(emissions))
+    return Relation.from_canonical(
+        rule.head.predicate.name, rule.head.arity, frozenset(emissions)
+    )

@@ -40,6 +40,9 @@ def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
     statistics.initial_size = len(initial)
 
     groups = [tuple(group) for group in groups]
+    # Each phase's semi-naive closure compiles its rules on entry (plans
+    # are cached by rule value) and all phases share the one database's
+    # persistent EDB index cache.
     if phase_names is None:
         phase_names = [f"phase-{index + 1}" for index in range(len(groups))]
     if len(phase_names) != len(groups):

@@ -12,11 +12,11 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.datalog.rules import Rule
-from repro.engine.conjunctive import evaluate_rule_multiset
+from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, RowSetBuilder
 
 
 def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
@@ -27,34 +27,46 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
     *rules* are linear recursive rules over the same predicate; *initial*
     is the relation ``Q`` of equation (2.3).  The result contains
     *initial* (the ``A^0 = 1`` term of the closure).
+
+    Head-predicate validation happens once up front (consistent with
+    :func:`repro.engine.seminaive.seminaive_closure`), not per iteration.
+    Rules are compiled once and re-executed against the growing total.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)
     predicate_name = initial.name
 
+    for rule in rules:
+        if rule.head.predicate.name != predicate_name:
+            raise EvaluationError(
+                f"Rule head {rule.head.predicate.name} does not match relation "
+                f"{predicate_name}"
+            )
+        if rule.head.predicate.arity != initial.arity:
+            raise EvaluationError(
+                f"Rule head {rule.head.predicate} does not match the arity "
+                f"{initial.arity} of relation {predicate_name}"
+            )
+    plans = [compile_rule(rule, database) for rule in rules]
+
+    builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
     total = initial
     for _ in range(max_iterations):
         statistics.iterations += 1
         produced: set = set()
-        for rule in rules:
-            if rule.head.predicate.name != predicate_name:
-                raise EvaluationError(
-                    f"Rule head {rule.head.predicate.name} does not match relation "
-                    f"{predicate_name}"
-                )
+        overrides = {predicate_name: total}
+        for plan in plans:
             statistics.rule_applications += 1
-            emissions = evaluate_rule_multiset(
-                rule, database, overrides={predicate_name: total}, counters=statistics.joins
-            )
+            emissions = plan.execute(database, overrides, counters=statistics.joins)
             for row in emissions:
-                statistics.record_production(row in total.rows or row in produced)
+                statistics.record_production(row in builder or row in produced)
                 produced.add(row)
-        new_total = total.with_rows(produced)
-        if len(new_total) == len(total):
+        new_rows = builder.add_all_new(produced)
+        if not new_rows:
             statistics.result_size = len(total)
             return total
-        total = new_total
+        total = builder.freeze()
     raise EvaluationError(
         f"Naive evaluation did not converge within {max_iterations} iterations"
     )

@@ -1,0 +1,48 @@
+"""Seed reference implementations, kept for differential validation.
+
+These reproduce the pre-compiled-plan engine verbatim: they re-plan the
+join order and rebuild every index on each rule application, and
+accumulate the fixpoint in immutable relations.  The differential tests
+(``tests/test_plan.py``) and the before/after benchmark
+(``benchmarks/bench_compiled.py``) both run the compiled engine against
+this single reference, so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.datalog.rules import Rule
+from repro.engine.conjunctive import evaluate_rule_multiset_interpreted
+from repro.engine.statistics import EvaluationStatistics
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def seminaive_closure_interpreted(rules: Iterable[Rule], initial: Relation,
+                                  database: Database,
+                                  statistics: Optional[EvaluationStatistics] = None
+                                  ) -> Relation:
+    """The seed engine's semi-naive loop, verbatim (reference path)."""
+    rules = tuple(rules)
+    statistics = statistics if statistics is not None else EvaluationStatistics()
+    statistics.initial_size = len(initial)
+    total = initial
+    delta = initial
+    while delta.rows:
+        statistics.iterations += 1
+        produced: set = set()
+        for rule in rules:
+            statistics.rule_applications += 1
+            emissions = evaluate_rule_multiset_interpreted(
+                rule, database, overrides={initial.name: delta},
+                counters=statistics.joins,
+            )
+            for row in emissions:
+                statistics.record_production(row in total.rows or row in produced)
+                produced.add(row)
+        new_rows = frozenset(produced) - total.rows
+        delta = Relation(initial.name, initial.arity, new_rows)
+        total = total.with_rows(new_rows)
+    statistics.result_size = len(total)
+    return total

@@ -17,11 +17,11 @@ from typing import Iterable, Optional
 
 from repro.datalog.programs import LinearRecursion
 from repro.datalog.rules import Rule
-from repro.engine.conjunctive import evaluate_rule, evaluate_rule_multiset
+from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
-from repro.storage.relation import Relation
+from repro.storage.relation import Relation, RowSetBuilder
 
 
 def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
@@ -33,6 +33,12 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
     of a tuple already present in the accumulated result (or already
     produced earlier in the same iteration) counts as a duplicate, which
     is exactly the in-degree accounting of Theorem 3.1.
+
+    Each rule is compiled once (:func:`repro.engine.plan.compile_rule`)
+    and executed against the per-iteration delta; indexes over the EDB
+    relations persist across iterations in the database's cache, and the
+    accumulated result lives in a :class:`RowSetBuilder` so each
+    iteration costs ``O(|delta|)`` set maintenance, not ``O(|total|)``.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()
@@ -45,29 +51,34 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
                 f"Rule head {rule.head.predicate.name} does not match relation "
                 f"{predicate_name}"
             )
+        if rule.head.predicate.arity != initial.arity:
+            raise EvaluationError(
+                f"Rule head {rule.head.predicate} does not match the arity "
+                f"{initial.arity} of relation {predicate_name}"
+            )
+    plans = [compile_rule(rule, database) for rule in rules]
 
-    total = initial
+    builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
     delta = initial
     iterations = 0
     while delta.rows and iterations < max_iterations:
         iterations += 1
         statistics.iterations += 1
         produced: set = set()
-        for rule in rules:
+        overrides = {predicate_name: delta}
+        for plan in plans:
             statistics.rule_applications += 1
-            emissions = evaluate_rule_multiset(
-                rule, database, overrides={predicate_name: delta}, counters=statistics.joins
-            )
+            emissions = plan.execute(database, overrides, counters=statistics.joins)
             for row in emissions:
-                statistics.record_production(row in total.rows or row in produced)
+                statistics.record_production(row in builder or row in produced)
                 produced.add(row)
-        new_rows = frozenset(produced) - total.rows
-        delta = Relation(predicate_name, initial.arity, new_rows)
-        total = total.with_rows(new_rows)
+        new_rows = builder.add_all_new(produced)
+        delta = Relation.from_canonical(predicate_name, initial.arity, new_rows)
     if iterations >= max_iterations and delta.rows:
         raise EvaluationError(
             f"Semi-naive evaluation did not converge within {max_iterations} iterations"
         )
+    total = builder.freeze()
     statistics.result_size = len(total)
     return total
 
@@ -76,12 +87,14 @@ def evaluate_exit_rules(recursion: LinearRecursion, database: Database,
                         statistics: Optional[EvaluationStatistics] = None) -> Relation:
     """Evaluate the exit (nonrecursive) rules to obtain the initial relation Q."""
     statistics = statistics if statistics is not None else EvaluationStatistics()
-    rows: frozenset = frozenset()
+    builder = RowSetBuilder(recursion.predicate.name, recursion.arity)
     for rule in recursion.exit_rules:
         statistics.rule_applications += 1
-        derived = evaluate_rule(rule, database, counters=statistics.joins)
-        rows |= derived.rows
-    return Relation(recursion.predicate.name, recursion.arity, rows)
+        emissions = compile_rule(rule, database).execute(
+            database, counters=statistics.joins
+        )
+        builder.add_all_new(set(emissions))
+    return builder.freeze()
 
 
 def solve_linear_recursion(recursion: LinearRecursion, database: Database,

@@ -45,18 +45,22 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)
 
+    outer_rules = tuple(outer_rules)
+    inner_rules = tuple(inner_rules)
+    # Both phases' closures compile their rules on entry (plans are cached
+    # by rule value) and share the one database's EDB index cache.
     inner_stats = EvaluationStatistics()
     if push_into_initial:
         seeded = selection.apply(initial)
-        inner_result = seminaive_closure(tuple(inner_rules), seeded, database, inner_stats)
+        inner_result = seminaive_closure(inner_rules, seeded, database, inner_stats)
         selected = inner_result
     else:
-        inner_result = seminaive_closure(tuple(inner_rules), initial, database, inner_stats)
+        inner_result = seminaive_closure(inner_rules, initial, database, inner_stats)
         selected = selection.apply(inner_result)
     statistics.add_phase("inner-closure", inner_stats)
 
     outer_stats = EvaluationStatistics()
-    result = seminaive_closure(tuple(outer_rules), selected, database, outer_stats)
+    result = seminaive_closure(outer_rules, selected, database, outer_stats)
     statistics.add_phase("outer-closure", outer_stats)
 
     statistics.result_size = len(result)

@@ -16,6 +16,7 @@ from repro.datalog.programs import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant
 from repro.exceptions import SchemaError
+from repro.storage.index import HashIndex
 from repro.storage.relation import Relation, Row
 
 
@@ -27,6 +28,7 @@ class Database:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "relations", dict(self.relations))
+        object.__setattr__(self, "_index_cache", {})
         for name, relation in self.relations.items():
             if relation.name != name:
                 raise SchemaError(
@@ -103,6 +105,30 @@ class Database:
     def relation_for(self, predicate: Predicate) -> Relation:
         """Return the relation for a predicate (empty if absent)."""
         return self.relation(predicate.name, predicate.arity)
+
+    def index(self, name: str, arity: int, positions: tuple[int, ...]) -> HashIndex:
+        """Return a cached :class:`HashIndex` over a stored relation.
+
+        Because the database (and every relation in it) is immutable, an
+        index built once is valid for the database's whole lifetime; the
+        cache is keyed by ``(relation name, arity, indexed positions)``
+        and survives across fixpoint iterations.  Functional updates
+        (:meth:`with_relation` and friends) produce a *new* database with
+        a fresh, empty cache, so staleness is impossible by construction.
+        Override relations (per-iteration deltas) must not be indexed
+        here; the executor indexes those per evaluation.
+
+        The key includes *arity* so a wrong-arity request can never hit
+        an index cached under the correct arity: it always reaches
+        :meth:`relation`, which raises :class:`SchemaError`.
+        """
+        cache: dict[tuple[str, int, tuple[int, ...]], HashIndex] = self._index_cache  # type: ignore[attr-defined]
+        key = (name, arity, positions)
+        index = cache.get(key)
+        if index is None:
+            index = HashIndex(self.relation(name, arity), positions)
+            cache[key] = index
+        return index
 
     def has_relation(self, name: str) -> bool:
         """True if a relation named *name* is stored."""

@@ -1,9 +1,16 @@
 """Hash indexes over relation columns, used by the join engine.
 
 An index maps a tuple of column values (for a chosen tuple of positions)
-to the rows having those values.  The conjunctive-query evaluator builds
-one index per body atom per join step, keyed by the positions that are
-bound at that point of the join order.
+to the rows having those values.  The compiled join executor
+(:mod:`repro.engine.plan`) obtains indexes over stored (EDB) relations
+from the per-:class:`~repro.storage.database.Database` index cache, so an
+index over an immutable relation is built once and reused across every
+fixpoint iteration; only the per-iteration delta/override relations are
+indexed afresh.
+
+The empty position tuple is a legal index: every row lands in the single
+bucket keyed by ``()``, so ``lookup(())`` is a full scan.  This is how
+the executor handles a join step with no bound columns.
 """
 
 from __future__ import annotations
@@ -20,9 +27,20 @@ class HashIndex:
         self.relation = relation
         self.positions = tuple(positions)
         self._buckets: dict[tuple[Any, ...], list[Row]] = {}
+        if not self.positions:
+            # Full-scan index: every row keys to the empty tuple.
+            if relation.rows:
+                self._buckets[()] = list(relation.rows)
+            return
+        buckets = self._buckets
+        positions = self.positions
         for row in relation.rows:
-            key = tuple(row[p] for p in self.positions)
-            self._buckets.setdefault(key, []).append(row)
+            key = tuple(row[p] for p in positions)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
 
     def lookup(self, key: Iterable[Any]) -> list[Row]:
         """Rows whose indexed columns equal *key* (in position order)."""

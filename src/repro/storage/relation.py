@@ -43,6 +43,22 @@ class Relation:
         """An empty relation of the given arity."""
         return cls(name, arity, frozenset())
 
+    @classmethod
+    def from_canonical(cls, name: str, arity: int, rows: frozenset[Row]) -> "Relation":
+        """Build a relation from rows that are already canonical.
+
+        The caller guarantees *rows* is a ``frozenset`` of tuples of length
+        *arity*; no re-tupling or validation is performed.  This is the
+        constructor the evaluation engine uses on its hot paths, where the
+        rows come out of other relations or out of the join executor and
+        are canonical by construction.
+        """
+        relation = object.__new__(cls)
+        object.__setattr__(relation, "name", name)
+        object.__setattr__(relation, "arity", arity)
+        object.__setattr__(relation, "rows", rows)
+        return relation
+
     # ------------------------------------------------------------------
     # Set algebra
     # ------------------------------------------------------------------
@@ -50,17 +66,17 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """Set union; arities must agree (names follow the receiver)."""
         self._check_compatible(other)
-        return Relation(self.name, self.arity, self.rows | other.rows)
+        return Relation.from_canonical(self.name, self.arity, self.rows | other.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """Set difference; arities must agree."""
         self._check_compatible(other)
-        return Relation(self.name, self.arity, self.rows - other.rows)
+        return Relation.from_canonical(self.name, self.arity, self.rows - other.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """Set intersection; arities must agree."""
         self._check_compatible(other)
-        return Relation(self.name, self.arity, self.rows & other.rows)
+        return Relation.from_canonical(self.name, self.arity, self.rows & other.rows)
 
     def with_rows(self, rows: Iterable[Row]) -> "Relation":
         """Return a relation with *rows* added."""
@@ -68,11 +84,13 @@ class Relation:
 
     def renamed(self, name: str) -> "Relation":
         """Return the same relation under a different name."""
-        return Relation(name, self.arity, self.rows)
+        return Relation.from_canonical(name, self.arity, self.rows)
 
     def filter(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Rows satisfying *predicate*."""
-        return Relation(self.name, self.arity, frozenset(r for r in self.rows if predicate(r)))
+        return Relation.from_canonical(
+            self.name, self.arity, frozenset(r for r in self.rows if predicate(r))
+        )
 
     def project(self, positions: Iterable[int], name: str | None = None) -> "Relation":
         """Project onto *positions* (0-based), preserving their order."""
@@ -139,3 +157,40 @@ class Relation:
     def sorted_rows(self) -> list[Row]:
         """Rows in a deterministic order (for display and golden tests)."""
         return sorted(self.rows, key=lambda row: tuple(str(v) for v in row))
+
+
+class RowSetBuilder:
+    """A mutable accumulator of canonical rows for one relation.
+
+    The fixpoint engines accumulate their result over many iterations.
+    Re-building an immutable :class:`Relation` per iteration re-hashes the
+    whole accumulated set every time (``O(n)`` per iteration, ``O(n^2)``
+    per fixpoint); the builder keeps one mutable set, absorbs each
+    iteration's delta in ``O(|delta|)``, and freezes into a relation once
+    at the end.  Rows handed to the builder must already be canonical
+    tuples of the declared arity (they come out of the join executor,
+    which guarantees this).
+    """
+
+    __slots__ = ("name", "arity", "rows")
+
+    def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
+        self.name = name
+        self.arity = arity
+        self.rows: set[Row] = set(rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add_all_new(self, rows: set[Row]) -> frozenset[Row]:
+        """Absorb *rows*, returning (as a frozenset) the ones that were new."""
+        new_rows = frozenset(rows - self.rows)
+        self.rows |= new_rows
+        return new_rows
+
+    def freeze(self) -> Relation:
+        """Snapshot the accumulated rows as an immutable relation."""
+        return Relation.from_canonical(self.name, self.arity, frozenset(self.rows))

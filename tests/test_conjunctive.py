@@ -3,7 +3,11 @@
 import pytest
 
 from repro.datalog.parser import parse_rule
-from repro.engine.conjunctive import evaluate_rule, evaluate_rule_multiset
+from repro.engine.conjunctive import (
+    evaluate_rule,
+    evaluate_rule_multiset,
+    evaluate_rule_multiset_interpreted,
+)
 from repro.engine.statistics import JoinCounters
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
@@ -48,6 +52,19 @@ class TestBasicEvaluation:
         database = graph_db.with_relation(Relation.of("pair", 2, [(1, 1), (1, 2)]))
         rule = parse_rule("diag(X) :- pair(X, X).")
         assert evaluate_rule(rule, database).rows == frozenset({(1,)})
+
+    def test_none_bound_value_joins_correctly(self, graph_db):
+        # Regression: a variable bound to None used to be treated as
+        # unbound by _match_row and silently rebound, corrupting joins
+        # over relations containing None.  Exercise the interpreted path
+        # explicitly — evaluate_rule routes through the compiled one.
+        database = graph_db.with_relation(
+            Relation.of("p", 2, [(1, None)])
+        ).with_relation(Relation.of("q", 2, [(None, 2), (3, 4)]))
+        rule = parse_rule("out(X, Z) :- p(X, Y), q(Y, Z).")
+        interpreted = evaluate_rule_multiset_interpreted(rule, database)
+        assert frozenset(interpreted) == frozenset({(1, 2)})
+        assert evaluate_rule(rule, database).rows == frozenset({(1, 2)})
 
     def test_cartesian_product(self, graph_db):
         rule = parse_rule("prod(X, Y) :- label(X), label(Y).")

@@ -1,0 +1,92 @@
+"""Unit tests for :class:`repro.storage.index.HashIndex` and the
+per-database index cache."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.relation import Relation
+
+
+def _colour_relation():
+    return Relation.of(
+        "colour", 2, [(1, "red"), (2, "red"), (3, "blue"), (4, "red")]
+    )
+
+
+class TestHashIndex:
+    def test_single_position_lookup(self):
+        index = HashIndex(_colour_relation(), (1,))
+        assert sorted(index.lookup(("red",))) == [(1, "red"), (2, "red"), (4, "red")]
+        assert index.lookup(("blue",)) == [(3, "blue")]
+
+    def test_missing_key_returns_empty(self):
+        index = HashIndex(_colour_relation(), (1,))
+        assert index.lookup(("green",)) == []
+
+    def test_empty_positions_is_full_scan(self):
+        relation = _colour_relation()
+        index = HashIndex(relation, ())
+        assert sorted(index.lookup(())) == sorted(relation.rows)
+        assert list(index.keys()) == [()]
+        assert len(index) == 1
+
+    def test_empty_positions_over_empty_relation(self):
+        index = HashIndex(Relation.empty("e", 2), ())
+        assert index.lookup(()) == []
+        assert len(index) == 0
+
+    def test_bucket_collects_all_rows_with_key(self):
+        # Three rows share the "red" key: one bucket, three rows.
+        index = HashIndex(_colour_relation(), (1,))
+        assert len(index.lookup(("red",))) == 3
+        assert len(index) == 2  # two distinct keys
+
+    def test_multi_position_key(self):
+        relation = Relation.of("t", 3, [(1, 2, 3), (1, 2, 4), (1, 5, 3)])
+        index = HashIndex(relation, (0, 1))
+        assert sorted(index.lookup((1, 2))) == [(1, 2, 3), (1, 2, 4)]
+        assert index.lookup((1, 5)) == [(1, 5, 3)]
+
+    def test_keys_are_distinct(self):
+        index = HashIndex(_colour_relation(), (1,))
+        assert sorted(index.keys()) == [("blue",), ("red",)]
+
+
+class TestDatabaseIndexCache:
+    def test_index_is_cached_per_name_and_positions(self):
+        database = Database.of(_colour_relation())
+        first = database.index("colour", 2, (1,))
+        second = database.index("colour", 2, (1,))
+        assert first is second
+
+    def test_different_positions_get_different_indexes(self):
+        database = Database.of(_colour_relation())
+        assert database.index("colour", 2, (0,)) is not database.index("colour", 2, (1,))
+
+    def test_functional_update_gets_fresh_cache(self):
+        database = Database.of(_colour_relation())
+        stale = database.index("colour", 2, (1,))
+        updated = database.with_relation(
+            _colour_relation().with_rows([(9, "green")])
+        )
+        fresh = updated.index("colour", 2, (1,))
+        assert fresh is not stale
+        assert fresh.lookup(("green",)) == [(9, "green")]
+        # The old database's cached index is untouched.
+        assert stale.lookup(("green",)) == []
+
+    def test_unknown_relation_indexes_as_empty(self):
+        database = Database.of(_colour_relation())
+        index = database.index("missing", 3, (0,))
+        assert index.lookup((1,)) == []
+
+    def test_wrong_arity_raises_even_after_cache_hit(self):
+        # Regression: the cache key must include the arity, otherwise a
+        # wrong-arity request could silently reuse an index cached under
+        # the correct arity instead of raising SchemaError.
+        database = Database.of(_colour_relation())
+        database.index("colour", 2, ())
+        with pytest.raises(SchemaError):
+            database.index("colour", 1, ())

@@ -1,0 +1,299 @@
+"""Differential tests: the compiled execution path vs the interpreted one.
+
+A cached :class:`~repro.engine.plan.CompiledRule` must produce the same
+emission multiset as the interpreted reference evaluator for every rule,
+and the compiled semi-naive fixpoint must reproduce the seed engine's
+result relation and duplicate/derivation accounting (Theorem 3.1) across
+the :mod:`repro.workloads.scenarios` suite.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.engine.conjunctive import (
+    evaluate_rule,
+    evaluate_rule_multiset,
+    evaluate_rule_multiset_interpreted,
+)
+from repro.engine.naive import naive_closure
+from repro.engine.plan import UNBOUND, compile_rule
+from repro.engine.reference import seminaive_closure_interpreted
+from repro.engine.seminaive import seminaive_closure
+from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.exceptions import EvaluationError, SchemaError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads import scenarios
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _random_database(arities: dict[str, int], seed: int, domain: int = 5,
+                     rows_per_relation: int = 14) -> Database:
+    rng = random.Random(seed)
+    relations = []
+    for name, arity in sorted(arities.items()):
+        rows = {
+            tuple(rng.randrange(domain) for _ in range(arity))
+            for _ in range(rows_per_relation)
+        }
+        relations.append(Relation.of(name, arity, rows))
+    return Database.of(*relations)
+
+
+def _body_arities(rule) -> dict[str, int]:
+    return {
+        atom.predicate.name: atom.predicate.arity
+        for atom in rule.body
+        if not atom.is_equality()
+    }
+
+
+SCENARIO_RULES = [
+    scenarios.example_5_1_rule(),
+    scenarios.figure_2_rule(),
+    *scenarios.example_5_2_rules(),
+    *scenarios.example_5_3_rules(),
+    *scenarios.example_5_4_rules(),
+    scenarios.example_6_1_rule(),
+    scenarios.example_6_2_rule(),
+    scenarios.example_6_3_rule(),
+]
+
+SCENARIO_PROGRAMS = {
+    "path": scenarios.two_sided_transitive_closure_program(),
+    "sg": scenarios.same_generation_program(),
+    "reach": scenarios.separable_selection_program(),
+    "buys": scenarios.redundant_buys_program(),
+    "t": scenarios.noncommuting_program(),
+}
+
+
+# ----------------------------------------------------------------------
+# Single-rule equivalence
+# ----------------------------------------------------------------------
+
+
+class TestCompiledMatchesInterpreted:
+    @pytest.mark.parametrize("rule", SCENARIO_RULES, ids=str)
+    def test_scenario_rule_emissions_identical(self, rule):
+        database = _random_database(_body_arities(rule), seed=hash(str(rule)) % 1000)
+        compiled_counters = JoinCounters()
+        interpreted_counters = JoinCounters()
+        compiled = evaluate_rule_multiset(rule, database, counters=compiled_counters)
+        interpreted = evaluate_rule_multiset_interpreted(
+            rule, database, counters=interpreted_counters
+        )
+        assert Counter(compiled) == Counter(interpreted)
+        assert compiled_counters.tuples_emitted == interpreted_counters.tuples_emitted
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "out(X, Y) :- edge(X, Y), X = 1.",
+            "out(X) :- edge(X, Y), label(Z), Y = Z.",
+            "out(X, C) :- edge(X, Y), colour(Y, C).",
+            "red(X) :- colour(X, 2).",
+            "diag(X) :- pair(X, X).",
+            "prod(X, Y) :- label(X), label(Y).",
+            "tag(X, 7) :- label(X).",
+        ],
+    )
+    def test_feature_rules_emissions_identical(self, source):
+        rule = parse_rule(source)
+        arities = _body_arities(rule)
+        arities.setdefault("edge", 2)
+        arities.setdefault("colour", 2)
+        arities.setdefault("label", 1)
+        arities.setdefault("pair", 2)
+        database = _random_database(arities, seed=len(source), domain=4)
+        compiled = evaluate_rule_multiset(rule, database)
+        interpreted = evaluate_rule_multiset_interpreted(rule, database)
+        assert Counter(compiled) == Counter(interpreted)
+
+    def test_override_matches_interpreted(self):
+        rule = parse_rule("p(X, Y) :- edge(X, Z), p(Z, Y).")
+        database = _random_database({"edge": 2, "p": 2}, seed=3)
+        override = {"p": Relation.of("p", 2, [(0, 1), (1, 2), (3, 3)])}
+        compiled = evaluate_rule_multiset(rule, database, overrides=override)
+        interpreted = evaluate_rule_multiset_interpreted(
+            rule, database, overrides=override
+        )
+        assert Counter(compiled) == Counter(interpreted)
+
+
+class TestCompiledSemantics:
+    def test_none_is_a_legal_bound_value(self):
+        # Regression: a variable bound to None must behave as bound.  The
+        # seed's _match_row used ``.get(term) is None`` as "unbound" and
+        # silently rebound the variable, corrupting joins over relations
+        # containing None.
+        database = Database.of(
+            Relation.of("p", 2, [(1, None)]),
+            Relation.of("q", 2, [(None, 2), (3, 4)]),
+        )
+        rule = parse_rule("out(X, Z) :- p(X, Y), q(Y, Z).")
+        expected = frozenset({(1, 2)})
+        assert evaluate_rule(rule, database).rows == expected
+        assert (
+            frozenset(evaluate_rule_multiset_interpreted(rule, database)) == expected
+        )
+
+    def test_fact_rule(self):
+        database = Database.of(Relation.of("edge", 2, []))
+        assert evaluate_rule_multiset(parse_rule("out(1, 2)."), database) == [(1, 2)]
+
+    def test_unsafe_rule_raises(self):
+        database = Database.of(Relation.of("edge", 2, [(1, 2)]))
+        with pytest.raises(EvaluationError):
+            evaluate_rule_multiset(parse_rule("out(X, Y) :- edge(X, X)."), database)
+
+    def test_wrong_arity_atom_raises_even_behind_empty_atom(self):
+        # Stored relations are resolved (and arity-checked) eagerly, as
+        # on the interpreted path: a schema bug raises even when an
+        # earlier empty atom would short-circuit the join.
+        database = Database.of(
+            Relation.empty("empty", 1),
+            Relation.of("q", 3, [(1, 1, 1)]),
+        )
+        rule = parse_rule("out(X) :- empty(X), q(X, X).")
+        with pytest.raises(SchemaError):
+            evaluate_rule_multiset(rule, database)
+        with pytest.raises(SchemaError):
+            evaluate_rule_multiset_interpreted(rule, database)
+
+    def test_wrong_arity_atom_raises_after_cache_warm(self):
+        # Regression: the index cache is keyed by arity too, so a
+        # wrong-arity atom raises SchemaError (as on the interpreted
+        # path) instead of silently reusing a cached index.
+        database = Database.of(Relation.of("q", 2, [(1, 2)]))
+        evaluate_rule_multiset(parse_rule("a(X, Y) :- q(X, Y)."), database)
+        with pytest.raises(SchemaError):
+            evaluate_rule_multiset(parse_rule("b(X) :- q(X)."), database)
+
+    def test_override_arity_mismatch_raises(self):
+        rule = parse_rule("out(X, Y) :- edge(X, Y).")
+        database = Database.of(Relation.of("edge", 2, [(1, 2)]))
+        with pytest.raises(EvaluationError):
+            evaluate_rule_multiset(
+                rule, database, overrides={"edge": Relation.of("edge", 3, [])}
+            )
+
+    def test_unsafe_equality_raises_only_when_reached(self):
+        database = Database.of(Relation.of("edge", 2, [(1, 2)]))
+        rule = parse_rule("out(X) :- empty(X), X = Y, edge(Y, W).")
+        # ``empty`` has no rows, so the unsafe equality is never reached.
+        hmm = evaluate_rule_multiset(
+            rule, database.with_relation(Relation.empty("empty", 1))
+        )
+        assert hmm == []
+
+    def test_unreached_override_is_not_indexed(self):
+        # Index building is lazy: if the join short-circuits before an
+        # override's step, the (per-iteration) delta is never indexed.
+        rule = parse_rule("t(X, Y) :- empty(X), t(X, Y).")
+        database = Database.of(Relation.empty("empty", 1))
+
+        class ExplodingOverride:
+            """Duck-typed relation that fails if anything indexes it."""
+            name = "t"
+            arity = 2
+
+            @property
+            def rows(self):
+                raise AssertionError("unreached override was indexed")
+
+        plan = compile_rule(rule, database)
+        # The first scan (empty) yields nothing, so the override's step
+        # is never reached and its relation is never indexed.
+        assert plan.execute(database, {"t": ExplodingOverride()}) == []
+
+    def test_counters_match_interpreted_emission_count(self):
+        rule = parse_rule("two(X, Z) :- edge(X, Y), edge(Y, Z).")
+        database = _random_database({"edge": 2}, seed=9)
+        counters = JoinCounters()
+        emissions = evaluate_rule_multiset(rule, database, counters=counters)
+        assert counters.tuples_emitted == len(emissions)
+        assert counters.rows_probed >= counters.tuples_emitted
+
+
+class TestPlanCache:
+    def test_plan_is_reused(self):
+        rule = parse_rule("p(X, Y) :- edge(X, Z), p(Z, Y).")
+        database = _random_database({"edge": 2}, seed=1)
+        assert compile_rule(rule, database) is compile_rule(rule, database)
+
+    def test_cached_plan_is_correct_on_a_different_database(self):
+        rule = parse_rule("p(X, Y) :- edge(X, Z), p(Z, Y).")
+        first = _random_database({"edge": 2, "p": 2}, seed=1)
+        second = _random_database({"edge": 2, "p": 2}, seed=2, domain=7)
+        compile_rule(rule, first)  # seed the cache against `first`
+        compiled = evaluate_rule_multiset(rule, second)
+        interpreted = evaluate_rule_multiset_interpreted(rule, second)
+        assert Counter(compiled) == Counter(interpreted)
+
+    def test_unbound_sentinel_is_not_none(self):
+        assert UNBOUND is not None
+
+
+# ----------------------------------------------------------------------
+# Fixpoint equivalence over the scenario programs
+# ----------------------------------------------------------------------
+
+
+class TestSeminaiveEquivalence:
+    @pytest.mark.parametrize("predicate_name", sorted(SCENARIO_PROGRAMS), ids=str)
+    def test_compiled_seminaive_matches_seed_engine(self, predicate_name):
+        program = SCENARIO_PROGRAMS[predicate_name]
+        recursion = None
+        for predicate in program.predicates:
+            if predicate.name == predicate_name and program.rules_for(predicate):
+                recursion = program.linear_recursion_of(predicate)
+        assert recursion is not None
+
+        edb_arities = {
+            atom.predicate.name: atom.predicate.arity
+            for rule in program
+            for atom in rule.body
+            if atom.predicate.name != predicate_name and not atom.is_equality()
+        }
+        database = _random_database(edb_arities, seed=len(predicate_name) * 7,
+                                    domain=6, rows_per_relation=16)
+
+        exit_rows = frozenset()
+        for rule in recursion.exit_rules:
+            exit_rows |= evaluate_rule(rule, database).rows
+        initial = Relation(predicate_name, recursion.arity, exit_rows)
+
+        reference_stats = EvaluationStatistics()
+        reference = seminaive_closure_interpreted(
+            recursion.recursive_rules, initial, database, reference_stats
+        )
+        compiled_stats = EvaluationStatistics()
+        compiled = seminaive_closure(
+            recursion.recursive_rules, initial, database, compiled_stats
+        )
+
+        assert compiled.rows == reference.rows
+        assert compiled_stats.derivations == reference_stats.derivations
+        assert compiled_stats.duplicates == reference_stats.duplicates
+        assert compiled_stats.iterations == reference_stats.iterations
+        assert compiled_stats.result_size == reference_stats.result_size
+
+    def test_head_arity_mismatch_raises_up_front(self):
+        # Regression: with RowSetBuilder accumulation the per-iteration
+        # Relation constructor no longer re-validates row widths, so the
+        # drivers must reject a head whose name matches the recursive
+        # predicate but whose arity does not.
+        rules = (parse_rule("t(X, Y, Z) :- e(X, Y, Z)."),)
+        database = Database.of(Relation.of("e", 3, [(1, 2, 3)]))
+        initial = Relation.of("t", 2, [(1, 2)])
+        with pytest.raises(EvaluationError):
+            seminaive_closure(rules, initial, database)
+        with pytest.raises(EvaluationError):
+            naive_closure(rules, initial, database)
