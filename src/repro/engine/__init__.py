@@ -18,11 +18,16 @@ The engine provides:
 * :mod:`repro.engine.decomposed` — decomposed evaluation ``B*C*Q`` enabled
   by commutativity;
 * :mod:`repro.engine.separable` — the separable algorithm (Algorithm 4.1)
-  with selection pushing.
+  with selection pushing;
+* :mod:`repro.engine.parallel` — batched per-iteration execution of the
+  compiled plans under an :class:`~repro.engine.parallel.EvalConfig`
+  (``serial`` / ``threads`` / ``processes``), with delta partitioning and
+  statistics-preserving merge.
 """
 
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
 from repro.engine.plan import CompiledRule, compile_rule
+from repro.engine.parallel import EvalConfig, ParallelEvaluator
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
 from repro.engine.seminaive import seminaive_closure, solve_linear_recursion
@@ -33,8 +38,10 @@ from repro.engine.derivation_graph import DerivationGraph, build_derivation_grap
 __all__ = [
     "CompiledRule",
     "DerivationGraph",
+    "EvalConfig",
     "EvaluationStatistics",
     "JoinCounters",
+    "ParallelEvaluator",
     "build_derivation_graph",
     "compile_rule",
     "decomposed_closure",

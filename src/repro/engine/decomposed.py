@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.datalog.rules import Rule
+from repro.engine.parallel import EvalConfig
 from repro.engine.seminaive import seminaive_closure
 from repro.engine.statistics import EvaluationStatistics
 from repro.storage.database import Database
@@ -26,7 +27,8 @@ from repro.storage.relation import Relation
 def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
                        database: Database,
                        statistics: Optional[EvaluationStatistics] = None,
-                       phase_names: Optional[Sequence[str]] = None) -> Relation:
+                       phase_names: Optional[Sequence[str]] = None,
+                       config: Optional[EvalConfig] = None) -> Relation:
     """Evaluate ``G1* G2* ... Gk* initial`` phase by phase.
 
     ``groups[k-1]`` (the last group) is applied first, matching the
@@ -34,7 +36,9 @@ def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
     first: ``B* C* Q`` computes ``C* Q`` and then applies ``B*``.
 
     Each phase contributes a labelled sub-statistics entry to
-    *statistics* (``phase-1`` is the first phase executed).
+    *statistics* (``phase-1`` is the first phase executed).  *config*
+    (:class:`repro.engine.parallel.EvalConfig`) is forwarded to every
+    phase's semi-naive closure.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)
@@ -53,7 +57,8 @@ def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
     execution_order = list(reversed(list(zip(groups, phase_names))))
     for group, name in execution_order:
         phase_stats = EvaluationStatistics()
-        current = seminaive_closure(group, current, database, phase_stats)
+        current = seminaive_closure(group, current, database, phase_stats,
+                                    config=config)
         statistics.add_phase(name, phase_stats)
     statistics.result_size = len(current)
     return current
@@ -61,9 +66,10 @@ def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
 
 def pairwise_decomposed_closure(first_group: Iterable[Rule], second_group: Iterable[Rule],
                                 initial: Relation, database: Database,
-                                statistics: Optional[EvaluationStatistics] = None) -> Relation:
+                                statistics: Optional[EvaluationStatistics] = None,
+                                config: Optional[EvalConfig] = None) -> Relation:
     """Evaluate ``B* C* initial`` where B = first_group and C = second_group."""
     return decomposed_closure(
         [tuple(first_group), tuple(second_group)], initial, database, statistics,
-        phase_names=["B-closure", "C-closure"],
+        phase_names=["B-closure", "C-closure"], config=config,
     )

@@ -12,6 +12,11 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.datalog.rules import Rule
+from repro.engine.parallel import (
+    EvalConfig,
+    ParallelEvaluator,
+    record_collapsed_productions,
+)
 from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.exceptions import EvaluationError
@@ -21,7 +26,8 @@ from repro.storage.relation import Relation, RowSetBuilder
 
 def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
                   statistics: Optional[EvaluationStatistics] = None,
-                  max_iterations: int = 10_000) -> Relation:
+                  max_iterations: int = 10_000,
+                  config: Optional[EvalConfig] = None) -> Relation:
     """Compute ``(Σ A_i)* initial`` by naive iteration.
 
     *rules* are linear recursive rules over the same predicate; *initial*
@@ -30,7 +36,9 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
 
     Head-predicate validation happens once up front (consistent with
     :func:`repro.engine.seminaive.seminaive_closure`), not per iteration.
-    Rules are compiled once and re-executed against the growing total.
+    Rules are compiled once and re-executed against the growing total;
+    *config* (:class:`repro.engine.parallel.EvalConfig`) selects how each
+    iteration's rule batch is executed.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()
@@ -52,21 +60,17 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
 
     builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
     total = initial
-    for _ in range(max_iterations):
-        statistics.iterations += 1
-        produced: set = set()
-        overrides = {predicate_name: total}
-        for plan in plans:
-            statistics.rule_applications += 1
-            emissions = plan.execute(database, overrides, counters=statistics.joins)
-            for row in emissions:
-                statistics.record_production(row in builder or row in produced)
-                produced.add(row)
-        new_rows = builder.add_all_new(produced)
-        if not new_rows:
-            statistics.result_size = len(total)
-            return total
-        total = builder.freeze()
+    with ParallelEvaluator(plans, database, config) as evaluator:
+        for _ in range(max_iterations):
+            statistics.iterations += 1
+            produced: set = set()
+            pairs = evaluator.execute_batch({predicate_name: total}, statistics)
+            record_collapsed_productions(pairs, builder, produced, statistics)
+            new_rows = builder.add_all_new(produced)
+            if not new_rows:
+                statistics.result_size = len(total)
+                return total
+            total = builder.freeze()
     raise EvaluationError(
         f"Naive evaluation did not converge within {max_iterations} iterations"
     )

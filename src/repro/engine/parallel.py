@@ -1,0 +1,423 @@
+"""Parallel batched execution of compiled rule plans.
+
+The fixpoint drivers (:mod:`repro.engine.seminaive`,
+:mod:`repro.engine.naive`, and through them ``decomposed``/``separable``)
+apply every rule of a stratum to the current delta once per iteration.
+Those applications are mutually independent: each reads the immutable
+EDB plus the iteration's override relations and emits a multiset of head
+tuples, and the driver merges the emissions afterwards.  This module
+batches one iteration's rule applications into *tasks* and runs them
+through a pluggable executor.
+
+Partitioning
+------------
+
+Two sources of parallelism are exploited:
+
+* **Inter-rule** — rule applications only read shared state, so rules
+  are freely distributable; rules whose body atoms touch disjoint
+  override (delta) relations in particular end up in distinct task
+  groups and run concurrently.
+* **Intra-rule** — a rule whose body references an override relation
+  exactly *once* (every linear recursive rule does) can have that
+  override hash-partitioned by row: each derivation consumes exactly one
+  delta row, so the emission multiset of the whole delta is the disjoint
+  union of the emission multisets of the parts.  All rules splitting on
+  the same delta are grouped into one task per partition (each
+  partition's rows cross the executor boundary once, not once per
+  rule).  Rules that mention a delta relation more than once are never
+  partitioned (a derivation could pair rows from different parts); they
+  run as their own unpartitioned tasks.
+
+Merge semantics
+---------------
+
+Tasks return their emissions collapsed into ``(row, multiplicity)``
+pairs plus private :class:`~repro.engine.statistics.JoinCounters`; the
+parent concatenates the pairs in deterministic task order and folds the
+counters.  Derivation/duplicate accounting (Theorem 3.1's |E|) is
+performed by the *driver* on the merged multiset and is order- and
+partition-independent: for a tuple emitted ``k`` times in one iteration,
+exactly ``k`` derivations and either ``k`` or ``k - 1`` duplicates are
+recorded depending only on whether the tuple was already known.  The
+result relations and the derivation/duplicate statistics are therefore
+identical to the serial compiled path on every workload.  (Low-level
+probe counters can differ from serial only when a partitioned rule scans
+EDB atoms *before* its delta atom, in which case the prefix work is
+repeated per part; the engines compile delta-first plans for every
+scenario in the suite, so in practice even those match.)
+
+Executors
+---------
+
+``serial``
+    Runs every plan in-process against the full overrides — byte-for-byte
+    the pre-parallel behaviour, including identical probe counters.
+``threads``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` sharing the parent
+    database.  :class:`~repro.storage.relation.Relation`,
+    :class:`~repro.storage.index.HashIndex` and the per-database index
+    cache are safe to share (immutable reads; the cache takes a lock).
+    On GIL-bound CPython builds pure-Python join work does not speed up,
+    so this backend is mainly a low-overhead shareability check and a
+    ready path for free-threaded builds.
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    receive the (picklable) database and rules once, at pool start-up;
+    each worker compiles its own plans and keeps its own EDB index cache
+    for the lifetime of the closure, so per-iteration traffic is only
+    the delta partitions out and the emissions back.
+
+``serial`` is still fastest when deltas are small (partition + task
+overhead dominates), on single-core machines, and for thread executors
+on GIL-bound builds; see ``src/repro/engine/README.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Container, Mapping, Optional, Sequence
+
+from repro.engine.plan import CompiledRule, compile_rule
+from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.storage.database import Database
+from repro.storage.relation import Relation, Row
+
+#: The executor backends accepted by :class:`EvalConfig`.
+EXECUTORS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """How a fixpoint driver should execute each iteration's rule batch.
+
+    An ``EvalConfig`` is accepted by ``seminaive_closure``,
+    ``naive_closure``, ``decomposed_closure``, ``separable_evaluate`` and
+    ``solve_linear_recursion`` and threaded down to the compiled-plan
+    executor.  The default (``serial``) is exactly the single-threaded
+    compiled path.
+    """
+
+    #: One of :data:`EXECUTORS`.
+    executor: str = "serial"
+    #: Worker count for the parallel backends; ``None`` means the CPU count.
+    max_workers: Optional[int] = None
+    #: Hash partitions per partitionable delta; ``None`` tracks the
+    #: resolved worker count.
+    partitions: Optional[int] = None
+    #: Deltas smaller than this are never split (task overhead dominates).
+    min_partition_rows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"Unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if self.partitions is not None and self.partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        if self.min_partition_rows < 2:
+            raise ValueError("min_partition_rows must be at least 2")
+
+    # ------------------------------------------------------------------
+
+    def is_parallel(self) -> bool:
+        """True if a worker pool is required."""
+        return self.executor != "serial"
+
+    def resolved_workers(self) -> int:
+        """The effective worker count."""
+        if self.max_workers is not None:
+            return self.max_workers
+        return os.cpu_count() or 1
+
+    def resolved_partitions(self) -> int:
+        """The effective number of delta partitions per partitionable rule."""
+        if self.partitions is not None:
+            return self.partitions
+        return self.resolved_workers()
+
+
+#: The default configuration: the serial compiled path.
+SERIAL_CONFIG = EvalConfig()
+
+
+@dataclass(frozen=True)
+class RuleTask:
+    """One unit of work: some plans applied to one (possibly split) view.
+
+    ``partition_index`` is ``-1`` for an unpartitioned task; partitioned
+    tasks over the same delta carry ``0 .. n-1`` and together cover that
+    delta exactly once.  Plans that split on the same delta relation are
+    grouped into one task per partition, so each partition's rows cross
+    the executor boundary once, not once per rule.
+    """
+
+    plan_indices: tuple[int, ...]
+    partition_index: int
+    overrides: Mapping[str, Relation]
+
+
+def split_relation(relation: Relation, partitions: int) -> list[Relation]:
+    """Hash-partition a relation's rows into at most *partitions* parts.
+
+    Empty parts are dropped; the returned parts are pairwise disjoint and
+    their union is the input.  Assignment uses ``hash(row)``, so which
+    part a row lands in is not stable across interpreter runs for salted
+    types (strings); every consumer in this module is partition-agnostic,
+    so results and derivation statistics are unaffected.
+    """
+    if partitions <= 1 or len(relation) < 2:
+        return [relation]
+    buckets: list[list[Row]] = [[] for _ in range(partitions)]
+    for row in relation.rows:
+        buckets[hash(row) % partitions].append(row)
+    return [
+        Relation.from_canonical(relation.name, relation.arity, frozenset(bucket))
+        for bucket in buckets
+        if bucket
+    ]
+
+
+def partition_tasks(plans: Sequence[CompiledRule],
+                    overrides: Mapping[str, Relation],
+                    partitions: int,
+                    min_partition_rows: int = 2) -> list[RuleTask]:
+    """Break one iteration's rule batch into independent tasks.
+
+    Every plan is covered by exactly one set of tasks:
+
+    * A plan whose body scans some override relation exactly once is
+      *splittable* on that relation (the largest such override is chosen
+      when there are several).  Plans splitting on the same relation are
+      grouped; the relation is split by :func:`split_relation` and each
+      part becomes one task running the whole group, so partitioned
+      delta rows are shipped to workers once per partition, not once per
+      rule.  Plans splitting on *different* (disjoint) delta relations
+      land in different groups and run concurrently as a matter of
+      course.
+    * Every other plan — including those that mention a delta relation
+      twice, where row-partitioning would lose cross-part derivations —
+      runs as its own unpartitioned task over the full overrides.
+    """
+    split_groups: dict[str, list[int]] = {}
+    solo: list[int] = []
+    for plan_index, plan in enumerate(plans):
+        counts: dict[str, int] = {}
+        for name in plan.scan_relation_names():
+            if name in overrides:
+                counts[name] = counts.get(name, 0) + 1
+        splittable = [
+            name for name, count in counts.items()
+            if count == 1 and len(overrides[name]) >= min_partition_rows
+        ]
+        if partitions > 1 and splittable:
+            target = max(splittable, key=lambda name: len(overrides[name]))
+            split_groups.setdefault(target, []).append(plan_index)
+        else:
+            solo.append(plan_index)
+
+    tasks = [RuleTask((plan_index,), -1, overrides) for plan_index in solo]
+    for name, indices in split_groups.items():
+        parts = split_relation(overrides[name], partitions)
+        if len(parts) == 1:
+            tasks.append(RuleTask(tuple(indices), -1, overrides))
+            continue
+        for part_index, part in enumerate(parts):
+            view = dict(overrides)
+            view[name] = part
+            tasks.append(RuleTask(tuple(indices), part_index, view))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Worker entry points
+# ----------------------------------------------------------------------
+
+
+def _collapse(emissions: list[Row]) -> list[tuple[Row, int]]:
+    """Collapse an emission multiset into (row, multiplicity) pairs.
+
+    Pair order is the order of first emission, so the collapsed form is
+    deterministic given the plan; duplicate accounting over it is exactly
+    equivalent to per-emission accounting (a tuple emitted ``k`` times
+    yields ``k`` derivations, of which ``k`` or ``k - 1`` are duplicates
+    depending only on whether the tuple was already known).  Collapsing
+    inside the task shrinks both the rows shipped back from process
+    workers and the driver's serial merge loop.
+    """
+    return list(Counter(emissions).items())
+
+
+def _execute_task(database: Database, plans: Sequence[CompiledRule],
+                  overrides: Mapping[str, Relation]
+                  ) -> tuple[list[tuple[Row, int]], JoinCounters]:
+    """Thread-backend task body: run the task's plans on shared storage."""
+    counters = JoinCounters()
+    emissions: list[Row] = []
+    for plan in plans:
+        emissions.extend(plan.execute(database, overrides, counters=counters))
+    return _collapse(emissions), counters
+
+
+_WORKER_DATABASE: Optional[Database] = None
+_WORKER_PLANS: list[CompiledRule] = []
+
+
+def _process_worker_init(database: Database, rules: tuple) -> None:
+    """Process-pool initializer: receive the EDB and compile plans once.
+
+    The database arrives pickled (relations only — caches are not part of
+    its pickled state), so each worker owns an independent index cache
+    that persists across every iteration of the closure.
+    """
+    global _WORKER_DATABASE, _WORKER_PLANS
+    _WORKER_DATABASE = database
+    _WORKER_PLANS = [compile_rule(rule, database) for rule in rules]
+
+
+def _process_worker_run(plan_indices: tuple[int, ...],
+                        overrides: Mapping[str, Relation]
+                        ) -> tuple[list[tuple[Row, int]], JoinCounters]:
+    """Process-pool task body: execute the task's pre-compiled plans.
+
+    Returns the counters as the :class:`JoinCounters` dataclass itself
+    (it pickles cleanly), so the parent merges them through the same
+    ``merge()`` path as the thread backend and a counter field added
+    later cannot silently go missing from one backend.
+    """
+    assert _WORKER_DATABASE is not None, "worker used before initialization"
+    counters = JoinCounters()
+    emissions: list[Row] = []
+    for plan_index in plan_indices:
+        emissions.extend(_WORKER_PLANS[plan_index].execute(
+            _WORKER_DATABASE, overrides, counters=counters
+        ))
+    return _collapse(emissions), counters
+
+
+# ----------------------------------------------------------------------
+# The evaluator
+# ----------------------------------------------------------------------
+
+
+class ParallelEvaluator:
+    """Executes per-iteration rule batches under an :class:`EvalConfig`.
+
+    A context manager: the worker pool (if any) is created on ``__enter__``
+    and lives for the whole closure, so process workers pickle the EDB
+    and compile plans exactly once and keep their index caches warm
+    across iterations.
+    """
+
+    def __init__(self, plans: Sequence[CompiledRule], database: Database,
+                 config: Optional[EvalConfig] = None):
+        self.plans = list(plans)
+        self.database = database
+        self.config = config if config is not None else SERIAL_CONFIG
+        self._pool: Optional[Executor] = None
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ParallelEvaluator":
+        config = self.config
+        if config.executor == "threads":
+            self._pool = ThreadPoolExecutor(
+                max_workers=config.resolved_workers(),
+                thread_name_prefix="repro-eval",
+            )
+        elif config.executor == "processes":
+            rules = tuple(plan.rule for plan in self.plans)
+            self._pool = ProcessPoolExecutor(
+                max_workers=config.resolved_workers(),
+                initializer=_process_worker_init,
+                initargs=(self.database, rules),
+            )
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+
+    def execute_batch(self, overrides: Mapping[str, Relation],
+                      statistics: EvaluationStatistics) -> list[tuple[Row, int]]:
+        """Apply every plan to *overrides*; return collapsed emissions.
+
+        The returned list holds ``(row, multiplicity)`` pairs — each
+        task's emission multiset collapsed by :func:`_collapse` — in
+        deterministic task order (:func:`partition_tasks`).  Duplicate
+        accounting over the pairs is exactly equivalent to per-emission
+        accounting in the serial drivers (see
+        :func:`record_collapsed_productions`).  ``statistics`` receives
+        one rule application per plan and the folded join counters.
+        """
+        statistics.rule_applications += len(self.plans)
+        if self._pool is None:
+            collapsed: list[tuple[Row, int]] = []
+            for plan in self.plans:
+                collapsed.extend(_collapse(
+                    plan.execute(self.database, overrides, counters=statistics.joins)
+                ))
+            return collapsed
+
+        tasks = partition_tasks(
+            self.plans, overrides,
+            self.config.resolved_partitions(), self.config.min_partition_rows,
+        )
+        if self.config.executor == "threads":
+            futures = [
+                self._pool.submit(
+                    _execute_task, self.database,
+                    [self.plans[index] for index in task.plan_indices],
+                    task.overrides,
+                )
+                for task in tasks
+            ]
+        else:
+            futures = [
+                self._pool.submit(
+                    _process_worker_run, task.plan_indices, task.overrides
+                )
+                for task in tasks
+            ]
+        collapsed = []
+        for future in futures:
+            task_pairs, counters = future.result()
+            statistics.joins.merge(counters)
+            collapsed.extend(task_pairs)
+        return collapsed
+
+
+def record_collapsed_productions(pairs: Sequence[tuple[Row, int]],
+                                 known: Container[Row],
+                                 produced: set[Row],
+                                 statistics: EvaluationStatistics) -> None:
+    """Account one iteration's collapsed emissions into *statistics*.
+
+    Equivalent to calling
+    :meth:`~repro.engine.statistics.EvaluationStatistics.record_production`
+    once per underlying emission: a tuple emitted ``k`` times this
+    iteration contributes ``k`` derivations, all of them duplicates when
+    the tuple was already known (present in *known* — typically the
+    driver's accumulated ``RowSetBuilder`` — or produced by an earlier
+    pair), and ``k - 1`` duplicates otherwise.  New tuples are added to
+    *produced*.
+    """
+    for row, count in pairs:
+        statistics.derivations += count
+        if row in known or row in produced:
+            statistics.duplicates += count
+        else:
+            statistics.duplicates += count - 1
+            produced.add(row)

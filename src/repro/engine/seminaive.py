@@ -17,6 +17,11 @@ from typing import Iterable, Optional
 
 from repro.datalog.programs import LinearRecursion
 from repro.datalog.rules import Rule
+from repro.engine.parallel import (
+    EvalConfig,
+    ParallelEvaluator,
+    record_collapsed_productions,
+)
 from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.exceptions import EvaluationError
@@ -26,7 +31,8 @@ from repro.storage.relation import Relation, RowSetBuilder
 
 def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
                       statistics: Optional[EvaluationStatistics] = None,
-                      max_iterations: int = 100_000) -> Relation:
+                      max_iterations: int = 100_000,
+                      config: Optional[EvalConfig] = None) -> Relation:
     """Compute ``(Σ A_i)* initial`` by semi-naive iteration.
 
     Every successful derivation is recorded in *statistics*; a derivation
@@ -39,6 +45,11 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
     relations persist across iterations in the database's cache, and the
     accumulated result lives in a :class:`RowSetBuilder` so each
     iteration costs ``O(|delta|)`` set maintenance, not ``O(|total|)``.
+
+    *config* selects how each iteration's rule batch is executed
+    (:class:`repro.engine.parallel.EvalConfig`); the default is the
+    serial compiled path.  Result relations and derivation/duplicate
+    statistics are identical for every backend.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()
@@ -61,19 +72,15 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
     builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
     delta = initial
     iterations = 0
-    while delta.rows and iterations < max_iterations:
-        iterations += 1
-        statistics.iterations += 1
-        produced: set = set()
-        overrides = {predicate_name: delta}
-        for plan in plans:
-            statistics.rule_applications += 1
-            emissions = plan.execute(database, overrides, counters=statistics.joins)
-            for row in emissions:
-                statistics.record_production(row in builder or row in produced)
-                produced.add(row)
-        new_rows = builder.add_all_new(produced)
-        delta = Relation.from_canonical(predicate_name, initial.arity, new_rows)
+    with ParallelEvaluator(plans, database, config) as evaluator:
+        while delta.rows and iterations < max_iterations:
+            iterations += 1
+            statistics.iterations += 1
+            produced: set = set()
+            pairs = evaluator.execute_batch({predicate_name: delta}, statistics)
+            record_collapsed_productions(pairs, builder, produced, statistics)
+            new_rows = builder.add_all_new(produced)
+            delta = Relation.from_canonical(predicate_name, initial.arity, new_rows)
     if iterations >= max_iterations and delta.rows:
         raise EvaluationError(
             f"Semi-naive evaluation did not converge within {max_iterations} iterations"
@@ -99,15 +106,17 @@ def evaluate_exit_rules(recursion: LinearRecursion, database: Database,
 
 def solve_linear_recursion(recursion: LinearRecursion, database: Database,
                            statistics: Optional[EvaluationStatistics] = None,
-                           max_iterations: int = 100_000) -> Relation:
+                           max_iterations: int = 100_000,
+                           config: Optional[EvalConfig] = None) -> Relation:
     """Solve ``P = A P ∪ Q`` for a whole linear recursion.
 
     The exit rules produce ``Q``; the recursive rules are then iterated
-    with semi-naive evaluation.  Returns the minimal model restricted to
-    the recursive predicate.
+    with semi-naive evaluation (under *config*, when given).  Returns the
+    minimal model restricted to the recursive predicate.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     initial = evaluate_exit_rules(recursion, database, statistics)
     return seminaive_closure(
-        recursion.recursive_rules, initial, database, statistics, max_iterations
+        recursion.recursive_rules, initial, database, statistics, max_iterations,
+        config=config,
     )

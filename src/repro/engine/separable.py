@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.datalog.rules import Rule
+from repro.engine.parallel import EvalConfig
 from repro.engine.seminaive import seminaive_closure
 from repro.engine.statistics import EvaluationStatistics
 from repro.storage.database import Database
@@ -31,7 +32,8 @@ from repro.storage.selection import Selection
 def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
                        selection: Selection, initial: Relation, database: Database,
                        statistics: Optional[EvaluationStatistics] = None,
-                       push_into_initial: bool = True) -> Relation:
+                       push_into_initial: bool = True,
+                       config: Optional[EvalConfig] = None) -> Relation:
     """Evaluate ``σ (A_outer + A_inner)* initial`` by the separable strategy.
 
     ``outer_rules`` play the role of ``A1`` (the operator the selection
@@ -41,6 +43,9 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
     operator); otherwise the inner closure runs on the full initial
     relation and the selection is applied to its result, which is the
     literal reading of ``A1*(σ A2*)``.
+
+    *config* (:class:`repro.engine.parallel.EvalConfig`) is forwarded to
+    both phases' semi-naive closures.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)
@@ -52,15 +57,18 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
     inner_stats = EvaluationStatistics()
     if push_into_initial:
         seeded = selection.apply(initial)
-        inner_result = seminaive_closure(inner_rules, seeded, database, inner_stats)
+        inner_result = seminaive_closure(inner_rules, seeded, database, inner_stats,
+                                         config=config)
         selected = inner_result
     else:
-        inner_result = seminaive_closure(inner_rules, initial, database, inner_stats)
+        inner_result = seminaive_closure(inner_rules, initial, database, inner_stats,
+                                         config=config)
         selected = selection.apply(inner_result)
     statistics.add_phase("inner-closure", inner_stats)
 
     outer_stats = EvaluationStatistics()
-    result = seminaive_closure(outer_rules, selected, database, outer_stats)
+    result = seminaive_closure(outer_rules, selected, database, outer_stats,
+                               config=config)
     statistics.add_phase("outer-closure", outer_stats)
 
     statistics.result_size = len(result)
@@ -69,10 +77,12 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
 
 def direct_selection_evaluate(rules: Iterable[Rule], selection: Selection,
                               initial: Relation, database: Database,
-                              statistics: Optional[EvaluationStatistics] = None) -> Relation:
+                              statistics: Optional[EvaluationStatistics] = None,
+                              config: Optional[EvalConfig] = None) -> Relation:
     """Baseline: compute the full closure, then apply the selection."""
     statistics = statistics if statistics is not None else EvaluationStatistics()
-    closure = seminaive_closure(tuple(rules), initial, database, statistics)
+    closure = seminaive_closure(tuple(rules), initial, database, statistics,
+                                config=config)
     result = selection.apply(closure)
     statistics.result_size = len(result)
     return result

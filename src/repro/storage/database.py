@@ -8,6 +8,7 @@ logic-programming convention that unknown facts are false.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -29,11 +30,20 @@ class Database:
     def __post_init__(self) -> None:
         object.__setattr__(self, "relations", dict(self.relations))
         object.__setattr__(self, "_index_cache", {})
+        object.__setattr__(self, "_index_lock", threading.Lock())
         for name, relation in self.relations.items():
             if relation.name != name:
                 raise SchemaError(
                     f"Relation stored under {name!r} is named {relation.name!r}"
                 )
+
+    def __reduce__(self) -> tuple:
+        """Pickle only the relations; caches and the lock are rebuilt.
+
+        The process-backend executor ships a database to each worker once
+        per pool; every worker then owns an independent index cache.
+        """
+        return (Database, (dict(self.relations),))
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,26 +119,50 @@ class Database:
     def index(self, name: str, arity: int, positions: tuple[int, ...]) -> HashIndex:
         """Return a cached :class:`HashIndex` over a stored relation.
 
-        Because the database (and every relation in it) is immutable, an
-        index built once is valid for the database's whole lifetime; the
-        cache is keyed by ``(relation name, arity, indexed positions)``
-        and survives across fixpoint iterations.  Functional updates
+        Relations are immutable, so an index is valid for as long as the
+        *same relation object* is stored under its name; the cache is
+        keyed by ``(relation name, arity, indexed positions)`` and
+        survives across fixpoint iterations.  Functional updates
         (:meth:`with_relation` and friends) produce a *new* database with
-        a fresh, empty cache, so staleness is impossible by construction.
-        Override relations (per-iteration deltas) must not be indexed
-        here; the executor indexes those per evaluation.
+        a fresh, empty cache — but ``relations`` is an ordinary dict, and
+        a caller that swaps a relation in place under an existing name
+        would otherwise keep hitting the stale index.  Each cache entry
+        therefore records the relation it was built over and is rebuilt
+        whenever the stored object changes (an identity generation
+        check).  Override relations (per-iteration deltas) must not be
+        indexed here; the executor indexes those per evaluation.
 
         The key includes *arity* so a wrong-arity request can never hit
         an index cached under the correct arity: it always reaches
         :meth:`relation`, which raises :class:`SchemaError`.
+
+        Thread-safe: concurrent lookups from the thread-backend executor
+        build under a lock, so each index is constructed at most once per
+        stored relation generation.
         """
         cache: dict[tuple[str, int, tuple[int, ...]], HashIndex] = self._index_cache  # type: ignore[attr-defined]
         key = (name, arity, positions)
+        stored = self.relation(name, arity)
+
+        def valid(index: HashIndex | None) -> bool:
+            # An absent name yields a fresh empty relation per call, so
+            # identity cannot hold; an empty cached index is still valid.
+            if index is None:
+                return False
+            if index.relation is stored:
+                return True
+            return name not in self.relations and not index.relation.rows
+
         index = cache.get(key)
-        if index is None:
-            index = HashIndex(self.relation(name, arity), positions)
-            cache[key] = index
-        return index
+        if valid(index):
+            return index  # type: ignore[return-value]
+        lock: threading.Lock = self._index_lock  # type: ignore[attr-defined]
+        with lock:
+            index = cache.get(key)
+            if not valid(index):
+                index = HashIndex(stored, positions)
+                cache[key] = index
+        return index  # type: ignore[return-value]
 
     def has_relation(self, name: str) -> bool:
         """True if a relation named *name* is stored."""

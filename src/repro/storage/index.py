@@ -11,6 +11,12 @@ indexed afresh.
 The empty position tuple is a legal index: every row lands in the single
 bucket keyed by ``()``, so ``lookup(())`` is a full scan.  This is how
 the executor handles a join step with no bound columns.
+
+A :class:`HashIndex` is immutable after construction (its buckets are
+only ever read), so one index may be shared freely across the threads of
+the parallel executor; it also pickles cleanly for the process backend,
+although the workers there prefer to rebuild indexes locally from the
+shipped relations.
 """
 
 from __future__ import annotations

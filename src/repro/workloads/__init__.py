@@ -17,6 +17,12 @@ from repro.workloads.graphs import (
 )
 from repro.workloads.relations import random_relation, random_unary_relation
 from repro.workloads.rulegen import random_commuting_pair, random_restricted_rule, random_rule_pair
+from repro.workloads.wide import (
+    wide_multirule_database,
+    wide_multirule_program,
+    wide_multirule_rules,
+    wide_multirule_workload,
+)
 from repro.workloads import scenarios
 
 __all__ = [
@@ -32,4 +38,8 @@ __all__ = [
     "random_unary_relation",
     "scenarios",
     "tree_edges",
+    "wide_multirule_database",
+    "wide_multirule_program",
+    "wide_multirule_rules",
+    "wide_multirule_workload",
 ]

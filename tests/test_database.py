@@ -82,6 +82,50 @@ class TestDatabaseAccess:
         assert database.names() == frozenset({"e", "f"})
 
 
+class TestIndexCache:
+    def test_index_cached_per_positions(self):
+        database = Database.of(Relation.of("e", 2, [(1, 2), (2, 3)]))
+        first = database.index("e", 2, (0,))
+        assert database.index("e", 2, (0,)) is first
+        assert database.index("e", 2, (1,)) is not first
+
+    def test_index_rebuilt_when_relation_replaced_in_place(self):
+        """Regression: swapping a relation under the same name must not
+        keep serving the index built over the old relation object."""
+        database = Database.of(Relation.of("e", 2, [(1, 2)]))
+        stale = database.index("e", 2, (0,))
+        assert stale.lookup((1,)) == [(1, 2)]
+        # In-place replacement (relations is an ordinary dict): the cache
+        # entry's generation (relation identity) no longer matches.
+        database.relations["e"] = Relation.of("e", 2, [(1, 9), (4, 5)])
+        fresh = database.index("e", 2, (0,))
+        assert fresh is not stale
+        assert sorted(fresh.lookup((1,))) == [(1, 9)]
+        assert fresh.lookup((4,)) == [(4, 5)]
+        # And the fresh index is now the cached one.
+        assert database.index("e", 2, (0,)) is fresh
+
+    def test_absent_relation_index_is_stable_and_empty(self):
+        database = Database({})
+        first = database.index("ghost", 2, (0,))
+        assert first.lookup((1,)) == []
+        assert database.index("ghost", 2, (0,)) is first
+
+    def test_absent_then_added_in_place_rebuilds(self):
+        database = Database({})
+        empty = database.index("ghost", 2, (0,))
+        database.relations["ghost"] = Relation.of("ghost", 2, [(1, 2)])
+        rebuilt = database.index("ghost", 2, (0,))
+        assert rebuilt is not empty
+        assert rebuilt.lookup((1,)) == [(1, 2)]
+
+    def test_wrong_arity_request_still_raises(self):
+        database = Database.of(Relation.of("e", 2, [(1, 2)]))
+        database.index("e", 2, (0,))
+        with pytest.raises(SchemaError):
+            database.index("e", 3, (0,))
+
+
 class TestHashIndex:
     def test_lookup(self):
         relation = Relation.of("e", 2, [(1, 2), (1, 3), (2, 3)])
