@@ -11,6 +11,7 @@ from repro.datalog.composition import power
 from repro.datalog.parser import parse_rule
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
+from repro.engine.parallel import EvalConfig
 from repro.engine.seminaive import seminaive_closure
 from repro.storage.database import Database
 from repro.storage.relation import Relation
@@ -42,6 +43,22 @@ def test_seminaive_transitive_closure(benchmark):
     database = _dag_database()
     initial = _identity(database)
     relation = benchmark(lambda: seminaive_closure((TC_RULE,), initial, database))
+    benchmark.extra_info["result_size"] = len(relation)
+
+
+def test_seminaive_transitive_closure_vector(benchmark):
+    """The same workload on the column-oriented batch executor.
+
+    Together with ``test_seminaive_transitive_closure`` this records the
+    interpreted → compiled → batch executor trajectory (the ``vector``
+    series of ``bench_compiled.py`` / ``BENCH_engine.json``).
+    """
+    database = _dag_database()
+    initial = _identity(database)
+    config = EvalConfig(executor="batch")
+    relation = benchmark(
+        lambda: seminaive_closure((TC_RULE,), initial, database, config=config)
+    )
     benchmark.extra_info["result_size"] = len(relation)
 
 

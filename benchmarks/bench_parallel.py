@@ -23,6 +23,9 @@ Usage::
 
     python benchmarks/bench_parallel.py             # full sizes, 3 repeats
     python benchmarks/bench_parallel.py --quick     # CI smoke run
+    python benchmarks/bench_parallel.py --quick --executor batch
+                                                    # batch executor on
+                                                    # every backend
 """
 
 from __future__ import annotations
@@ -50,11 +53,16 @@ NUM_RULES = 6
 WIDTH = 16
 
 
-def _configs(workers: int) -> dict[str, EvalConfig | None]:
+def _configs(workers: int, executor: str) -> dict[str, EvalConfig | None]:
+    serial: EvalConfig | None = None
+    if executor != "rows":
+        serial = EvalConfig(executor=executor)
     return {
-        "serial": None,
-        "threads": EvalConfig(executor="threads", max_workers=workers),
-        "processes": EvalConfig(executor="processes", max_workers=workers),
+        "serial": serial,
+        "threads": EvalConfig(executor=executor, backend="threads",
+                              max_workers=workers),
+        "processes": EvalConfig(executor=executor, backend="processes",
+                                max_workers=workers),
     }
 
 
@@ -83,14 +91,14 @@ def _stats_key(statistics: EvaluationStatistics) -> tuple[int, int, int, int]:
     )
 
 
-def run_benchmark(sizes, repeats, workers):
+def run_benchmark(sizes, repeats, workers, executor="rows"):
     results = []
     for layers in sizes:
         timings: dict[str, float] = {}
         signatures: dict[str, list] = {}
         relations = {}
         stats = {}
-        for backend, config in _configs(workers).items():
+        for backend, config in _configs(workers, executor).items():
             best = None
             signatures[backend] = []
             for _ in range(repeats):
@@ -151,6 +159,10 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for the parallel backends "
                              "(default: CPU count)")
+    parser.add_argument("--executor", choices=["rows", "batch"],
+                        default="rows",
+                        help="per-rule executor to run on every backend "
+                             "(default: rows)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="full mode: fail unless the best parallel backend "
                              "reaches this speedup at the largest size "
@@ -162,7 +174,7 @@ def main(argv=None):
     sizes = [6, 10] if args.quick else [16, 24, 32]
     repeats = 1 if args.quick else 3
 
-    results = run_benchmark(sizes, repeats, workers)
+    results = run_benchmark(sizes, repeats, workers, args.executor)
     largest = results[-1]
     best_speedup = max(largest["speedup_threads"], largest["speedup_processes"])
     report = {
@@ -170,6 +182,7 @@ def main(argv=None):
         "workload": "wide multi-rule mark-restricted reachability "
                     "(repro.workloads.wide), identity-seeded",
         "mode": "quick" if args.quick else "full",
+        "executor": args.executor,
         "cpu_count": cpus,
         "workers": workers,
         "repeats": repeats,

@@ -1,0 +1,193 @@
+"""Differential fuzzing: interpreted vs compiled (rows) vs batch executors.
+
+Generates random linear recursive programs — restricted-class rules from
+:mod:`repro.workloads.rulegen` (single rules, independent pairs, and
+Theorem-5.1 commuting pairs) plus a small pool of equality/constant rule
+templates the generators cannot produce — over random EDBs, then runs
+each program to fixpoint through three independent engines:
+
+* **interpreted** — the seed reference loop
+  (:func:`repro.engine.reference.seminaive_closure_interpreted`);
+* **compiled** — the slot executor (``EvalConfig()`` default path);
+* **batch** — the column-oriented executor
+  (``EvalConfig(executor="batch")``).
+
+All three must agree on the result relation, the derivation count, the
+duplicate count and the iteration count (the Theorem 3.1 accounting);
+any disagreement prints the offending seed and program and fails the
+run.  CI runs a quick seed set on every PR and a larger sweep nightly.
+
+Usage::
+
+    python benchmarks/fuzz_differential.py                 # default seed set
+    python benchmarks/fuzz_differential.py --seeds 200     # nightly sweep
+    python benchmarks/fuzz_differential.py --base-seed 7   # shift the set
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import random
+import sys
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datalog.parser import parse_rule  # noqa: E402
+from repro.datalog.rules import Rule  # noqa: E402
+from repro.engine.parallel import EvalConfig  # noqa: E402
+from repro.engine.reference import seminaive_closure_interpreted  # noqa: E402
+from repro.engine.seminaive import seminaive_closure  # noqa: E402
+from repro.engine.statistics import EvaluationStatistics  # noqa: E402
+from repro.storage.database import Database  # noqa: E402
+from repro.storage.relation import Relation  # noqa: E402
+from repro.workloads.rulegen import (  # noqa: E402
+    random_commuting_pair,
+    random_restricted_rule,
+    random_rule_pair,
+)
+
+#: Hand-written shapes outside the rulegen class: equality atoms,
+#: constants, repeated variables.  ``{c}`` is filled with a random
+#: domain value per seed.
+TEMPLATES = (
+    "p(X, Y) :- p(U, Y), q0(X, U), X = {c}.",
+    "p(X, Y) :- p(X, V), q0(V, Y), V = Y.",
+    "p(X, Y) :- p(U, V), q0(U, X), q0(V, Y).",
+    "p(X, X) :- p(U, X), q0(U, U).",
+    "p(X, Y) :- p(U, Y), q0(U, X), r0(X, X).",
+)
+
+
+def generate_rules(rng: random.Random) -> tuple[Rule, ...]:
+    """A random linear recursive program over the predicate ``p``."""
+    kind = rng.choice(("single", "pair", "commuting", "template"))
+    if kind == "single":
+        arity = rng.randint(1, 3)
+        return (random_restricted_rule(arity, rng.randint(1, 3), rng),)
+    if kind == "pair":
+        arity = rng.randint(1, 3)
+        return random_rule_pair(arity, rng.randint(1, 2), rng)
+    if kind == "commuting":
+        return random_commuting_pair(rng.randint(1, 3), rng)
+    template = rng.choice(TEMPLATES)
+    return (parse_rule(template.format(c=rng.randint(0, 3))),)
+
+
+def generate_database(rules: tuple[Rule, ...], rng: random.Random,
+                      domain: int) -> tuple[Database, Relation]:
+    """A random EDB for every non-recursive body predicate, plus the seed."""
+    predicates: dict[str, int] = {}
+    head = rules[0].head.predicate
+    for rule in rules:
+        for atom in rule.body:
+            if atom.is_equality() or atom.predicate.name == head.name:
+                continue
+            predicates[atom.predicate.name] = atom.predicate.arity
+    relations = []
+    for name in sorted(predicates):
+        arity = predicates[name]
+        count = rng.randint(0, 2 * domain)
+        rows = {
+            tuple(rng.randrange(domain) for _ in range(arity))
+            for _ in range(count)
+        }
+        relations.append(Relation.of(name, arity, rows))
+    seed_count = rng.randint(1, domain)
+    seed_rows = {
+        tuple(rng.randrange(domain) for _ in range(head.arity))
+        for _ in range(seed_count)
+    }
+    initial = Relation.of(head.name, head.arity, seed_rows)
+    return Database.of(*relations), initial
+
+
+def signature(relation: Relation, statistics: EvaluationStatistics):
+    return (
+        relation.rows,
+        statistics.derivations,
+        statistics.duplicates,
+        statistics.iterations,
+    )
+
+
+def run_seed(seed: int, max_iterations: int) -> tuple[bool, str]:
+    """Run one fuzz case; returns (ok, description)."""
+    rng = random.Random(seed)
+    rules = generate_rules(rng)
+    database, initial = generate_database(rules, rng, domain=rng.randint(3, 7))
+    description = "; ".join(str(rule) for rule in rules) + (
+        f"  [EDB rows: {database.total_rows()}, seed rows: {len(initial)}]"
+    )
+
+    def fresh() -> Database:
+        return Database(dict(database.relations))
+
+    interpreted_stats = EvaluationStatistics()
+    interpreted = seminaive_closure_interpreted(
+        rules, initial, fresh(), interpreted_stats
+    )
+    outcomes = {"interpreted": signature(interpreted, interpreted_stats)}
+    for label, config in (
+        ("compiled", None),
+        ("batch", EvalConfig(executor="batch")),
+    ):
+        stats = EvaluationStatistics()
+        relation = seminaive_closure(
+            rules, initial, fresh(), stats,
+            max_iterations=max_iterations, config=config,
+        )
+        outcomes[label] = signature(relation, stats)
+
+    reference = outcomes["interpreted"]
+    mismatched = [label for label, outcome in outcomes.items()
+                  if outcome != reference]
+    if mismatched:
+        detail = "; ".join(
+            f"{label}: result={len(outcomes[label][0])} "
+            f"derivations={outcomes[label][1]} duplicates={outcomes[label][2]} "
+            f"iterations={outcomes[label][3]}"
+            for label in outcomes
+        )
+        return False, f"{description}\n    {detail}"
+    return True, description
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=25,
+                        help="number of random programs to check (default 25)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="first seed of the range (default 0)")
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every generated program")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for seed in range(args.base_seed, args.base_seed + args.seeds):
+        ok, description = run_seed(seed, args.max_iterations)
+        if args.verbose or not ok:
+            status = "ok  " if ok else "FAIL"
+            print(f"seed={seed:5d} {status} {description}")
+        if not ok:
+            failures += 1
+    if failures:
+        print(
+            f"FAIL: {failures}/{args.seeds} seeds diverged between the "
+            f"interpreted, compiled and batch executors",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {args.seeds} random programs agree across interpreted, "
+        f"compiled and batch executors "
+        f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

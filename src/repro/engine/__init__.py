@@ -19,15 +19,21 @@ The engine provides:
   by commutativity;
 * :mod:`repro.engine.separable` — the separable algorithm (Algorithm 4.1)
   with selection pushing;
+* :mod:`repro.engine.vectorized` — the column-oriented batch executor:
+  the same compiled step sequence lowered to batched hash-probe joins,
+  vectorised equality filters and a fused, collapsing head projection
+  (``EvalConfig(executor="batch")``);
 * :mod:`repro.engine.parallel` — batched per-iteration execution of the
   compiled plans under an :class:`~repro.engine.parallel.EvalConfig`
-  (``serial`` / ``threads`` / ``processes``), with delta partitioning and
-  statistics-preserving merge.
+  (executor ``rows``/``batch`` × backend ``serial``/``threads``/
+  ``processes``), with delta partitioning and statistics-preserving
+  merge.
 """
 
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
 from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.parallel import EvalConfig, ParallelEvaluator
+from repro.engine.vectorized import execute_batch
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
 from repro.engine.seminaive import seminaive_closure, solve_linear_recursion
@@ -46,6 +52,7 @@ __all__ = [
     "compile_rule",
     "decomposed_closure",
     "evaluate_rule",
+    "execute_batch",
     "naive_closure",
     "seminaive_closure",
     "separable_evaluate",

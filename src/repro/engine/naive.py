@@ -37,8 +37,9 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
     Head-predicate validation happens once up front (consistent with
     :func:`repro.engine.seminaive.seminaive_closure`), not per iteration.
     Rules are compiled once and re-executed against the growing total;
-    *config* (:class:`repro.engine.parallel.EvalConfig`) selects how each
-    iteration's rule batch is executed.
+    *config* (:class:`repro.engine.parallel.EvalConfig`) selects both the
+    per-rule executor (``rows``/``batch``) and the backend each
+    iteration's rule batch is scheduled on.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()

@@ -47,8 +47,19 @@ EDB atoms *before* its delta atom, in which case the prefix work is
 repeated per part; the engines compile delta-first plans for every
 scenario in the suite, so in practice even those match.)
 
-Executors
----------
+Executors and backends
+----------------------
+
+:class:`EvalConfig` exposes two orthogonal knobs.  The **executor**
+(``rows`` | ``batch``) selects how a single rule application runs: the
+slot executor (:meth:`~repro.engine.plan.CompiledRule.execute`) or the
+column-oriented batch executor
+(:func:`repro.engine.vectorized.execute_batch`), which processes whole
+delta/EDB relations as column tuples and emits collapsed pairs directly.
+The **backend** (``serial`` | ``threads`` | ``processes``) selects where
+the batch of applications runs; the batch executor composes with every
+backend and with delta partitioning, because partitioning happens above
+the per-rule executor.
 
 ``serial``
     Runs every plan in-process against the full overrides — byte-for-byte
@@ -83,11 +94,18 @@ from typing import Container, Mapping, Optional, Sequence
 
 from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.engine.vectorized import execute_batch
 from repro.storage.database import Database
 from repro.storage.relation import Relation, Row
 
-#: The executor backends accepted by :class:`EvalConfig`.
-EXECUTORS = ("serial", "threads", "processes")
+#: The per-rule executors accepted by :class:`EvalConfig`: ``rows`` is
+#: the slot executor (:meth:`~repro.engine.plan.CompiledRule.execute`),
+#: ``batch`` the column-oriented executor
+#: (:mod:`repro.engine.vectorized`).
+EXECUTORS = ("rows", "batch")
+
+#: The scheduling backends accepted by :class:`EvalConfig`.
+BACKENDS = ("serial", "threads", "processes")
 
 
 @dataclass(frozen=True)
@@ -96,13 +114,29 @@ class EvalConfig:
 
     An ``EvalConfig`` is accepted by ``seminaive_closure``,
     ``naive_closure``, ``decomposed_closure``, ``separable_evaluate`` and
-    ``solve_linear_recursion`` and threaded down to the compiled-plan
-    executor.  The default (``serial``) is exactly the single-threaded
-    compiled path.
+    ``solve_linear_recursion`` and threaded down to the per-rule
+    executor.  Two orthogonal knobs compose freely:
+
+    * ``executor`` — *how one rule application runs*: ``"rows"`` (the
+      slot executor, one row at a time) or ``"batch"`` (the
+      column-oriented executor of :mod:`repro.engine.vectorized`);
+    * ``backend`` — *where the batch of rule applications runs*:
+      ``"serial"``, ``"threads"`` or ``"processes"``, with optional
+      delta partitioning for the parallel backends.
+
+    The default (``rows`` on ``serial``) is exactly the single-threaded
+    compiled path.  Result relations and derivation/duplicate statistics
+    are identical for every combination.
+
+    For compatibility with the pre-batch API, passing a backend name as
+    ``executor`` (e.g. ``EvalConfig(executor="threads")``) is accepted
+    and normalised to ``backend="threads", executor="rows"``.
     """
 
-    #: One of :data:`EXECUTORS`.
-    executor: str = "serial"
+    #: One of :data:`EXECUTORS` (legacy: a :data:`BACKENDS` name).
+    executor: str = "rows"
+    #: One of :data:`BACKENDS`.
+    backend: str = "serial"
     #: Worker count for the parallel backends; ``None`` means the CPU count.
     max_workers: Optional[int] = None
     #: Hash partitions per partitionable delta; ``None`` tracks the
@@ -112,9 +146,23 @@ class EvalConfig:
     min_partition_rows: int = 2
 
     def __post_init__(self) -> None:
+        if self.executor in BACKENDS:
+            # Legacy spelling: EvalConfig(executor="threads") predates the
+            # rows/batch knob.  Normalise, refusing ambiguous mixes.
+            if self.backend != "serial":
+                raise ValueError(
+                    f"Backend given twice: executor={self.executor!r} is a "
+                    f"legacy backend name and backend={self.backend!r} is set"
+                )
+            object.__setattr__(self, "backend", self.executor)
+            object.__setattr__(self, "executor", "rows")
         if self.executor not in EXECUTORS:
             raise ValueError(
                 f"Unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"Unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -127,7 +175,11 @@ class EvalConfig:
 
     def is_parallel(self) -> bool:
         """True if a worker pool is required."""
-        return self.executor != "serial"
+        return self.backend != "serial"
+
+    def batched(self) -> bool:
+        """True if rule applications run on the column-oriented executor."""
+        return self.executor == "batch"
 
     def resolved_workers(self) -> int:
         """The effective worker count."""
@@ -253,15 +305,24 @@ def _collapse(emissions: list[Row]) -> list[tuple[Row, int]]:
     return list(Counter(emissions).items())
 
 
+def _plan_pairs(plan: CompiledRule, database: Database,
+                overrides: Mapping[str, Relation], counters: JoinCounters,
+                batched: bool) -> list[tuple[Row, int]]:
+    """One rule application, collapsed, on the configured executor."""
+    if batched:
+        return execute_batch(plan, database, overrides, counters=counters)
+    return _collapse(plan.execute(database, overrides, counters=counters))
+
+
 def _execute_task(database: Database, plans: Sequence[CompiledRule],
-                  overrides: Mapping[str, Relation]
+                  overrides: Mapping[str, Relation], batched: bool
                   ) -> tuple[list[tuple[Row, int]], JoinCounters]:
     """Thread-backend task body: run the task's plans on shared storage."""
     counters = JoinCounters()
-    emissions: list[Row] = []
+    pairs: list[tuple[Row, int]] = []
     for plan in plans:
-        emissions.extend(plan.execute(database, overrides, counters=counters))
-    return _collapse(emissions), counters
+        pairs.extend(_plan_pairs(plan, database, overrides, counters, batched))
+    return pairs, counters
 
 
 _WORKER_DATABASE: Optional[Database] = None
@@ -281,7 +342,8 @@ def _process_worker_init(database: Database, rules: tuple) -> None:
 
 
 def _process_worker_run(plan_indices: tuple[int, ...],
-                        overrides: Mapping[str, Relation]
+                        overrides: Mapping[str, Relation],
+                        batched: bool
                         ) -> tuple[list[tuple[Row, int]], JoinCounters]:
     """Process-pool task body: execute the task's pre-compiled plans.
 
@@ -292,12 +354,13 @@ def _process_worker_run(plan_indices: tuple[int, ...],
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
     counters = JoinCounters()
-    emissions: list[Row] = []
+    pairs: list[tuple[Row, int]] = []
     for plan_index in plan_indices:
-        emissions.extend(_WORKER_PLANS[plan_index].execute(
-            _WORKER_DATABASE, overrides, counters=counters
+        pairs.extend(_plan_pairs(
+            _WORKER_PLANS[plan_index], _WORKER_DATABASE, overrides, counters,
+            batched,
         ))
-    return _collapse(emissions), counters
+    return pairs, counters
 
 
 # ----------------------------------------------------------------------
@@ -325,12 +388,12 @@ class ParallelEvaluator:
 
     def __enter__(self) -> "ParallelEvaluator":
         config = self.config
-        if config.executor == "threads":
+        if config.backend == "threads":
             self._pool = ThreadPoolExecutor(
                 max_workers=config.resolved_workers(),
                 thread_name_prefix="repro-eval",
             )
-        elif config.executor == "processes":
+        elif config.backend == "processes":
             rules = tuple(plan.rule for plan in self.plans)
             self._pool = ProcessPoolExecutor(
                 max_workers=config.resolved_workers(),
@@ -363,11 +426,12 @@ class ParallelEvaluator:
         one rule application per plan and the folded join counters.
         """
         statistics.rule_applications += len(self.plans)
+        batched = self.config.batched()
         if self._pool is None:
             collapsed: list[tuple[Row, int]] = []
             for plan in self.plans:
-                collapsed.extend(_collapse(
-                    plan.execute(self.database, overrides, counters=statistics.joins)
+                collapsed.extend(_plan_pairs(
+                    plan, self.database, overrides, statistics.joins, batched
                 ))
             return collapsed
 
@@ -375,19 +439,20 @@ class ParallelEvaluator:
             self.plans, overrides,
             self.config.resolved_partitions(), self.config.min_partition_rows,
         )
-        if self.config.executor == "threads":
+        if self.config.backend == "threads":
             futures = [
                 self._pool.submit(
                     _execute_task, self.database,
                     [self.plans[index] for index in task.plan_indices],
-                    task.overrides,
+                    task.overrides, batched,
                 )
                 for task in tasks
             ]
         else:
             futures = [
                 self._pool.submit(
-                    _process_worker_run, task.plan_indices, task.overrides
+                    _process_worker_run, task.plan_indices, task.overrides,
+                    batched,
                 )
                 for task in tasks
             ]

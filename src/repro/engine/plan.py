@@ -109,7 +109,8 @@ class _EqualityStep:
 class CompiledRule:
     """A rule compiled to a fixed join order and slot-based executor."""
 
-    __slots__ = ("rule", "num_slots", "steps", "head_template", "fact_row")
+    __slots__ = ("rule", "num_slots", "steps", "head_template", "fact_row",
+                 "batch")
 
     def __init__(self, rule: Rule, num_slots: int, steps: tuple,
                  head_template: tuple[tuple[bool, Any], ...],
@@ -119,6 +120,11 @@ class CompiledRule:
         self.steps = steps
         self.head_template = head_template
         self.fact_row = fact_row
+        #: Lazily populated column-oriented lowering of the same step
+        #: sequence (:func:`repro.engine.vectorized.batch_plan`).  Purely
+        #: structural, like the plan itself, so it shares the plan
+        #: cache's lifetime and invalidation rules.
+        self.batch: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -250,8 +256,22 @@ class CompiledRule:
             step.name for step in self.steps if type(step) is _ScanStep
         )
 
-    def explain(self) -> str:
-        """Human-readable plan: one line per step in execution order."""
+    def explain(self, executor: str = "rows") -> str:
+        """Human-readable plan: one line per step in execution order.
+
+        ``executor="rows"`` (default) prints the slot executor's join
+        steps; ``executor="batch"`` prints the column-oriented batch
+        pipeline the vectorised executor runs
+        (:func:`repro.engine.vectorized.describe_batch`).
+        """
+        if executor == "batch":
+            # Imported here: vectorized depends on this module.
+            from repro.engine.vectorized import describe_batch
+            return describe_batch(self)
+        if executor != "rows":
+            raise ValueError(
+                f"Unknown executor {executor!r}; expected 'rows' or 'batch'"
+            )
         if self.fact_row is not None:
             return f"fact {self.rule.head}"
         lines = []

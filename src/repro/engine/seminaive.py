@@ -24,6 +24,7 @@ from repro.engine.parallel import (
 )
 from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
+from repro.engine.vectorized import execute_batch
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
 from repro.storage.relation import Relation, RowSetBuilder
@@ -46,10 +47,12 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
     accumulated result lives in a :class:`RowSetBuilder` so each
     iteration costs ``O(|delta|)`` set maintenance, not ``O(|total|)``.
 
-    *config* selects how each iteration's rule batch is executed
-    (:class:`repro.engine.parallel.EvalConfig`); the default is the
-    serial compiled path.  Result relations and derivation/duplicate
-    statistics are identical for every backend.
+    *config* (:class:`repro.engine.parallel.EvalConfig`) selects both
+    the per-rule executor — ``rows`` (slot-at-a-time) or ``batch``
+    (column-oriented, :mod:`repro.engine.vectorized`) — and the backend
+    each iteration's rule batch is scheduled on; the default is the
+    serial row-at-a-time compiled path.  Result relations and
+    derivation/duplicate statistics are identical for every combination.
     """
     rules = tuple(rules)
     statistics = statistics if statistics is not None else EvaluationStatistics()
@@ -91,16 +94,26 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
 
 
 def evaluate_exit_rules(recursion: LinearRecursion, database: Database,
-                        statistics: Optional[EvaluationStatistics] = None) -> Relation:
-    """Evaluate the exit (nonrecursive) rules to obtain the initial relation Q."""
+                        statistics: Optional[EvaluationStatistics] = None,
+                        config: Optional[EvalConfig] = None) -> Relation:
+    """Evaluate the exit (nonrecursive) rules to obtain the initial relation Q.
+
+    When *config* selects the batch executor, the exit rules run
+    column-at-a-time as well; emissions and join counters are identical
+    either way.
+    """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     builder = RowSetBuilder(recursion.predicate.name, recursion.arity)
+    batched = config is not None and config.batched()
     for rule in recursion.exit_rules:
         statistics.rule_applications += 1
-        emissions = compile_rule(rule, database).execute(
-            database, counters=statistics.joins
-        )
-        builder.add_all_new(set(emissions))
+        plan = compile_rule(rule, database)
+        if batched:
+            pairs = execute_batch(plan, database, counters=statistics.joins)
+            produced = {row for row, _ in pairs}
+        else:
+            produced = set(plan.execute(database, counters=statistics.joins))
+        builder.add_all_new(produced)
     return builder.freeze()
 
 
@@ -111,11 +124,13 @@ def solve_linear_recursion(recursion: LinearRecursion, database: Database,
     """Solve ``P = A P ∪ Q`` for a whole linear recursion.
 
     The exit rules produce ``Q``; the recursive rules are then iterated
-    with semi-naive evaluation (under *config*, when given).  Returns the
-    minimal model restricted to the recursive predicate.
+    with semi-naive evaluation.  *config* selects both the per-rule
+    executor (``rows``/``batch``) and the scheduling backend for every
+    phase.  Returns the minimal model restricted to the recursive
+    predicate.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
-    initial = evaluate_exit_rules(recursion, database, statistics)
+    initial = evaluate_exit_rules(recursion, database, statistics, config=config)
     return seminaive_closure(
         recursion.recursive_rules, initial, database, statistics, max_iterations,
         config=config,

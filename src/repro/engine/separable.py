@@ -45,7 +45,8 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
     literal reading of ``A1*(σ A2*)``.
 
     *config* (:class:`repro.engine.parallel.EvalConfig`) is forwarded to
-    both phases' semi-naive closures.
+    both phases' semi-naive closures, so the per-rule executor
+    (``rows``/``batch``) and the scheduling backend apply to both phases.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)

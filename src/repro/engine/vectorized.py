@@ -1,0 +1,595 @@
+"""Column-oriented batch execution of compiled rule plans.
+
+The slot executor (:meth:`repro.engine.plan.CompiledRule.execute`) joins
+one row at a time: a recursive ``join()`` call per binding, a trail undo
+per probed row, a head tuple built per emission.  All of that is Python
+interpreter overhead paid once per *row*.  This module compiles the same
+:class:`~repro.engine.plan.CompiledRule` step sequence into *batch
+operations* that process whole delta/EDB relations as column tuples, so
+the per-row overhead is paid once per *batch*:
+
+* a **leading scan** (the first step, before any slot is bound) becomes
+  plain column extraction — :meth:`repro.storage.relation.Relation.columns`
+  pulls each live bind position out of the relation in one pass;
+* every subsequent scan is a **batched hash-probe join**: the step's key
+  column is probed against the existing :class:`~repro.storage.index.HashIndex`
+  (the persistent per-database cache for EDB relations, the per-execution
+  cache for deltas) through the bulk ``index.buckets`` mapping, and the
+  surviving bindings are appended column-wise;
+* **equality atoms** become vectorised column filters (``check``) or
+  column extensions (``bind``), exactly mirroring the three compile-time
+  modes of the slot executor;
+* the **head projection is fused into the last scan** where possible:
+  matched rows are projected straight into head tuples without
+  materialising the final binding columns, and the emission multiset is
+  collapsed into ``(row, count)`` pairs via a single C-speed
+  :class:`collections.Counter` pass.
+
+Statistics parity
+-----------------
+
+The emission *multiset* of a batch execution is identical to the slot
+executor's — same tuples, same multiplicities — so the Theorem 3.1
+derivation/duplicate accounting performed by the drivers
+(:func:`repro.engine.parallel.record_collapsed_productions`) is
+bit-identical.  The low-level :class:`~repro.engine.statistics.JoinCounters`
+(rows probed, bindings extended, tuples emitted) are also maintained
+exactly: each batch operation adds precisely the counts the slot executor
+would have accumulated row by row.  Only a *dead* binding column (a slot
+no later step or the head ever reads, as determined by a backward
+liveness pass at batch-compile time) is skipped — an optimisation that is
+invisible to both results and counters.
+
+A batch plan is compiled lazily from a ``CompiledRule`` on first batch
+execution and cached on the plan object itself, so it shares the plan
+cache's lifetime and invalidation rules (structural information only,
+valid against any database).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping, Optional
+
+from repro.engine.plan import CompiledRule, _EqualityStep, _ScanStep
+from repro.engine.statistics import JoinCounters
+from repro.exceptions import EvaluationError
+from repro.storage.database import Database
+from repro.storage.index import HashIndex
+from repro.storage.relation import Relation, Row
+
+#: Key layouts a batch scan can carry (chosen at batch-compile time).
+_KEY_CONST = 0   #: every key position is a constant (possibly the empty key)
+_KEY_SINGLE = 1  #: exactly one key position, fed by one bound column
+_KEY_MULTI = 2   #: the general case: a mix of constants and bound columns
+
+
+class _BatchScan:
+    """One batched hash-probe join (or leading columnar scan) step."""
+
+    __slots__ = ("atom", "name", "arity", "seq", "key_positions", "key_kind",
+                 "key_const", "key_slot", "key_parts", "checks", "binds",
+                 "mat_binds", "carries", "fused", "head_consts", "head_cols",
+                 "head_rows", "head2")
+
+    key_kind: int
+    key_const: Optional[tuple[Any, ...]]
+    key_slot: Any
+    key_parts: tuple[tuple[bool, Any], ...]
+    head_consts: Optional[list[Any]]
+    head_cols: tuple[tuple[int, int], ...]
+    head_rows: tuple[tuple[int, int], ...]
+    head2: Optional[tuple[bool, int, int]]
+
+    def __init__(self, step: _ScanStep, seq: int, live_after: frozenset[int]):
+        self.atom = step.atom
+        self.name = step.name
+        self.arity = step.arity
+        #: Index into the per-execution resolved-relation arrays.
+        self.seq = seq
+        self.key_positions = step.key_positions
+
+        entries = step.key_template
+        if all(is_const for is_const, _ in entries):
+            self.key_kind = _KEY_CONST
+            self.key_const = tuple(value for _, value in entries)
+            self.key_slot = None
+            self.key_parts = ()
+        elif len(entries) == 1:
+            self.key_kind = _KEY_SINGLE
+            self.key_const = None
+            self.key_slot = entries[0][1]
+            self.key_parts = ()
+        else:
+            self.key_kind = _KEY_MULTI
+            self.key_const = None
+            self.key_slot = None
+            self.key_parts = entries
+
+        binds = [(position, slot)
+                 for is_bind, position, slot in step.post_actions if is_bind]
+        first_position = {slot: position for position, slot in binds}
+        #: Within-atom repeated variables: row[a] must equal row[b].  A
+        #: variable bound by an *earlier* step always lands in the key,
+        #: so every non-bind post action compares two positions of the
+        #: same probed row.
+        self.checks = tuple(
+            (position, first_position[slot])
+            for is_bind, position, slot in step.post_actions if not is_bind
+        )
+        self.binds = tuple(binds)
+        #: Binds whose slot some later step (or the head) actually reads.
+        self.mat_binds = tuple(
+            (position, slot) for position, slot in binds if slot in live_after
+        )
+        #: Live slots bound before this step, re-emitted column-wise.
+        self.carries = tuple(sorted(live_after - set(step.bind_slots)))
+
+        # Filled in by the compiler when this is the fused last scan.
+        self.fused = False
+        self.head_consts = None
+        self.head_cols = ()
+        self.head_rows = ()
+        self.head2 = None
+
+    def fuse_head(self, head_template: tuple[tuple[bool, Any], ...]) -> None:
+        """Fuse the head projection into this (final) scan."""
+        first_position = {slot: position for position, slot in self.binds}
+        consts: list[Any] = [None] * len(head_template)
+        cols: list[tuple[int, int]] = []
+        rows: list[tuple[int, int]] = []
+        for head_index, (is_const, value) in enumerate(head_template):
+            if is_const:
+                consts[head_index] = value
+            elif value in first_position:
+                rows.append((head_index, first_position[value]))
+            else:
+                cols.append((head_index, value))
+        self.fused = True
+        self.head_consts = consts
+        self.head_cols = tuple(cols)
+        self.head_rows = tuple(rows)
+        # The dominant shape (binary transitive closure and friends):
+        # head = one probed-row position plus one carried column, single
+        # key column, no repeat checks.  Gets a dedicated tight loop.
+        if (len(head_template) == 2 and not self.checks
+                and self.key_kind == _KEY_SINGLE
+                and len(cols) == 1 and len(rows) == 1):
+            row_first = rows[0][0] == 0
+            self.head2 = (row_first, rows[0][1], cols[0][1])
+        else:
+            self.head2 = None
+
+
+class _BatchEquality:
+    """A vectorised equality step: column filter, extension, or unsafe."""
+
+    __slots__ = ("atom", "mode", "slot", "live", "value_is_const", "value",
+                 "left", "right")
+
+    mode: str
+    slot: Any
+    live: bool
+    value_is_const: bool
+    value: Any
+    left: Any
+    right: Any
+
+    def __init__(self, step: _EqualityStep, live_after: frozenset[int]):
+        self.atom = step.atom
+        self.mode = step.mode
+        self.slot = step.slot
+        self.live = step.slot in live_after if step.slot is not None else False
+        self.value_is_const = step.value_is_const
+        self.value = step.value
+        self.left = step.left
+        self.right = step.right
+
+
+class _BatchEmit:
+    """The final head projection, when no scan is available to fuse into."""
+
+    __slots__ = ("head_consts", "head_cols")
+
+    def __init__(self, head_template: tuple[tuple[bool, Any], ...]):
+        self.head_consts = [value if is_const else None
+                            for is_const, value in head_template]
+        self.head_cols = tuple(
+            (head_index, value)
+            for head_index, (is_const, value) in enumerate(head_template)
+            if not is_const
+        )
+
+
+class BatchPlan:
+    """A ``CompiledRule`` lowered to column-oriented batch operations."""
+
+    __slots__ = ("ops", "emit")
+
+    def __init__(self, ops: tuple, emit: Optional[_BatchEmit]):
+        self.ops = ops
+        #: ``None`` when the head projection is fused into the last scan.
+        self.emit = emit
+
+
+def _step_defs_uses(step: Any) -> tuple[set[int], set[int]]:
+    """Slots a step binds and slots it reads (for the liveness pass)."""
+    if type(step) is _ScanStep:
+        uses = {value for is_const, value in step.key_template if not is_const}
+        return set(step.bind_slots), uses
+    if step.mode == "bind":
+        uses = set() if step.value_is_const else {step.value}
+        return {step.slot}, uses
+    if step.mode == "check":
+        uses = {value for is_const, value in (step.left, step.right)
+                if not is_const}
+        return set(), uses
+    return set(), set()
+
+
+def _compile_batch(plan: CompiledRule) -> BatchPlan:
+    steps = plan.steps
+    # Slots no step ever binds can still be *referenced* — a head
+    # variable whose only body occurrence is an `unsafe` equality.  The
+    # slot executor leaves them UNBOUND and the unsafe step raises before
+    # any emission, so they must never become batch columns: restrict
+    # liveness to slots some step actually defines.
+    defined: set[int] = set()
+    for step in steps:
+        step_defs, _ = _step_defs_uses(step)
+        defined |= step_defs
+    live = {value for is_const, value in plan.head_template if not is_const}
+    live_after: list[frozenset[int]] = [frozenset()] * len(steps)
+    for i in range(len(steps) - 1, -1, -1):
+        live_after[i] = frozenset(live & defined)
+        defs, uses = _step_defs_uses(steps[i])
+        live = (live - defs) | uses
+
+    ops: list[Any] = []
+    seq = 0
+    for i, step in enumerate(steps):
+        if type(step) is _ScanStep:
+            ops.append(_BatchScan(step, seq, live_after[i]))
+            seq += 1
+        else:
+            ops.append(_BatchEquality(step, live_after[i]))
+
+    emit: Optional[_BatchEmit] = None
+    if ops and type(ops[-1]) is _BatchScan:
+        ops[-1].fuse_head(plan.head_template)
+    else:
+        emit = _BatchEmit(plan.head_template)
+    return BatchPlan(tuple(ops), emit)
+
+
+def batch_plan(plan: CompiledRule) -> BatchPlan:
+    """The batch lowering of *plan*, compiled once and cached on it."""
+    lowered = plan.batch
+    if lowered is None:
+        lowered = _compile_batch(plan)
+        plan.batch = lowered
+    return lowered
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def execute_batch(plan: CompiledRule, database: Database,
+                  overrides: Optional[Mapping[str, Relation]] = None,
+                  counters: Optional[JoinCounters] = None
+                  ) -> list[tuple[Row, int]]:
+    """Run *plan* batch-at-a-time; returns collapsed ``(row, count)`` pairs.
+
+    The underlying emission multiset — and therefore every derivation and
+    duplicate count derived from it — is identical to
+    :meth:`repro.engine.plan.CompiledRule.execute`; the pairs are in
+    first-emission order, ready for
+    :func:`repro.engine.parallel.record_collapsed_productions`.
+    *counters* receives exactly the probe/extension/emission counts the
+    slot executor would have recorded.
+    """
+    counters = counters if counters is not None else JoinCounters()
+    if plan.fact_row is not None:
+        counters.tuples_emitted += 1
+        return [(plan.fact_row, 1)]
+
+    lowered = batch_plan(plan)
+    ops = lowered.ops
+
+    # Eager relation resolution and arity validation for every scan, in
+    # step order — schema mismatches raise even when an earlier empty
+    # batch would short-circuit, matching the slot executor.
+    relations: list[Relation] = []
+    is_override: list[bool] = []
+    for op in ops:
+        if type(op) is not _BatchScan:
+            continue
+        if overrides and op.name in overrides:
+            relation = overrides[op.name]
+            if relation.arity != op.arity:
+                raise EvaluationError(
+                    f"Override for {op.name} has arity {relation.arity}, "
+                    f"atom expects {op.arity}"
+                )
+            relations.append(relation)
+            is_override.append(True)
+        else:
+            relations.append(database.relation(op.name, op.arity))
+            is_override.append(False)
+    override_indexes: dict[tuple[str, tuple[int, ...]], HashIndex] = {}
+
+    def index_for(op: _BatchScan) -> HashIndex:
+        if not is_override[op.seq]:
+            return database.index(op.name, op.arity, op.key_positions)
+        cache_key = (op.name, op.key_positions)
+        index = override_indexes.get(cache_key)
+        if index is None:
+            index = HashIndex(relations[op.seq], op.key_positions)
+            override_indexes[cache_key] = index
+        return index
+
+    probed = 0
+    extended = 0
+    emissions: list[Row] = []
+    # The batch: one column list per live slot, all of length `width`.
+    # `width == 1` with no columns is the initial single empty binding.
+    cols: dict[int, list[Any]] = {}
+    width = 1
+
+    for op in ops:
+        if width == 0:
+            break
+        if type(op) is _BatchEquality:
+            mode = op.mode
+            if mode == "bind":
+                if op.live:
+                    if op.value_is_const:
+                        cols[op.slot] = [op.value] * width
+                    else:
+                        cols[op.slot] = cols[op.value]
+                extended += width
+            elif mode == "check":
+                left_const, left = op.left
+                right_const, right = op.right
+                if left_const and right_const:
+                    if left != right:
+                        width = 0
+                    else:
+                        extended += width
+                else:
+                    if left_const:
+                        column = cols[right]
+                        keep = [j for j in range(width) if column[j] == left]
+                    elif right_const:
+                        column = cols[left]
+                        keep = [j for j in range(width) if column[j] == right]
+                    else:
+                        left_column = cols[left]
+                        right_column = cols[right]
+                        keep = [j for j in range(width)
+                                if left_column[j] == right_column[j]]
+                    if len(keep) != width:
+                        cols = {slot: [column[j] for j in keep]
+                                for slot, column in cols.items()}
+                        width = len(keep)
+                    extended += width
+            else:
+                raise EvaluationError(
+                    f"Equality atom {op.atom} has no bound side at "
+                    f"evaluation time; the rule is unsafe"
+                )
+            continue
+
+        # ---- scan steps -------------------------------------------------
+        checks = op.checks
+        if op.fused:
+            index = index_for(op)
+            get = index.buckets.get
+            emit = emissions.append
+            if op.head2 is not None and op.key_kind == _KEY_SINGLE:
+                # Tight loop for the dominant binary-head shape.
+                row_first, row_position, col_slot = op.head2
+                key_column = cols[op.key_slot]
+                carry_column = cols[col_slot]
+                if row_first:
+                    for key_value, carried in zip(key_column, carry_column):
+                        bucket = get((key_value,))
+                        if bucket:
+                            probed += len(bucket)
+                            for row in bucket:
+                                emit((row[row_position], carried))
+                            extended += len(bucket)
+                else:
+                    for key_value, carried in zip(key_column, carry_column):
+                        bucket = get((key_value,))
+                        if bucket:
+                            probed += len(bucket)
+                            for row in bucket:
+                                emit((carried, row[row_position]))
+                            extended += len(bucket)
+                width = 0  # everything emitted; nothing flows further
+                continue
+            template = list(op.head_consts)
+            col_entries = [(head_index, cols[slot])
+                           for head_index, slot in op.head_cols]
+            row_entries = op.head_rows
+            for j, bucket in _probe_buckets(op, cols, width, index):
+                probed += len(bucket)
+                for head_index, column in col_entries:
+                    template[head_index] = column[j]
+                if checks:
+                    for row in bucket:
+                        if _row_passes(row, checks):
+                            for head_index, position in row_entries:
+                                template[head_index] = row[position]
+                            emit(tuple(template))
+                            extended += 1
+                else:
+                    for row in bucket:
+                        for head_index, position in row_entries:
+                            template[head_index] = row[position]
+                        emit(tuple(template))
+                    extended += len(bucket)
+            width = 0
+            continue
+
+        if width == 1 and not cols and op.key_kind == _KEY_CONST:
+            # Leading scan: no bound columns yet, so the whole step is
+            # bulk column extraction (plus an optional repeat filter).
+            relation = relations[op.seq]
+            if op.key_const == ():
+                if not checks:
+                    probed += len(relation)
+                    extended += len(relation)
+                    width = len(relation)
+                    extracted = relation.columns(
+                        [position for position, _ in op.mat_binds]
+                    )
+                    cols = {slot: column
+                            for (_, slot), column in zip(op.mat_binds, extracted)}
+                    continue
+                source = list(relation.rows)
+            else:
+                source = index_for(op).lookup(op.key_const)
+            probed += len(source)
+            if checks:
+                source = [row for row in source if _row_passes(row, checks)]
+            extended += len(source)
+            width = len(source)
+            cols = {slot: [row[position] for row in source]
+                    for position, slot in op.mat_binds}
+            continue
+
+        # General batched probe join.
+        index = index_for(op)
+        out_cols: dict[int, list[Any]] = {
+            slot: [] for slot in op.carries
+        }
+        for _, slot in op.mat_binds:
+            out_cols.setdefault(slot, [])
+        carry_pairs = [(out_cols[slot].append, cols[slot]) for slot in op.carries]
+        bind_pairs = [(out_cols[slot].append, position)
+                      for position, slot in op.mat_binds]
+        n_out = 0
+        for j, bucket in _probe_buckets(op, cols, width, index):
+            probed += len(bucket)
+            carry_values = [(append, column[j]) for append, column in carry_pairs]
+            if checks:
+                for row in bucket:
+                    if not _row_passes(row, checks):
+                        continue
+                    for append, value in carry_values:
+                        append(value)
+                    for append, position in bind_pairs:
+                        append(row[position])
+                    n_out += 1
+            else:
+                for row in bucket:
+                    for append, value in carry_values:
+                        append(value)
+                    for append, position in bind_pairs:
+                        append(row[position])
+                n_out += len(bucket)
+        extended += n_out
+        cols = out_cols
+        width = n_out
+
+    if lowered.emit is not None and width > 0:
+        emit_op = lowered.emit
+        if not emit_op.head_cols:
+            emissions.extend([tuple(emit_op.head_consts)] * width)
+        else:
+            template = list(emit_op.head_consts)
+            col_entries = [(head_index, cols[slot])
+                           for head_index, slot in emit_op.head_cols]
+            emit = emissions.append
+            for j in range(width):
+                for head_index, column in col_entries:
+                    template[head_index] = column[j]
+                emit(tuple(template))
+
+    counters.rows_probed += probed
+    counters.bindings_extended += extended
+    counters.tuples_emitted += len(emissions)
+    return list(Counter(emissions).items())
+
+
+def _row_passes(row: Row, checks: tuple[tuple[int, int], ...]) -> bool:
+    """Within-atom repeated-variable filter: row[a] == row[b] for each pair."""
+    for position_a, position_b in checks:
+        if row[position_a] != row[position_b]:
+            return False
+    return True
+
+
+def _probe_buckets(op: _BatchScan, cols: dict[int, list[Any]], width: int,
+                   index: HashIndex):
+    """Yield ``(j, non-empty bucket)`` for each batch element's probe."""
+    get = index.buckets.get
+    if op.key_kind == _KEY_CONST:
+        bucket = index.lookup(op.key_const)
+        if bucket:
+            for j in range(width):
+                yield j, bucket
+        return
+    if op.key_kind == _KEY_SINGLE:
+        key_column = cols[op.key_slot]
+        for j in range(width):
+            bucket = get((key_column[j],))
+            if bucket:
+                yield j, bucket
+        return
+    parts = [(is_const, value if is_const else cols[value])
+             for is_const, value in op.key_parts]
+    keys = [
+        tuple(value if is_const else value[j] for is_const, value in parts)
+        for j in range(width)
+    ]
+    for j, bucket in enumerate(index.lookup_batch(keys)):
+        if bucket:
+            yield j, bucket
+
+
+# ----------------------------------------------------------------------
+# Explanation
+# ----------------------------------------------------------------------
+
+
+def describe_batch(plan: CompiledRule) -> str:
+    """Human-readable batch pipeline, one line per batch operation.
+
+    Backs :meth:`repro.engine.plan.CompiledRule.explain` with
+    ``executor="batch"``.
+    """
+    if plan.fact_row is not None:
+        return f"fact {plan.rule.head}"
+    lowered = batch_plan(plan)
+    lines = []
+    for position, op in enumerate(lowered.ops):
+        if type(op) is _BatchEquality:
+            verb = "extend" if op.mode == "bind" else (
+                "filter" if op.mode == "check" else "unsafe")
+            lines.append(f"batch-{verb} {op.atom}")
+            continue
+        leading = position == 0 and op.key_kind == _KEY_CONST
+        verb = "batch-scan" if leading else "batch-probe"
+        detail = [f"key={op.key_positions}"]
+        if op.carries:
+            detail.append(f"carry={list(op.carries)}")
+        if op.mat_binds:
+            detail.append(
+                "bind=" + str([f"s{slot}<-{pos}" for pos, slot in op.mat_binds])
+            )
+        if op.checks:
+            detail.append(f"checks={list(op.checks)}")
+        if op.fused:
+            detail.append(f"fused-emit {plan.rule.head}")
+            if op.head2 is not None:
+                detail.append("specialized=head2")
+        lines.append(f"{verb} {op.atom} " + " ".join(detail))
+    if lowered.emit is not None:
+        lines.append(f"emit {plan.rule.head}")
+    lines.append("collapse -> (row, count) pairs")
+    return "\n".join(lines)

@@ -52,6 +52,30 @@ class HashIndex:
         """Rows whose indexed columns equal *key* (in position order)."""
         return self._buckets.get(tuple(key), [])
 
+    @property
+    def buckets(self) -> dict[tuple[Any, ...], list[Row]]:
+        """The key → rows mapping itself (read-only by convention).
+
+        The batch executor (:mod:`repro.engine.vectorized`) probes this
+        mapping directly (``index.buckets.get``) inside its column loops,
+        skipping the per-call tuple normalisation of :meth:`lookup`.
+        Callers must not mutate the mapping or its bucket lists.
+        """
+        return self._buckets
+
+    def lookup_batch(self, keys: Iterable[tuple[Any, ...]]) -> list[list[Row]]:
+        """Bulk probe: one bucket (possibly empty) per key, in key order.
+
+        Keys must already be tuples in position order.  This is the bulk
+        counterpart of :meth:`lookup`; the batch executor probes
+        multi-column join keys through it (single-column keys go through
+        :attr:`buckets` directly).  The returned bucket lists are the
+        index's own and must not be mutated.
+        """
+        get = self._buckets.get
+        empty: list[Row] = []
+        return [get(key, empty) for key in keys]
+
     def keys(self) -> Iterator[tuple[Any, ...]]:
         """Distinct keys present in the index."""
         return iter(self._buckets)

@@ -115,6 +115,26 @@ class Relation:
     # Introspection
     # ------------------------------------------------------------------
 
+    def columns(self, positions: Iterable[int] | None = None) -> tuple[list[Any], ...]:
+        """The relation decomposed into column lists (bulk extraction).
+
+        Returns one value list per requested position (all positions when
+        *positions* is ``None``); the lists are mutually row-aligned — the
+        ``j``-th entries across all returned columns come from the same
+        row.  Row order is the relation's internal iteration order, which
+        is stable for the lifetime of the relation object.  The batch
+        executor (:mod:`repro.engine.vectorized`) uses this to turn a
+        leading full scan into plain column extraction.
+        """
+        selected = tuple(range(self.arity)) if positions is None else tuple(positions)
+        for position in selected:
+            if not 0 <= position < self.arity:
+                raise SchemaError(
+                    f"Column {position} out of range for arity {self.arity}"
+                )
+        rows = list(self.rows)
+        return tuple([row[position] for row in rows] for position in selected)
+
     def column_values(self, position: int) -> frozenset[Any]:
         """Distinct values in column *position*."""
         if not 0 <= position < self.arity:

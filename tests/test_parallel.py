@@ -39,7 +39,7 @@ BACKENDS = ["serial", "threads", "processes"]
 def config_for(backend: str) -> EvalConfig | None:
     if backend == "serial":
         return None
-    return EvalConfig(executor=backend, max_workers=2, partitions=3)
+    return EvalConfig(backend=backend, max_workers=2, partitions=3)
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +227,8 @@ class TestEvalConfig:
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
             EvalConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            EvalConfig(backend="gpu")
 
     @pytest.mark.parametrize("field,value", [
         ("max_workers", 0),
@@ -244,7 +246,7 @@ class TestEvalConfig:
         assert config.resolved_partitions() == config.resolved_workers()
 
     def test_explicit_resolution(self):
-        config = EvalConfig(executor="threads", max_workers=3)
+        config = EvalConfig(backend="threads", max_workers=3)
         assert config.is_parallel()
         assert config.resolved_workers() == 3
         assert config.resolved_partitions() == 3
@@ -341,7 +343,7 @@ class TestShareability:
     def test_evaluator_context_reusable_per_closure(self):
         rules, database, initial = scenario_layered_tc()
         plans = [compile_rule(rule, database) for rule in rules]
-        config = EvalConfig(executor="threads", max_workers=2)
+        config = EvalConfig(backend="threads", max_workers=2)
         with ParallelEvaluator(plans, database, config) as evaluator:
             stats = EvaluationStatistics()
             first = evaluator.execute_batch({"path": initial}, stats)
