@@ -1,7 +1,7 @@
-"""Executor-trajectory benchmark: interpreted vs compiled vs batch.
+"""Executor-trajectory benchmark: interpreted vs compiled vs batch vs interned.
 
 Runs the transitive-closure micro-workload of ``bench_engine_micro`` (a
-layered DAG, identity-seeded) at several sizes through three engines, so
+layered DAG, identity-seeded) at several sizes through four engines, so
 the whole executor trajectory is recorded in one artifact:
 
 * **interpreted** — the seed engine's semi-naive loop, verbatim: it
@@ -14,12 +14,18 @@ the whole executor trajectory is recorded in one artifact:
   accumulates the fixpoint in a mutable :class:`RowSetBuilder`;
 * **vector** — the same driver under ``EvalConfig(executor="batch")``:
   the column-oriented batch executor of :mod:`repro.engine.vectorized`
-  (batched hash-probe joins, fused collapsing head projection).
+  (batched hash-probe joins, fused collapsing head projection);
+* **interned** — ``EvalConfig(executor="batch", intern=True)``: the int
+  specialisation over dictionary-encoded ids — ``array('q')``-backed
+  interned columns, int-keyed pre-projected probe buckets, packed-int
+  head emission, and (on the serial backend) the whole fixpoint kept in
+  packed-id space with one decode at the end.
 
 All engines must produce the identical result relation and identical
 derivation/duplicate counts (the Theorem 3.1 accounting); any mismatch
 fails the run, as does a ``vector`` series slower than the
-``vector_vs_compiled`` floor at the largest size.  Results are written
+``vector_vs_compiled`` floor or an ``interned`` series slower than the
+``interned_vs_vector`` floor at the largest size.  Results are written
 to ``BENCH_engine.json``.
 
 Usage::
@@ -108,6 +114,16 @@ def run_benchmark(sizes, repeats):
             )
             return relation, stats
 
+        def run_interned():
+            clear_plan_cache()
+            database, initial = _workload(size)
+            stats = EvaluationStatistics()
+            relation = seminaive_closure(
+                (TC_RULE,), initial, database, stats,
+                config=EvalConfig(executor="batch", intern=True),
+            )
+            return relation, stats
+
         interpreted_seconds, (interpreted_rel, interpreted_stats) = _time_best_of(
             repeats, run_interpreted
         )
@@ -116,6 +132,9 @@ def run_benchmark(sizes, repeats):
         )
         vector_seconds, (vector_rel, vector_stats) = _time_best_of(
             repeats, run_vector
+        )
+        interned_seconds, (interned_rel, interned_stats) = _time_best_of(
+            repeats, run_interned
         )
 
         def matches(relation, stats):
@@ -126,17 +145,22 @@ def run_benchmark(sizes, repeats):
                 and stats.iterations == interpreted_stats.iterations
             )
 
-        match = matches(compiled_rel, compiled_stats) and matches(
-            vector_rel, vector_stats
+        match = (
+            matches(compiled_rel, compiled_stats)
+            and matches(vector_rel, vector_stats)
+            and matches(interned_rel, interned_stats)
         )
         entry = {
             "size": size,
             "interpreted_seconds": round(interpreted_seconds, 6),
             "compiled_seconds": round(compiled_seconds, 6),
             "vector_seconds": round(vector_seconds, 6),
+            "interned_seconds": round(interned_seconds, 6),
             "speedup": round(interpreted_seconds / compiled_seconds, 2),
             "speedup_vector": round(interpreted_seconds / vector_seconds, 2),
+            "speedup_interned": round(interpreted_seconds / interned_seconds, 2),
             "vector_vs_compiled": round(compiled_seconds / vector_seconds, 2),
+            "interned_vs_vector": round(vector_seconds / interned_seconds, 2),
             "result_size": len(compiled_rel),
             "derivations": compiled_stats.derivations,
             "duplicates": compiled_stats.duplicates,
@@ -148,8 +172,11 @@ def run_benchmark(sizes, repeats):
             f"size={size:4d}  interpreted={interpreted_seconds:8.3f}s  "
             f"compiled={compiled_seconds:8.3f}s  "
             f"vector={vector_seconds:8.3f}s  "
-            f"speedup={entry['speedup']:5.2f}x/{entry['speedup_vector']:5.2f}x  "
+            f"interned={interned_seconds:8.3f}s  "
+            f"speedup={entry['speedup']:5.2f}x/{entry['speedup_vector']:5.2f}x"
+            f"/{entry['speedup_interned']:5.2f}x  "
             f"vector_vs_compiled={entry['vector_vs_compiled']:4.2f}x  "
+            f"interned_vs_vector={entry['interned_vs_vector']:4.2f}x  "
             f"result={entry['result_size']}  match={match}"
         )
     return results
@@ -168,6 +195,12 @@ def main(argv=None):
     parser.add_argument("--min-vector-speedup", type=float, default=1.5,
                         help="fail unless the vector series beats compiled by "
                              "this factor at the largest size (both modes)")
+    parser.add_argument("--min-interned-speedup", type=float, default=None,
+                        help="fail unless the interned series beats vector by "
+                             "this factor at the largest size "
+                             "(default: 1.3 full, 1.1 quick — quick runs a "
+                             "single repeat, so its floor tolerates timer "
+                             "noise)")
     args = parser.parse_args(argv)
 
     # Quick mode keeps size 512 so the vector-vs-compiled floor is
@@ -177,10 +210,14 @@ def main(argv=None):
     min_speedup = args.min_speedup if args.min_speedup is not None else (
         1.5 if args.quick else 3.0
     )
+    min_interned = (args.min_interned_speedup
+                    if args.min_interned_speedup is not None
+                    else (1.1 if args.quick else 1.3))
 
     results = run_benchmark(sizes, repeats)
     report = {
-        "benchmark": "interpreted vs compiled vs batch (vector) semi-naive",
+        "benchmark": "interpreted vs compiled vs batch (vector) vs "
+                     "interned semi-naive",
         "workload": "transitive closure over a layered DAG "
                     "(bench_engine_micro shape), identity-seeded",
         "rule": str(TC_RULE),
@@ -209,6 +246,15 @@ def main(argv=None):
             f"FAIL: vector executor is only {vector_headline}x compiled at "
             f"size {results[-1]['size']}, below the "
             f"{args.min_vector_speedup}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    interned_headline = results[-1]["interned_vs_vector"]
+    if interned_headline < min_interned:
+        print(
+            f"FAIL: interned executor is only {interned_headline}x vector at "
+            f"size {results[-1]['size']}, below the "
+            f"{min_interned}x floor",
             file=sys.stderr,
         )
         return 1

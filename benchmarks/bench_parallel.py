@@ -42,15 +42,23 @@ _SRC = pathlib.Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.engine.naive import naive_closure  # noqa: E402
 from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.plan import clear_plan_cache  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
 from repro.engine.statistics import EvaluationStatistics  # noqa: E402
 from repro.storage.database import Database  # noqa: E402
-from repro.workloads.wide import wide_multirule_workload  # noqa: E402
+from repro.workloads.wide import wide5_workload, wide_multirule_workload  # noqa: E402
 
 NUM_RULES = 6
 WIDTH = 16
+
+#: The wide 5-ary side benchmark (per-entry ``wide5_*`` series): the
+#: paper's wide-head rule shape, used to measure the interned executor's
+#: multi-carry fused head and the incremental maintenance of a growing
+#: override's interned columns/indexes (naive driver).
+WIDE5_WIDTH = 12
+WIDE5_RULES = 4
 
 
 def _configs(workers: int, executor: str) -> dict[str, EvalConfig | None]:
@@ -89,6 +97,77 @@ def _stats_key(statistics: EvaluationStatistics) -> tuple[int, int, int, int]:
         statistics.iterations,
         statistics.result_size,
     )
+
+
+def _run_wide5(layers, closure, config):
+    """One cold wide 5-ary evaluation under *closure*/*config*."""
+    clear_plan_cache()
+    rules, database, initial = wide5_workload(
+        layers, WIDE5_WIDTH, num_rules=WIDE5_RULES, rng=random.Random(7)
+    )
+    database = Database(dict(database.relations))
+    statistics = EvaluationStatistics()
+    start = time.perf_counter()
+    relation = closure(rules, initial, database, statistics, config=config)
+    elapsed = time.perf_counter() - start
+    return elapsed, relation, statistics
+
+
+def run_wide5(layers, repeats):
+    """The wide5 series for one entry: executors + delta maintenance.
+
+    ``wide5_seminaive_*`` compares batch vs interned on the multi-carry
+    5-ary head; ``wide5_naive_*`` compares incremental maintenance of
+    the growing total's interned columns/indexes
+    (``incremental_deltas=True``, the default) against a per-iteration
+    rebuild.  Every variant must agree with the serial rows executor on
+    the result relation and the derivation/duplicate statistics.
+    """
+    variants = {
+        "wide5_seminaive_rows": (seminaive_closure, None),
+        "wide5_seminaive_batch": (seminaive_closure, EvalConfig(executor="batch")),
+        "wide5_seminaive_interned": (
+            seminaive_closure, EvalConfig(executor="batch", intern=True)),
+        "wide5_naive_rows": (naive_closure, None),
+        "wide5_naive_interned": (
+            naive_closure, EvalConfig(executor="batch", intern=True)),
+        "wide5_naive_rebuild": (
+            naive_closure,
+            EvalConfig(executor="batch", intern=True,
+                       incremental_deltas=False)),
+    }
+    timings = {}
+    signatures = {}
+    for name, (closure, config) in variants.items():
+        best = None
+        for _ in range(repeats):
+            elapsed, relation, statistics = _run_wide5(layers, closure, config)
+            if best is None or elapsed < best:
+                best = elapsed
+            signatures[name] = (relation.rows, _stats_key(statistics))
+        timings[name] = best
+    match = (
+        all(signatures[name] == signatures["wide5_seminaive_rows"]
+            for name in ("wide5_seminaive_batch", "wide5_seminaive_interned"))
+        and all(signatures[name] == signatures["wide5_naive_rows"]
+                for name in ("wide5_naive_interned", "wide5_naive_rebuild"))
+    )
+    series = {f"{name}_seconds": round(value, 6)
+              for name, value in timings.items()}
+    series["wide5_incremental_speedup"] = round(
+        timings["wide5_naive_rebuild"] / timings["wide5_naive_interned"], 2
+    )
+    series["wide5_match"] = match
+    print(
+        f"  wide5 layers={layers:3d}  "
+        f"seminaive batch={timings['wide5_seminaive_batch']:7.3f}s "
+        f"interned={timings['wide5_seminaive_interned']:7.3f}s  "
+        f"naive interned={timings['wide5_naive_interned']:7.3f}s "
+        f"rebuild={timings['wide5_naive_rebuild']:7.3f}s "
+        f"(incremental {series['wide5_incremental_speedup']:4.2f}x)  "
+        f"match={match}"
+    )
+    return series
 
 
 def run_benchmark(sizes, repeats, workers, executor="rows"):
@@ -137,6 +216,12 @@ def run_benchmark(sizes, repeats, workers, executor="rows"):
             "results_and_counts_match": all(matches.values()),
             "matches": matches,
         }
+        # Best-of-2 regardless of mode: the wide5 series sit in the
+        # 10-100ms range where a single sample is scheduler noise.
+        entry.update(run_wide5(layers, 2))
+        entry["results_and_counts_match"] = (
+            entry["results_and_counts_match"] and entry["wide5_match"]
+        )
         results.append(entry)
         print(
             f"layers={layers:3d}  serial={timings['serial']:7.3f}s  "
@@ -159,10 +244,11 @@ def main(argv=None):
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for the parallel backends "
                              "(default: CPU count)")
-    parser.add_argument("--executor", choices=["rows", "batch"],
+    parser.add_argument("--executor", choices=["rows", "batch", "interned"],
                         default="rows",
                         help="per-rule executor to run on every backend "
-                             "(default: rows)")
+                             "(default: rows; 'interned' is the batch "
+                             "executor's int specialisation)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="full mode: fail unless the best parallel backend "
                              "reaches this speedup at the largest size "
@@ -195,6 +281,20 @@ def main(argv=None):
     if not all(entry["results_and_counts_match"] for entry in results):
         print("FAIL: parallel and serial compiled paths disagree", file=sys.stderr)
         return 1
+    if not args.quick:
+        # Incremental delta maintenance must not lose to per-iteration
+        # rebuilds on the wide 5-ary naive workload (5% tolerance; only
+        # gated when the timings are above the noise floor).
+        incremental = largest["wide5_naive_interned_seconds"]
+        rebuild = largest["wide5_naive_rebuild_seconds"]
+        if min(incremental, rebuild) > 0.05 and incremental > rebuild * 1.05:
+            print(
+                f"FAIL: incremental delta maintenance ({incremental:.3f}s) is "
+                f"slower than per-iteration rebuild ({rebuild:.3f}s) on the "
+                f"wide5 naive workload at layers={largest['layers']}",
+                file=sys.stderr,
+            )
+            return 1
     if not args.quick:
         if cpus < 2:
             print(

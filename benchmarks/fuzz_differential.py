@@ -1,27 +1,34 @@
-"""Differential fuzzing: interpreted vs compiled (rows) vs batch executors.
+"""Differential fuzzing: interpreted vs rows vs batch vs interned executors.
 
 Generates random linear recursive programs — restricted-class rules from
 :mod:`repro.workloads.rulegen` (single rules, independent pairs, and
 Theorem-5.1 commuting pairs) plus a small pool of equality/constant rule
 templates the generators cannot produce — over random EDBs, then runs
-each program to fixpoint through three independent engines:
+each program to fixpoint through four independent engines:
 
 * **interpreted** — the seed reference loop
   (:func:`repro.engine.reference.seminaive_closure_interpreted`);
 * **compiled** — the slot executor (``EvalConfig()`` default path);
 * **batch** — the column-oriented executor
-  (``EvalConfig(executor="batch")``).
+  (``EvalConfig(executor="batch")``);
+* **interned** — the batch executor's int specialisation over
+  dictionary-encoded ids (``EvalConfig(executor="batch", intern=True)``,
+  which on this serial path runs the whole closure in packed-id space).
 
-All three must agree on the result relation, the derivation count, the
+All four must agree on the result relation, the derivation count, the
 duplicate count and the iteration count (the Theorem 3.1 accounting);
 any disagreement prints the offending seed and program and fails the
-run.  CI runs a quick seed set on every PR and a larger sweep nightly.
+run, and with ``--failures-file`` every failing case (seed, program,
+EDB summary, per-engine signature) is appended to the given file so CI
+can upload it as a reproducible artifact.  CI runs a quick seed set on
+every PR and a larger sweep nightly.
 
 Usage::
 
     python benchmarks/fuzz_differential.py                 # default seed set
     python benchmarks/fuzz_differential.py --seeds 200     # nightly sweep
     python benchmarks/fuzz_differential.py --base-seed 7   # shift the set
+    python benchmarks/fuzz_differential.py --failures-file fuzz-failures.txt
 """
 
 from __future__ import annotations
@@ -133,6 +140,7 @@ def run_seed(seed: int, max_iterations: int) -> tuple[bool, str]:
     for label, config in (
         ("compiled", None),
         ("batch", EvalConfig(executor="batch")),
+        ("interned", EvalConfig(executor="batch", intern=True)),
     ):
         stats = EvaluationStatistics()
         relation = seminaive_closure(
@@ -164,26 +172,43 @@ def main(argv=None) -> int:
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
+    parser.add_argument("--failures-file", type=pathlib.Path, default=None,
+                        help="append every failing case (seed, program, "
+                             "signatures) to this file; CI uploads it as a "
+                             "workflow artifact for offline reproduction")
     args = parser.parse_args(argv)
 
-    failures = 0
+    failures = []
     for seed in range(args.base_seed, args.base_seed + args.seeds):
         ok, description = run_seed(seed, args.max_iterations)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
             print(f"seed={seed:5d} {status} {description}")
         if not ok:
-            failures += 1
+            failures.append((seed, description))
     if failures:
+        if args.failures_file is not None:
+            with args.failures_file.open("a") as handle:
+                handle.write(
+                    f"# fuzz_differential failures "
+                    f"(seeds {args.base_seed}.."
+                    f"{args.base_seed + args.seeds - 1}); reproduce each "
+                    f"with: python benchmarks/fuzz_differential.py "
+                    f"--seeds 1 --base-seed <seed> --verbose\n"
+                )
+                for seed, description in failures:
+                    handle.write(f"seed={seed}\n{description}\n\n")
+            print(f"wrote {len(failures)} failing cases to "
+                  f"{args.failures_file}")
         print(
-            f"FAIL: {failures}/{args.seeds} seeds diverged between the "
-            f"interpreted, compiled and batch executors",
+            f"FAIL: {len(failures)}/{args.seeds} seeds diverged between the "
+            f"interpreted, compiled, batch and interned executors",
             file=sys.stderr,
         )
         return 1
     print(
         f"ok: {args.seeds} random programs agree across interpreted, "
-        f"compiled and batch executors "
+        f"compiled, batch and interned executors "
         f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1})"
     )
     return 0

@@ -22,7 +22,10 @@ The engine provides:
 * :mod:`repro.engine.vectorized` — the column-oriented batch executor:
   the same compiled step sequence lowered to batched hash-probe joins,
   vectorised equality filters and a fused, collapsing head projection
-  (``EvalConfig(executor="batch")``);
+  (``EvalConfig(executor="batch")``), plus its interned specialisation
+  over dictionary-encoded ids — ``array('q')`` columns, int-keyed
+  payload probes and packed-integer head emission
+  (``EvalConfig(executor="batch", intern=True)``);
 * :mod:`repro.engine.parallel` — batched per-iteration execution of the
   compiled plans under an :class:`~repro.engine.parallel.EvalConfig`
   (executor ``rows``/``batch`` × backend ``serial``/``threads``/
@@ -33,7 +36,7 @@ The engine provides:
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
 from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.parallel import EvalConfig, ParallelEvaluator
-from repro.engine.vectorized import execute_batch
+from repro.engine.vectorized import execute_batch, execute_interned
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
 from repro.engine.seminaive import seminaive_closure, solve_linear_recursion
@@ -53,6 +56,7 @@ __all__ = [
     "decomposed_closure",
     "evaluate_rule",
     "execute_batch",
+    "execute_interned",
     "naive_closure",
     "seminaive_closure",
     "separable_evaluate",

@@ -38,8 +38,10 @@ def decomposed_closure(groups: Sequence[Iterable[Rule]], initial: Relation,
     Each phase contributes a labelled sub-statistics entry to
     *statistics* (``phase-1`` is the first phase executed).  *config*
     (:class:`repro.engine.parallel.EvalConfig`) is forwarded to every
-    phase's semi-naive closure, so both the per-rule executor
-    (``rows``/``batch``) and the scheduling backend apply to all phases.
+    phase's semi-naive closure, so the per-rule executor
+    (``rows``/``batch``, optionally interned via ``intern=True``) and
+    the scheduling backend apply to all phases; all phases share one
+    database and therefore one value-interning domain.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)

@@ -59,9 +59,24 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
             )
     plans = [compile_rule(rule, database) for rule in rules]
 
-    builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
-    total = initial
     with ParallelEvaluator(plans, database, config) as evaluator:
+        packed = evaluator.packed_closure(initial)
+        if packed is not None:
+            # Serial interned execution: the accumulated total stays in
+            # packed-id space, its interned view and indexes maintained
+            # incrementally from each iteration's new rows.
+            for _ in range(max_iterations):
+                statistics.iterations += 1
+                if packed.step_naive(statistics) == 0:
+                    total = packed.freeze()
+                    statistics.result_size = len(total)
+                    return total
+            raise EvaluationError(
+                f"Naive evaluation did not converge within "
+                f"{max_iterations} iterations"
+            )
+        builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
+        total = initial
         for _ in range(max_iterations):
             statistics.iterations += 1
             produced: set = set()

@@ -110,7 +110,7 @@ class CompiledRule:
     """A rule compiled to a fixed join order and slot-based executor."""
 
     __slots__ = ("rule", "num_slots", "steps", "head_template", "fact_row",
-                 "batch")
+                 "batch", "interned")
 
     def __init__(self, rule: Rule, num_slots: int, steps: tuple,
                  head_template: tuple[tuple[bool, Any], ...],
@@ -125,6 +125,12 @@ class CompiledRule:
         #: structural, like the plan itself, so it shares the plan
         #: cache's lifetime and invalidation rules.
         self.batch: Optional[Any] = None
+        #: Lazily populated int-specialised lowering of the batch plan
+        #: (:func:`repro.engine.vectorized.interned_plan`): payload
+        #: layouts and head packing structure.  Also purely structural —
+        #: interned *ids* are per-database and resolved at execution
+        #: time, never cached here.
+        self.interned: Optional[Any] = None
 
     # ------------------------------------------------------------------
 
@@ -262,15 +268,22 @@ class CompiledRule:
         ``executor="rows"`` (default) prints the slot executor's join
         steps; ``executor="batch"`` prints the column-oriented batch
         pipeline the vectorised executor runs
-        (:func:`repro.engine.vectorized.describe_batch`).
+        (:func:`repro.engine.vectorized.describe_batch`);
+        ``executor="interned"`` prints the int-specialised pipeline —
+        interned columns, int-keyed payload probes, and the packed head
+        emission (:func:`repro.engine.vectorized.describe_interned`).
         """
         if executor == "batch":
             # Imported here: vectorized depends on this module.
             from repro.engine.vectorized import describe_batch
             return describe_batch(self)
+        if executor == "interned":
+            from repro.engine.vectorized import describe_interned
+            return describe_interned(self)
         if executor != "rows":
             raise ValueError(
-                f"Unknown executor {executor!r}; expected 'rows' or 'batch'"
+                f"Unknown executor {executor!r}; expected 'rows', 'batch' "
+                f"or 'interned'"
             )
         if self.fact_row is not None:
             return f"fact {self.rule.head}"

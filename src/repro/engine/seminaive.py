@@ -24,7 +24,7 @@ from repro.engine.parallel import (
 )
 from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
-from repro.engine.vectorized import execute_batch
+from repro.engine.vectorized import execute_batch, execute_interned
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
 from repro.storage.relation import Relation, RowSetBuilder
@@ -72,10 +72,26 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
             )
     plans = [compile_rule(rule, database) for rule in rules]
 
-    builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
-    delta = initial
     iterations = 0
     with ParallelEvaluator(plans, database, config) as evaluator:
+        packed = evaluator.packed_closure(initial)
+        if packed is not None:
+            # Serial interned execution: the whole loop runs on packed
+            # integer ids and decodes to value rows exactly once.
+            while packed.delta_size() and iterations < max_iterations:
+                iterations += 1
+                statistics.iterations += 1
+                packed.step_seminaive(statistics)
+            if iterations >= max_iterations and packed.delta_size():
+                raise EvaluationError(
+                    f"Semi-naive evaluation did not converge within "
+                    f"{max_iterations} iterations"
+                )
+            total = packed.freeze()
+            statistics.result_size = len(total)
+            return total
+        builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
+        delta = initial
         while delta.rows and iterations < max_iterations:
             iterations += 1
             statistics.iterations += 1
@@ -104,11 +120,14 @@ def evaluate_exit_rules(recursion: LinearRecursion, database: Database,
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     builder = RowSetBuilder(recursion.predicate.name, recursion.arity)
-    batched = config is not None and config.batched()
+    mode = config.mode() if config is not None else "rows"
     for rule in recursion.exit_rules:
         statistics.rule_applications += 1
         plan = compile_rule(rule, database)
-        if batched:
+        if mode == "interned":
+            pairs = execute_interned(plan, database, counters=statistics.joins)
+            produced = {row for row, _ in pairs}
+        elif mode == "batch":
             pairs = execute_batch(plan, database, counters=statistics.joins)
             produced = {row for row, _ in pairs}
         else:

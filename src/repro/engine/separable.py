@@ -46,7 +46,8 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
 
     *config* (:class:`repro.engine.parallel.EvalConfig`) is forwarded to
     both phases' semi-naive closures, so the per-rule executor
-    (``rows``/``batch``) and the scheduling backend apply to both phases.
+    (``rows``/``batch``, optionally interned via ``intern=True``) and
+    the scheduling backend apply to both phases.
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)

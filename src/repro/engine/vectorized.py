@@ -49,14 +49,17 @@ valid against any database).
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Mapping, Optional
+from itertools import product, starmap
+from operator import add
+from typing import Any, Mapping, Optional, Union
 
 from repro.engine.plan import CompiledRule, _EqualityStep, _ScanStep
 from repro.engine.statistics import JoinCounters
 from repro.exceptions import EvaluationError
 from repro.storage.database import Database
+from repro.storage.domain import Domain, IntIndex, InternedRelation
 from repro.storage.index import HashIndex
-from repro.storage.relation import Relation, Row
+from repro.storage.relation import Relation, Row, rows_added_since
 
 #: Key layouts a batch scan can carry (chosen at batch-compile time).
 _KEY_CONST = 0   #: every key position is a constant (possibly the empty key)
@@ -553,6 +556,932 @@ def _probe_buckets(op: _BatchScan, cols: dict[int, list[Any]], width: int,
 
 
 # ----------------------------------------------------------------------
+# Interned (int-specialised) execution
+# ----------------------------------------------------------------------
+#
+# The interned executor runs the *same* batch operation sequence, but on
+# dictionary-encoded data: every value is replaced by its dense id from
+# the database's :class:`~repro.storage.domain.Domain`, columns are the
+# ``array('q')``-backed canonical interned form, hash probes hit
+# int-keyed buckets holding pre-projected payloads
+# (:class:`~repro.storage.domain.IntIndex`), and the fused head
+# projection *packs* each emitted row into a single integer
+# ``sum(id_i * K**(n-1-i))`` with ``K = len(domain)`` frozen per
+# execution.  Collapsing then runs a Counter over plain ints (identity
+# hashes) instead of tuples, and the packed pairs are decoded back to
+# value rows only once per distinct emission.  Because interning is a
+# bijection and packing is injective for ids below ``K``, the emission
+# multiset — and every count derived from it — is bit-identical to the
+# batch and rows executors.
+
+
+class _InternedScanInfo:
+    """Static int-specialisation of one `_BatchScan`: payload layout."""
+
+    __slots__ = ("payload_positions", "payload_of", "checks", "binds",
+                 "single_payload", "head_row_payload")
+
+    def __init__(self, op: _BatchScan):
+        positions: set[int] = set()
+        for position_a, position_b in op.checks:
+            positions.add(position_a)
+            positions.add(position_b)
+        if op.fused:
+            for _, position in op.head_rows:
+                positions.add(position)
+        else:
+            for position, _ in op.mat_binds:
+                positions.add(position)
+        #: Row positions a probe must materialise per bucket element.
+        self.payload_positions = tuple(sorted(positions))
+        #: Bucket elements are raw ids for a single payload position.
+        self.single_payload = len(self.payload_positions) == 1
+        self.payload_of = {
+            position: index
+            for index, position in enumerate(self.payload_positions)
+        }
+        #: Within-atom repeat filters, as payload-index pairs (a repeat
+        #: filter references two distinct positions, so `single_payload`
+        #: and `checks` are mutually exclusive).
+        self.checks = tuple(
+            (self.payload_of[a], self.payload_of[b]) for a, b in op.checks
+        )
+        #: (slot, payload index) per live bind (payload index unused
+        #: when the payload is a single raw id).
+        self.binds = tuple(
+            (slot, self.payload_of[position])
+            for position, slot in op.mat_binds
+        )
+        #: (head index, payload index) per head position fed by the
+        #: probed row (fused scans only).
+        self.head_row_payload = tuple(
+            (head_index, self.payload_of[position])
+            for head_index, position in op.head_rows
+        )
+
+
+class _InternedPlan:
+    """Per-op int-specialisation info, parallel to ``BatchPlan.ops``."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: tuple):
+        self.ops = ops
+
+
+def interned_plan(plan: CompiledRule) -> _InternedPlan:
+    """The int-specialised lowering of *plan*, cached on it.
+
+    Purely structural (payload layouts, head packing shape); interned
+    ids are per-database and are resolved at execution time.
+    """
+    lowered = plan.interned
+    if lowered is None:
+        batch = batch_plan(plan)
+        lowered = _InternedPlan(tuple(
+            _InternedScanInfo(op) if type(op) is _BatchScan else None
+            for op in batch.ops
+        ))
+        plan.interned = lowered
+    return lowered
+
+
+class _DeltaView:
+    """One override relation's interned columns + indexes, extendable."""
+
+    __slots__ = ("source", "interned", "indexes")
+
+    def __init__(self, source: Union[Relation, InternedRelation],
+                 interned: InternedRelation):
+        self.source = source
+        self.interned = interned
+        self.indexes: dict[tuple, IntIndex] = {}
+
+
+class InternedDeltaCache:
+    """Interned views of override (delta) relations, maintained incrementally.
+
+    One cache lives for a whole fixpoint closure
+    (:class:`repro.engine.parallel.ParallelEvaluator` owns it on the
+    serial backend), so per-iteration override structures are *updated*
+    rather than rebuilt wherever the relation's extension lineage
+    (:meth:`repro.storage.relation.Relation.extended_with`) shows the
+    new override grew out of the previous one — the naive driver's
+    accumulating total is the canonical case.  Override generations
+    with no lineage (e.g. semi-naive deltas, which are disjoint between
+    iterations) are interned fresh, which costs the same
+    ``O(|override|)`` as before.
+
+    Views can also be seeded directly with an
+    :class:`~repro.storage.domain.InternedRelation` — this is how
+    process workers run on shipped flat buffers without ever decoding
+    them back to value rows.
+    """
+
+    __slots__ = ("domain", "_views")
+
+    def __init__(self, domain: Domain):
+        self.domain = domain
+        self._views: dict[str, _DeltaView] = {}
+
+    def view(self, target: Union[Relation, InternedRelation]) -> _DeltaView:
+        existing = self._views.get(target.name)
+        if existing is not None and existing.source is target:
+            return existing
+        if isinstance(target, InternedRelation):
+            view = _DeltaView(target, target)
+            self._views[target.name] = view
+            return view
+        if existing is not None and isinstance(existing.source, Relation):
+            added = rows_added_since(target, existing.source)
+            if added is not None:
+                interned = existing.interned
+                start = interned.length
+                interned.extend_with(added, self.domain)
+                for index in existing.indexes.values():
+                    index.extend_from_columns(interned.columns, start,
+                                              interned.length)
+                existing.source = target
+                return existing
+        view = _DeltaView(
+            target, InternedRelation.from_relation(target, self.domain)
+        )
+        self._views[target.name] = view
+        return view
+
+    def index(self, view: _DeltaView, key_positions: tuple[int, ...],
+              payload_positions: tuple[int, ...]) -> IntIndex:
+        key = (key_positions, payload_positions)
+        index = view.indexes.get(key)
+        if index is None:
+            index = IntIndex(view.interned, key_positions, payload_positions)
+            view.indexes[key] = index
+        elif index.length < view.interned.length:
+            # The view's columns are append-only, so an index built over
+            # a shorter generation extends from the appended rows alone.
+            index.extend_from_columns(view.interned.columns, index.length,
+                                      view.interned.length)
+        return index
+
+
+def execute_interned(plan: CompiledRule, database: Database,
+                     overrides: Optional[Mapping[str, Union[Relation, InternedRelation]]] = None,
+                     counters: Optional[JoinCounters] = None,
+                     deltas: Optional[InternedDeltaCache] = None
+                     ) -> list[tuple[Row, int]]:
+    """Run *plan* on interned ids; returns decoded ``(row, count)`` pairs.
+
+    Drop-in equivalent of :func:`execute_batch`: the same collapsed
+    emission multiset, the same join counters.  *deltas* (optional)
+    carries override views across calls so a growing override is
+    maintained incrementally; without it a private cache is used for
+    this call only.
+    """
+    counters = counters if counters is not None else JoinCounters()
+    if plan.fact_row is not None:
+        counters.tuples_emitted += 1
+        return [(plan.fact_row, 1)]
+    domain = database.domain()
+    emissions, width_k = _execute_interned_packed(
+        plan, database, overrides, counters, deltas, domain
+    )
+    pairs = list(Counter(emissions).items())
+    return decode_packed_pairs(pairs, width_k, len(plan.head_template), domain)
+
+
+def decode_packed_pairs(pairs: list[tuple[int, int]], width_k: int,
+                        arity: int, domain: Domain) -> list[tuple[Row, int]]:
+    """Packed ``(int, count)`` pairs back to value-row pairs.
+
+    Specialised for the common low arities (one comprehension, no inner
+    loop); the generic path peels base-``width_k`` digits.
+    """
+    values = domain.values_view()
+    if arity == 2:
+        return [((values[packed // width_k], values[packed % width_k]), count)
+                for packed, count in pairs]
+    if arity == 1:
+        return [((values[packed],), count) for packed, count in pairs]
+    if arity == 0:
+        return [((), count) for _, count in pairs]
+    decoded: list[tuple[Row, int]] = []
+    ids = [0] * arity
+    for packed, count in pairs:
+        for i in range(arity - 1, -1, -1):
+            packed, ids[i] = divmod(packed, width_k)
+        decoded.append((tuple(values[ident] for ident in ids), count))
+    return decoded
+
+
+def decode_packed_rows(packed_rows: Any, width_k: int, arity: int,
+                       domain: Domain) -> frozenset[Row]:
+    """A set of packed ints back to a frozenset of value rows."""
+    values = domain.values_view()
+    if arity == 2:
+        return frozenset(
+            [(values[packed // width_k], values[packed % width_k])
+             for packed in packed_rows]
+        )
+    if arity == 1:
+        return frozenset([(values[packed],) for packed in packed_rows])
+    if arity == 0:
+        return frozenset(() for _ in packed_rows)
+    rows = []
+    ids = [0] * arity
+    for packed in packed_rows:
+        for i in range(arity - 1, -1, -1):
+            packed, ids[i] = divmod(packed, width_k)
+        rows.append(tuple(values[ident] for ident in ids))
+    return frozenset(rows)
+
+
+def execute_interned_packed(plan: CompiledRule, database: Database,
+                            overrides: Optional[Mapping[str, Union[Relation, InternedRelation]]] = None,
+                            counters: Optional[JoinCounters] = None,
+                            deltas: Optional[InternedDeltaCache] = None,
+                            base_k: Optional[int] = None
+                            ) -> tuple[list[tuple[int, int]], int, int]:
+    """Like :func:`execute_interned` but without the final decode.
+
+    Returns ``(packed pairs, K, head arity)`` — the process backend
+    ships these to the parent as flat arrays and decodes there, and the
+    serial packed-closure loop keeps them packed across iterations.
+    *base_k* pins the packing base (it must be at least the domain size
+    once the plan's relations and constants are interned); the packed
+    closure uses this to keep one base across every iteration.
+    """
+    emissions, width_k, arity = execute_interned_emissions(
+        plan, database, overrides, counters, deltas, base_k
+    )
+    return list(Counter(emissions).items()), width_k, arity
+
+
+def execute_interned_emissions(plan: CompiledRule, database: Database,
+                               overrides: Optional[Mapping[str, Union[Relation, InternedRelation]]] = None,
+                               counters: Optional[JoinCounters] = None,
+                               deltas: Optional[InternedDeltaCache] = None,
+                               base_k: Optional[int] = None
+                               ) -> tuple[list[int], int, int]:
+    """The raw packed emission multiset of *plan* (uncollapsed).
+
+    Returns ``(emissions, K, head arity)``.  The packed closure consumes
+    this directly: its accounting needs only the emission total and the
+    distinct set, so skipping the Counter collapse saves a full pass.
+    """
+    counters = counters if counters is not None else JoinCounters()
+    if plan.fact_row is not None:
+        # Facts carry literal values; interning them here would be the
+        # only intern a fact plan ever needs, so short-circuit at the
+        # packed layer too by interning the fact row directly.
+        counters.tuples_emitted += 1
+        domain = database.domain()
+        ids = domain.intern_row(plan.fact_row)
+        width_k = base_k if base_k is not None else max(1, len(domain))
+        packed = 0
+        for ident in ids:
+            packed = packed * width_k + ident
+        return [packed], width_k, len(plan.fact_row)
+    domain = database.domain()
+    emissions, width_k = _execute_interned_packed(
+        plan, database, overrides, counters, deltas, domain, base_k
+    )
+    return emissions, width_k, len(plan.head_template)
+
+
+def execute_interned_into(plan: CompiledRule, database: Database,
+                          sink: set[int],
+                          overrides: Optional[Mapping[str, Union[Relation, InternedRelation]]] = None,
+                          counters: Optional[JoinCounters] = None,
+                          deltas: Optional[InternedDeltaCache] = None,
+                          base_k: Optional[int] = None
+                          ) -> tuple[int, int, int]:
+    """Emit packed rows straight into *sink*; returns ``(total, K, arity)``.
+
+    ``total`` counts every emission event (the multiset size), while
+    *sink* receives the distinct packed rows — exactly the two facts the
+    packed closure's Theorem-3.1 accounting needs.  Skipping the
+    emission list (and, for counted probes, never materialising the
+    repeated emissions at all) is the point: duplicates are *counted*,
+    not stored.
+    """
+    counters = counters if counters is not None else JoinCounters()
+    if plan.fact_row is not None:
+        counters.tuples_emitted += 1
+        domain = database.domain()
+        ids = domain.intern_row(plan.fact_row)
+        width_k = base_k if base_k is not None else max(1, len(domain))
+        packed = 0
+        for ident in ids:
+            packed = packed * width_k + ident
+        sink.add(packed)
+        return 1, width_k, len(plan.fact_row)
+    domain = database.domain()
+    total, width_k = _execute_interned_packed(
+        plan, database, overrides, counters, deltas, domain, base_k,
+        sink=sink,
+    )
+    return total, width_k, len(plan.head_template)
+
+
+def _execute_interned_packed(plan: CompiledRule, database: Database,
+                             overrides: Optional[Mapping[str, Union[Relation, InternedRelation]]],
+                             counters: JoinCounters,
+                             deltas: Optional[InternedDeltaCache],
+                             domain: Domain,
+                             base_k: Optional[int] = None,
+                             sink: Optional[set[int]] = None
+                             ) -> tuple[Any, int]:
+    # With *sink*, distinct packed rows go straight into the set and the
+    # function returns the emission total instead of the emission list
+    # (see execute_interned_into); duplicates are counted, never stored.
+    lowered = batch_plan(plan)
+    infos = interned_plan(plan).ops
+    ops = lowered.ops
+
+    if deltas is None:
+        deltas = InternedDeltaCache(domain)
+    elif deltas.domain is not domain:
+        raise EvaluationError(
+            "Interned delta cache belongs to a different domain than the "
+            "database"
+        )
+
+    # Eager relation resolution, arity validation and *interning*, in
+    # step order: everything this execution can touch is interned before
+    # the packing base K is frozen, so every id seen below is < K.
+    views: list[Optional[_DeltaView]] = []
+    edb: list[Optional[InternedRelation]] = []
+    for op in ops:
+        if type(op) is not _BatchScan:
+            continue
+        if overrides and op.name in overrides:
+            target = overrides[op.name]
+            if target.arity != op.arity:
+                raise EvaluationError(
+                    f"Override for {op.name} has arity {target.arity}, "
+                    f"atom expects {op.arity}"
+                )
+            views.append(deltas.view(target))
+            edb.append(None)
+        else:
+            views.append(None)
+            edb.append(database.interned_relation(op.name, op.arity))
+
+    # Resolve every constant in the plan to its id (per-execution: ids
+    # are per-database and must not be cached on the plan).
+    intern = domain.intern
+    resolved: list[Any] = []
+    for op in ops:
+        if type(op) is _BatchEquality:
+            value = intern(op.value) if (op.mode == "bind" and op.value_is_const) else op.value
+            left = right = None
+            if op.mode == "check":
+                left_const, left_ref = op.left
+                right_const, right_ref = op.right
+                left = (left_const, intern(left_ref) if left_const else left_ref)
+                right = (right_const, intern(right_ref) if right_const else right_ref)
+            resolved.append((value, left, right))
+        elif op.key_kind == _KEY_CONST:
+            ids = tuple(intern(value) for value in op.key_const)
+            resolved.append(ids[0] if len(ids) == 1 else ids)
+        elif op.key_kind == _KEY_MULTI:
+            resolved.append(tuple(
+                (is_const, intern(value) if is_const else value)
+                for is_const, value in op.key_parts
+            ))
+        else:
+            resolved.append(None)
+    head_template = plan.head_template
+    head_arity = len(head_template)
+    head_ids = [intern(value) if is_const else None
+                for is_const, value in head_template]
+
+    if base_k is None:
+        width_k = max(1, len(domain))
+    else:
+        width_k = base_k
+        if len(domain) > width_k:
+            raise EvaluationError(
+                f"Packing base {width_k} is smaller than the domain "
+                f"({len(domain)} values); the closure's base was frozen "
+                f"before all values were interned"
+            )
+    coeffs = [width_k ** (head_arity - 1 - i) for i in range(head_arity)]
+    const_part = sum(coeffs[i] * ident for i, ident in enumerate(head_ids)
+                     if ident is not None)
+
+    def index_for(op: _BatchScan, info: _InternedScanInfo) -> IntIndex:
+        view = views[op.seq]
+        if view is None:
+            return database.interned_index(
+                op.name, op.arity, op.key_positions, info.payload_positions
+            )
+        return deltas.index(view, op.key_positions, info.payload_positions)
+
+    probed = 0
+    extended = 0
+    sink_mode = sink is not None
+    emitted_total = 0
+    emissions: list[int] = []
+    cols: dict[int, Any] = {}
+    width = 1
+
+    for position_in_plan, op in enumerate(ops):
+        if width == 0:
+            break
+        if type(op) is _BatchEquality:
+            value_id, left, right = resolved[position_in_plan]
+            mode = op.mode
+            if mode == "bind":
+                if op.live:
+                    if op.value_is_const:
+                        cols[op.slot] = [value_id] * width
+                    else:
+                        cols[op.slot] = cols[op.value]
+                extended += width
+            elif mode == "check":
+                left_const, left_ref = left
+                right_const, right_ref = right
+                if left_const and right_const:
+                    if left_ref != right_ref:
+                        width = 0
+                    else:
+                        extended += width
+                else:
+                    if left_const:
+                        column = cols[right_ref]
+                        keep = [j for j in range(width) if column[j] == left_ref]
+                    elif right_const:
+                        column = cols[left_ref]
+                        keep = [j for j in range(width) if column[j] == right_ref]
+                    else:
+                        left_column = cols[left_ref]
+                        right_column = cols[right_ref]
+                        keep = [j for j in range(width)
+                                if left_column[j] == right_column[j]]
+                    if len(keep) != width:
+                        cols = {slot: [column[j] for j in keep]
+                                for slot, column in cols.items()}
+                        width = len(keep)
+                    extended += width
+            else:
+                raise EvaluationError(
+                    f"Equality atom {op.atom} has no bound side at "
+                    f"evaluation time; the rule is unsafe"
+                )
+            continue
+
+        info = infos[position_in_plan]
+        key_resolved = resolved[position_in_plan]
+
+        if op.fused:
+            index = index_for(op, info)
+            emit = (sink.add if sink_mode  # type: ignore[union-attr]
+                    else emissions.append)
+            col_terms = [(coeffs[head_index], cols[slot])
+                         for head_index, slot in op.head_cols]
+            row_terms = [(coeffs[head_index], payload_index)
+                         for head_index, payload_index in info.head_row_payload]
+            checks = info.checks
+            if index.counted:
+                # Payload-free probe: nothing from the probed rows feeds
+                # the head, so a bucket is just a multiplicity — and in
+                # sink mode the repeated emissions are never materialised.
+                if sink_mode:
+                    add = sink.add  # type: ignore[union-attr]
+                    if not col_terms:
+                        for _, count in _int_probe(op, key_resolved, cols,
+                                                   width, index):
+                            probed += count
+                            extended += count
+                            emitted_total += count
+                            add(const_part)
+                    else:
+                        for j, count in _int_probe(op, key_resolved, cols,
+                                                   width, index):
+                            probed += count
+                            extended += count
+                            emitted_total += count
+                            base = const_part
+                            for coeff, column in col_terms:
+                                base += coeff * column[j]
+                            add(base)
+                elif not col_terms:
+                    for _, count in _int_probe(op, key_resolved, cols, width,
+                                               index):
+                        probed += count
+                        extended += count
+                        emissions.extend([const_part] * count)
+                else:
+                    for j, count in _int_probe(op, key_resolved, cols, width,
+                                               index):
+                        probed += count
+                        extended += count
+                        base = const_part
+                        for coeff, column in col_terms:
+                            base += coeff * column[j]
+                        emissions.extend([base] * count)
+                width = 0
+                continue
+            if info.single_payload:
+                # Raw-id buckets, pre-multiplied by the (summed) head
+                # coefficient of the payload position, so the emission
+                # loop is a bare add — and runs through C-level ``map``
+                # (into the emission list, or straight into the sink).
+                row_coeff = sum(coeff for coeff, _ in row_terms)
+                extend = (sink.update if sink_mode  # type: ignore[union-attr]
+                          else emissions.extend)
+                if op.key_kind == _KEY_SINGLE and len(col_terms) <= 1:
+                    # The headN tight loop: single raw-int key column,
+                    # at most one carried term — binary transitive
+                    # closure and the paper's wide heads (one probed
+                    # position, the rest carried) both land here once
+                    # the carried part folds into one packed base.
+                    # Every probed row emits exactly once (no checks).
+                    key_column = cols[op.key_slot]
+                    get = index.premultiplied(row_coeff).get
+                    emitted_here = 0
+                    if col_terms:
+                        carry_coeff, carry_column = col_terms[0]
+                        if carry_coeff == 1 and const_part == 0:
+                            # TC shape: packed = K*probed + carried.
+                            for key_id, carried in zip(key_column,
+                                                       carry_column):
+                                bucket = get(key_id)
+                                if bucket:
+                                    emitted_here += len(bucket)
+                                    extend(map(carried.__add__, bucket))
+                        else:
+                            for key_id, carried in zip(key_column,
+                                                       carry_column):
+                                bucket = get(key_id)
+                                if bucket:
+                                    emitted_here += len(bucket)
+                                    base = const_part + carry_coeff * carried
+                                    extend(map(base.__add__, bucket))
+                    elif const_part == 0:
+                        for key_id in key_column:
+                            bucket = get(key_id)
+                            if bucket:
+                                emitted_here += len(bucket)
+                                extend(bucket)
+                    else:
+                        for key_id in key_column:
+                            bucket = get(key_id)
+                            if bucket:
+                                emitted_here += len(bucket)
+                                extend(map(const_part.__add__, bucket))
+                    probed += emitted_here
+                    extended += emitted_here
+                    emitted_total += emitted_here
+                    width = 0
+                    continue
+                premultiplied = index.premultiplied(row_coeff)
+                for j, bucket in _int_probe_in(op, key_resolved, cols, width,
+                                               premultiplied):
+                    count = len(bucket)
+                    probed += count
+                    extended += count
+                    emitted_total += count
+                    base = const_part
+                    for coeff, column in col_terms:
+                        base += coeff * column[j]
+                    extend(map(base.__add__, bucket))
+                width = 0
+                continue
+            # Tuple payloads: repeat checks and/or several probed
+            # positions feeding the head.
+            for j, bucket in _int_probe(op, key_resolved, cols, width, index):
+                probed += len(bucket)
+                base = const_part
+                for coeff, column in col_terms:
+                    base += coeff * column[j]
+                if checks:
+                    for payload in bucket:
+                        if not _payload_passes(payload, checks):
+                            continue
+                        packed = base
+                        for coeff, payload_index in row_terms:
+                            packed += coeff * payload[payload_index]
+                        emit(packed)
+                        extended += 1
+                        emitted_total += 1
+                else:
+                    for payload in bucket:
+                        packed = base
+                        for coeff, payload_index in row_terms:
+                            packed += coeff * payload[payload_index]
+                        emit(packed)
+                    extended += len(bucket)
+                    emitted_total += len(bucket)
+            width = 0
+            continue
+
+        if (width == 1 and not cols and op.key_kind == _KEY_CONST
+                and op.key_const == () and not op.checks):
+            # Leading scan: the interned columns ARE the batch.
+            view = views[op.seq]
+            interned_relation = view.interned if view is not None else edb[op.seq]
+            assert interned_relation is not None
+            count = interned_relation.length
+            probed += count
+            extended += count
+            width = count
+            cols = {slot: interned_relation.columns[position]
+                    for position, slot in op.mat_binds}
+            continue
+
+        # General batched probe join on int-keyed payload buckets.
+        index = index_for(op, info)
+        out_cols: dict[int, list[int]] = {slot: [] for slot in op.carries}
+        for slot, _ in info.binds:
+            out_cols.setdefault(slot, [])
+        carry_entries = [(out_cols[slot], cols[slot]) for slot in op.carries]
+        n_out = 0
+        if index.counted:
+            for j, count in _int_probe(op, key_resolved, cols, width, index):
+                probed += count
+                for out, column in carry_entries:
+                    out.extend([column[j]] * count)
+                n_out += count
+        elif info.single_payload:
+            ((bind_slot, _),) = info.binds
+            bind_append = out_cols[bind_slot].append
+            for j, bucket in _int_probe(op, key_resolved, cols, width, index):
+                probed += len(bucket)
+                carry_values = [(out.append, column[j])
+                                for out, column in carry_entries]
+                for payload_id in bucket:
+                    for append, value in carry_values:
+                        append(value)
+                    bind_append(payload_id)
+                n_out += len(bucket)
+        else:
+            bind_pairs = [(out_cols[slot].append, payload_index)
+                          for slot, payload_index in info.binds]
+            checks = info.checks
+            for j, bucket in _int_probe(op, key_resolved, cols, width, index):
+                probed += len(bucket)
+                carry_values = [(out.append, column[j])
+                                for out, column in carry_entries]
+                if checks:
+                    for payload in bucket:
+                        if not _payload_passes(payload, checks):
+                            continue
+                        for append, value in carry_values:
+                            append(value)
+                        for append, payload_index in bind_pairs:
+                            append(payload[payload_index])
+                        n_out += 1
+                else:
+                    for payload in bucket:
+                        for append, value in carry_values:
+                            append(value)
+                        for append, payload_index in bind_pairs:
+                            append(payload[payload_index])
+                    n_out += len(bucket)
+        extended += n_out
+        cols = out_cols
+        width = n_out
+
+    if lowered.emit is not None and width > 0:
+        col_terms = [(coeffs[head_index], cols[slot])
+                     for head_index, slot in lowered.emit.head_cols]
+        emitted_total += width
+        if not col_terms:
+            if sink_mode:
+                sink.add(const_part)  # type: ignore[union-attr]
+            else:
+                emissions.extend([const_part] * width)
+        else:
+            emit = (sink.add if sink_mode  # type: ignore[union-attr]
+                    else emissions.append)
+            for j in range(width):
+                packed = const_part
+                for coeff, column in col_terms:
+                    packed += coeff * column[j]
+                emit(packed)
+
+    counters.rows_probed += probed
+    counters.bindings_extended += extended
+    if sink_mode:
+        counters.tuples_emitted += emitted_total
+        return emitted_total, width_k
+    counters.tuples_emitted += len(emissions)
+    return emissions, width_k
+
+
+class PackedBinaryJoin:
+    """A packed specialisation of the dominant recursive-rule shape.
+
+    Matches plans whose batch lowering is exactly ``[leading scan of the
+    recursive delta (full scan, no repeat checks); fused single-key
+    probe of a stored relation]`` with a binary head — both linear
+    transitive-closure forms and every rule the TC benchmarks run.  For
+    those, the packed closure bypasses the generic pipeline:
+
+    * the delta is *grouped by the probed join key* (a ``dict`` from
+      key id to the carried head contributions), so the index is probed
+      once per distinct key instead of once per delta row;
+    * the probe buckets come pre-multiplied by the head coefficient
+      (:meth:`repro.storage.domain.IntIndex.premultiplied`), so each
+      emission is a single C-level add straight into the distinct-row
+      sink;
+    * under the naive driver the groups ARE the delta index of the
+      growing total, and :meth:`extend_groups` maintains them
+      incrementally from each iteration's new rows.
+
+    Join counters and the emission total are exactly those of the
+    generic interned pipeline (leading scan: one probe/extension per
+    delta row; fused probe: one probe/extension/emission per matching
+    bucket row).
+    """
+
+    __slots__ = ("name", "arity", "key_positions", "payload_positions",
+                 "key_digit_first", "carry_coeff", "row_coeff")
+
+    def __init__(self, name: str, arity: int,
+                 key_positions: tuple[int, ...],
+                 payload_positions: tuple[int, ...],
+                 key_digit_first: bool, carry_coeff: int, row_coeff: int):
+        self.name = name
+        self.arity = arity
+        self.key_positions = key_positions
+        self.payload_positions = payload_positions
+        #: True when the probed key is the delta row's first digit.
+        self.key_digit_first = key_digit_first
+        self.carry_coeff = carry_coeff
+        self.row_coeff = row_coeff
+
+    @classmethod
+    def try_specialize(cls, plan: CompiledRule, predicate_name: str,
+                       base_k: int) -> Optional["PackedBinaryJoin"]:
+        """The specialisation of *plan*, or ``None`` if it doesn't fit."""
+        if plan.fact_row is not None or len(plan.head_template) != 2:
+            return None
+        lowered = batch_plan(plan)
+        infos = interned_plan(plan).ops
+        if len(lowered.ops) != 2:
+            return None
+        lead, probe = lowered.ops
+        if type(lead) is not _BatchScan or type(probe) is not _BatchScan:
+            return None
+        if (lead.name != predicate_name or lead.arity != 2
+                or lead.key_kind != _KEY_CONST or lead.key_const != ()
+                or lead.checks or lead.fused):
+            return None
+        probe_info = infos[1]
+        assert probe_info is not None
+        if (probe.name == predicate_name or not probe.fused
+                or probe.key_kind != _KEY_SINGLE
+                or not probe_info.single_payload or probe.checks
+                or len(probe.head_cols) != 1 or len(probe.head_rows) != 1):
+            return None
+        slot_position = {slot: position for position, slot in lead.mat_binds}
+        key_position = slot_position.get(probe.key_slot)
+        carry_head_index, carry_slot = probe.head_cols[0]
+        carry_position = slot_position.get(carry_slot)
+        if key_position is None or carry_position is None:
+            return None
+        if {key_position, carry_position} != {0, 1}:
+            return None
+        row_head_index, _ = probe.head_rows[0]
+        return cls(
+            probe.name, probe.arity, probe.key_positions,
+            probe_info.payload_positions,
+            key_digit_first=(key_position == 0),
+            carry_coeff=base_k ** (1 - carry_head_index),
+            row_coeff=base_k ** (1 - row_head_index),
+        )
+
+    def build_groups(self, packed_rows: Any, base_k: int,
+                     groups: Optional[dict[int, list[int]]] = None
+                     ) -> dict[int, list[int]]:
+        """Group packed delta rows by key digit; values carry-multiplied.
+
+        Passing existing *groups* appends (the incremental-maintenance
+        path for a growing total); otherwise a fresh mapping is built.
+        """
+        if groups is None:
+            groups = {}
+        get = groups.get
+        carry_coeff = self.carry_coeff
+        if self.key_digit_first:
+            if carry_coeff == 1:
+                for packed in packed_rows:
+                    key_digit = packed // base_k
+                    carried = packed % base_k
+                    bucket = get(key_digit)
+                    if bucket is None:
+                        groups[key_digit] = [carried]
+                    else:
+                        bucket.append(carried)
+            else:
+                for packed in packed_rows:
+                    key_digit = packed // base_k
+                    carried = (packed % base_k) * carry_coeff
+                    bucket = get(key_digit)
+                    if bucket is None:
+                        groups[key_digit] = [carried]
+                    else:
+                        bucket.append(carried)
+        elif carry_coeff == 1:
+            for packed in packed_rows:
+                key_digit = packed % base_k
+                carried = packed // base_k
+                bucket = get(key_digit)
+                if bucket is None:
+                    groups[key_digit] = [carried]
+                else:
+                    bucket.append(carried)
+        else:
+            for packed in packed_rows:
+                key_digit = packed % base_k
+                carried = (packed // base_k) * carry_coeff
+                bucket = get(key_digit)
+                if bucket is None:
+                    groups[key_digit] = [carried]
+                else:
+                    bucket.append(carried)
+        return groups
+
+    def run(self, groups: dict[int, list[int]], database: Database,
+            sink: set[int], counters: JoinCounters, delta_rows: int) -> int:
+        """One rule application over grouped delta rows; returns total.
+
+        Emissions go straight into *sink*; the return value is the
+        emission multiset size (duplicates included), mirroring
+        :func:`execute_interned_into`.
+        """
+        index = database.interned_index(self.name, self.arity,
+                                        self.key_positions,
+                                        self.payload_positions)
+        get = index.premultiplied(self.row_coeff).get
+        update = sink.update
+        emitted = 0
+        for key_digit, carries in groups.items():
+            bucket = get(key_digit)
+            if bucket:
+                if len(carries) == 1:
+                    emitted += len(bucket)
+                    update(map(carries[0].__add__, bucket))
+                else:
+                    # One C-driven pass per group: itertools.product
+                    # reuses its result tuple under starmap, so the
+                    # whole cross product is pair-allocation-free.
+                    emitted += len(bucket) * len(carries)
+                    update(starmap(add, product(bucket, carries)))
+        # Leading scan: one probe + one extension per delta row; fused
+        # probe: one probe + extension + emission per matching row.
+        counters.rows_probed += delta_rows + emitted
+        counters.bindings_extended += delta_rows + emitted
+        counters.tuples_emitted += emitted
+        return emitted
+
+
+def _payload_passes(payload: tuple[int, ...],
+                    checks: tuple[tuple[int, int], ...]) -> bool:
+    """Within-atom repeated-variable filter over a payload tuple."""
+    for index_a, index_b in checks:
+        if payload[index_a] != payload[index_b]:
+            return False
+    return True
+
+
+def _int_probe(op: _BatchScan, key_resolved: Any, cols: dict[int, Any],
+               width: int, index: IntIndex):
+    """Yield ``(j, non-empty bucket-or-count)`` per batch element probe."""
+    return _int_probe_in(op, key_resolved, cols, width, index.buckets)
+
+
+def _int_probe_in(op: _BatchScan, key_resolved: Any, cols: dict[int, Any],
+                  width: int, buckets: dict):
+    """:func:`_int_probe` over an explicit bucket mapping."""
+    get = buckets.get
+    if op.key_kind == _KEY_CONST:
+        bucket = get(key_resolved)
+        if bucket:
+            for j in range(width):
+                yield j, bucket
+        return
+    if op.key_kind == _KEY_SINGLE:
+        key_column = cols[op.key_slot]
+        for j in range(width):
+            bucket = get(key_column[j])
+            if bucket:
+                yield j, bucket
+        return
+    parts = [(is_const, ident_or_slot if is_const else cols[ident_or_slot])
+             for is_const, ident_or_slot in key_resolved]
+    for j in range(width):
+        key = tuple(value if is_const else value[j]
+                    for is_const, value in parts)
+        bucket = get(key)
+        if bucket:
+            yield j, bucket
+
+
+# ----------------------------------------------------------------------
 # Explanation
 # ----------------------------------------------------------------------
 
@@ -592,4 +1521,56 @@ def describe_batch(plan: CompiledRule) -> str:
     if lowered.emit is not None:
         lines.append(f"emit {plan.rule.head}")
     lines.append("collapse -> (row, count) pairs")
+    return "\n".join(lines)
+
+
+def describe_interned(plan: CompiledRule) -> str:
+    """Human-readable interned pipeline, one line per batch operation.
+
+    Backs :meth:`repro.engine.plan.CompiledRule.explain` with
+    ``executor="interned"``: the same operation sequence as the batch
+    pipeline, annotated with the int specialisation — ``array('q')``
+    interned columns on leading scans, int-keyed payload probes, and
+    the packed-integer head emission.
+    """
+    if plan.fact_row is not None:
+        return f"fact {plan.rule.head}"
+    lowered = batch_plan(plan)
+    infos = interned_plan(plan).ops
+    lines = []
+    for position, op in enumerate(lowered.ops):
+        if type(op) is _BatchEquality:
+            verb = "int-extend" if op.mode == "bind" else (
+                "int-filter" if op.mode == "check" else "unsafe")
+            lines.append(f"{verb} {op.atom}")
+            continue
+        info = infos[position]
+        assert info is not None
+        leading = position == 0 and op.key_kind == _KEY_CONST
+        verb = "int-scan" if leading else "int-probe"
+        detail = [f"key={op.key_positions}"]
+        if leading and op.key_const == () and not op.checks and not op.fused:
+            detail.append(
+                "cols=" + str([f"s{slot}<-{pos}" for pos, slot in op.mat_binds])
+                + " (array'q')"
+            )
+        else:
+            if not info.payload_positions:
+                detail.append("payload=counted")
+            else:
+                detail.append(f"payload={info.payload_positions}")
+            if op.carries:
+                detail.append(f"carry={list(op.carries)}")
+            if info.binds and not op.fused:
+                detail.append(
+                    "bind=" + str([f"s{slot}" for slot, _ in info.binds])
+                )
+            if op.checks:
+                detail.append(f"checks={list(op.checks)}")
+        if op.fused:
+            detail.append(f"fused-pack {plan.rule.head} (K-base packed ints)")
+        lines.append(f"{verb} {op.atom} " + " ".join(detail))
+    if lowered.emit is not None:
+        lines.append(f"pack {plan.rule.head} (K-base packed ints)")
+    lines.append("collapse packed ints -> (row, count) pairs; decode via Domain")
     return "\n".join(lines)

@@ -1,15 +1,28 @@
-"""Relational storage substrate: relations, databases, indexes, selections."""
+"""Relational storage substrate: relations, databases, indexes, selections.
 
-from repro.storage.relation import Relation
+The interned layer (:mod:`repro.storage.domain`) dictionary-encodes
+values into dense integer ids — a per-database :class:`Domain`, the
+``array('q')``-backed :class:`InternedRelation` canonical form, and the
+int-keyed, incrementally maintained :class:`IntIndex` — which the
+int-specialised batch executor (:mod:`repro.engine.vectorized`) runs on.
+"""
+
+from repro.storage.relation import Relation, RowSetBuilder, rows_added_since
 from repro.storage.database import Database
+from repro.storage.domain import Domain, IntIndex, InternedRelation
 from repro.storage.index import HashIndex
 from repro.storage.selection import Selection, EqualitySelection, PositionEqualitySelection
 
 __all__ = [
     "Database",
+    "Domain",
     "EqualitySelection",
     "HashIndex",
+    "IntIndex",
+    "InternedRelation",
     "PositionEqualitySelection",
     "Relation",
+    "RowSetBuilder",
     "Selection",
+    "rows_added_since",
 ]

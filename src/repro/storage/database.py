@@ -17,8 +17,9 @@ from repro.datalog.programs import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant
 from repro.exceptions import SchemaError
+from repro.storage.domain import Domain, IntIndex, InternedRelation
 from repro.storage.index import HashIndex
-from repro.storage.relation import Relation, Row
+from repro.storage.relation import Relation, Row, rows_added_since
 
 
 @dataclass(frozen=True)
@@ -31,6 +32,9 @@ class Database:
         object.__setattr__(self, "relations", dict(self.relations))
         object.__setattr__(self, "_index_cache", {})
         object.__setattr__(self, "_index_lock", threading.Lock())
+        object.__setattr__(self, "_domain", None)
+        object.__setattr__(self, "_interned_cache", {})
+        object.__setattr__(self, "_int_index_cache", {})
         for name, relation in self.relations.items():
             if relation.name != name:
                 raise SchemaError(
@@ -160,9 +164,120 @@ class Database:
         with lock:
             index = cache.get(key)
             if not valid(index):
-                index = HashIndex(stored, positions)
-                cache[key] = index
+                # Generation-aware extension: a caller that swapped in a
+                # *grown* generation of the same relation (the extension
+                # lineage of ``Relation.extended_with``) gets the cached
+                # index updated from the added rows alone; anything else
+                # is a rebuild.
+                added = (None if index is None
+                         else rows_added_since(stored, index.relation))
+                if added is not None:
+                    index.extend(added, stored)  # type: ignore[union-attr]
+                else:
+                    index = HashIndex(stored, positions)
+                    cache[key] = index
         return index  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Interned access (the dictionary-encoded execution path)
+    # ------------------------------------------------------------------
+
+    def domain(self) -> Domain:
+        """The database's value interner, created lazily.
+
+        One :class:`~repro.storage.domain.Domain` per database: every
+        interned structure over this database's relations shares it, so
+        ids are comparable across relations.  Like the index cache it is
+        not part of the pickled state — process workers either rebuild
+        it or are seeded explicitly to reproduce the parent's ids.
+        """
+        domain: Domain | None = self._domain  # type: ignore[attr-defined]
+        if domain is not None:
+            return domain
+        lock: threading.Lock = self._index_lock  # type: ignore[attr-defined]
+        with lock:
+            domain = self._domain  # type: ignore[attr-defined]
+            if domain is None:
+                domain = Domain()
+                object.__setattr__(self, "_domain", domain)
+        return domain
+
+    def interned_relation(self, name: str, arity: int) -> InternedRelation:
+        """The cached canonical interned form of a stored relation.
+
+        Validity mirrors :meth:`index`: the form is keyed to the stored
+        relation object, survives across fixpoint iterations, follows
+        the extension lineage incrementally when the stored generation
+        grows, and is rebuilt on any other change.
+        """
+        cache: dict[tuple[str, int], tuple[Relation, InternedRelation]] = (
+            self._interned_cache  # type: ignore[attr-defined]
+        )
+        key = (name, arity)
+        stored = self.relation(name, arity)
+        entry = cache.get(key)
+        if entry is not None and (
+            entry[0] is stored
+            or (name not in self.relations and not entry[0].rows)
+        ):
+            return entry[1]
+        domain = self.domain()  # resolved before taking the cache lock
+        lock: threading.Lock = self._index_lock  # type: ignore[attr-defined]
+        with lock:
+            entry = cache.get(key)
+            if entry is not None and entry[0] is stored:
+                return entry[1]
+            added = (None if entry is None
+                     else rows_added_since(stored, entry[0]))
+            if added is not None and entry is not None:
+                interned = entry[1]
+                start = interned.length
+                interned.extend_with(added, domain)
+                self._extend_int_indexes(name, arity, interned, start)
+            else:
+                interned = InternedRelation.from_relation(stored, domain)
+                self._drop_int_indexes(name, arity)
+            cache[key] = (stored, interned)
+        return interned
+
+    def interned_index(self, name: str, arity: int,
+                       key_positions: tuple[int, ...],
+                       payload_positions: tuple[int, ...]) -> IntIndex:
+        """A cached int-keyed index over a stored relation's interned form.
+
+        Keyed by ``(name, arity, key positions, payload positions)``;
+        kept consistent with :meth:`interned_relation` — growing the
+        stored generation extends every cached index from the new rows,
+        any other change drops them for rebuild.
+        """
+        interned = self.interned_relation(name, arity)
+        cache: dict[tuple, IntIndex] = self._int_index_cache  # type: ignore[attr-defined]
+        key = (name, arity, key_positions, payload_positions)
+        index = cache.get(key)
+        if index is not None and index.length == interned.length:
+            return index
+        lock: threading.Lock = self._index_lock  # type: ignore[attr-defined]
+        with lock:
+            index = cache.get(key)
+            if index is None or index.length != interned.length:
+                index = IntIndex(interned, key_positions, payload_positions)
+                cache[key] = index
+        return index
+
+    def _extend_int_indexes(self, name: str, arity: int,
+                            interned: InternedRelation, start: int) -> None:
+        """Append rows ``start..`` of *interned* to its cached indexes."""
+        cache: dict[tuple, IntIndex] = self._int_index_cache  # type: ignore[attr-defined]
+        for key, index in cache.items():
+            if key[0] == name and key[1] == arity:
+                index.extend_from_columns(interned.columns, start,
+                                          interned.length)
+
+    def _drop_int_indexes(self, name: str, arity: int) -> None:
+        """Forget cached int indexes for a rebuilt interned relation."""
+        cache: dict[tuple, IntIndex] = self._int_index_cache  # type: ignore[attr-defined]
+        for key in [key for key in cache if key[0] == name and key[1] == arity]:
+            del cache[key]
 
     def has_relation(self, name: str) -> bool:
         """True if a relation named *name* is stored."""

@@ -52,6 +52,40 @@ class HashIndex:
         """Rows whose indexed columns equal *key* (in position order)."""
         return self._buckets.get(tuple(key), [])
 
+    def extend(self, added: Iterable[Row], relation: Relation) -> None:
+        """Append *added* rows and re-point the index at *relation*.
+
+        The incremental maintenance path: when a relation grows by a
+        known set of rows (the extension lineage of
+        :meth:`repro.storage.relation.Relation.extended_with`), the
+        index over the old generation is updated from the new rows
+        alone instead of being rebuilt over the whole relation.  The
+        caller guarantees *added* is exactly ``relation.rows`` minus
+        the indexed generation's rows; the index mutates in place, so
+        it must not be extended while another thread is probing it —
+        :meth:`repro.storage.database.Database.index` performs
+        extensions under the cache lock.
+        """
+        buckets = self._buckets
+        positions = self.positions
+        if not positions:
+            bucket = buckets.get(())
+            if bucket is None:
+                bucket = buckets[()] = []
+            bucket.extend(added)
+            if not bucket:
+                del buckets[()]
+            self.relation = relation
+            return
+        for row in added:
+            key = tuple(row[p] for p in positions)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [row]
+            else:
+                bucket.append(row)
+        self.relation = relation
+
     @property
     def buckets(self) -> dict[tuple[Any, ...], list[Row]]:
         """The key → rows mapping itself (read-only by convention).

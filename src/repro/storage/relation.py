@@ -8,10 +8,16 @@ relations.  Tuples contain plain Python values (the ``value`` payloads of
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional
 
 from repro.exceptions import SchemaError
+
+if TYPE_CHECKING:
+    from array import array
+
+    from repro.storage.domain import Domain
 
 Row = tuple[Any, ...]
 
@@ -25,13 +31,33 @@ class Relation:
     rows: frozenset[Row] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "rows", frozenset(tuple(row) for row in self.rows))
-        for row in self.rows:
-            if len(row) != self.arity:
+        rows = self.rows
+        # Rows that are already a frozenset of canonical tuples are kept
+        # as-is: re-tupling them would re-allocate every row and re-hash
+        # the whole set on each construction.  Validation still runs.
+        if not isinstance(rows, frozenset) or not all(
+            type(row) is tuple for row in rows
+        ):
+            rows = frozenset(tuple(row) for row in rows)
+            object.__setattr__(self, "rows", rows)
+        arity = self.arity
+        for row in rows:
+            if len(row) != arity:
                 raise SchemaError(
                     f"Row {row!r} has {len(row)} columns; relation "
                     f"{self.name} expects {self.arity}"
                 )
+        object.__setattr__(self, "_extension", None)
+
+    def __reduce__(self) -> tuple:
+        """Pickle name/arity/rows only.
+
+        The extension lineage holds a weak reference (unpicklable) and
+        is a cache hint, not state; process workers rebuild caches
+        locally.  Unpickling through :meth:`from_canonical` also skips
+        re-validating rows that were canonical by construction.
+        """
+        return (Relation.from_canonical, (self.name, self.arity, self.rows))
 
     @classmethod
     def of(cls, name: str, arity: int, rows: Iterable[Iterable[Any]] = ()) -> "Relation":
@@ -57,6 +83,29 @@ class Relation:
         object.__setattr__(relation, "name", name)
         object.__setattr__(relation, "arity", arity)
         object.__setattr__(relation, "rows", rows)
+        object.__setattr__(relation, "_extension", None)
+        return relation
+
+    def extended_with(self, rows: Iterable[Row]) -> "Relation":
+        """A relation with *rows* added that remembers what was added.
+
+        The result records ``(base, added rows)`` — the base is held
+        through a weak reference, so extension chains never pin old
+        generations in memory.  Index and interning caches use this
+        lineage (:func:`rows_added_since`) to *extend* structures built
+        over the base from the added rows alone instead of rebuilding
+        them, which turns per-iteration maintenance of a growing
+        relation from ``O(total)`` into ``O(new)``.
+
+        Rows must already be canonical tuples (they come out of the
+        evaluation engine); rows already present are deduplicated by the
+        set union.
+        """
+        added = frozenset(rows) - self.rows
+        relation = Relation.from_canonical(self.name, self.arity,
+                                           self.rows | added)
+        object.__setattr__(relation, "_extension",
+                           (weakref.ref(self), added))
         return relation
 
     # ------------------------------------------------------------------
@@ -115,7 +164,9 @@ class Relation:
     # Introspection
     # ------------------------------------------------------------------
 
-    def columns(self, positions: Iterable[int] | None = None) -> tuple[list[Any], ...]:
+    def columns(self, positions: Iterable[int] | None = None,
+                domain: "Optional[Domain]" = None
+                ) -> tuple[list[Any], ...] | tuple["array", ...]:
         """The relation decomposed into column lists (bulk extraction).
 
         Returns one value list per requested position (all positions when
@@ -125,6 +176,11 @@ class Relation:
         is stable for the lifetime of the relation object.  The batch
         executor (:mod:`repro.engine.vectorized`) uses this to turn a
         leading full scan into plain column extraction.
+
+        With a *domain*, each column comes back as an ``array('q')`` of
+        interned ids instead of a value list — the canonical interned
+        form the int-specialised executor runs on (ids are assigned via
+        :meth:`repro.storage.domain.Domain.intern`).
         """
         selected = tuple(range(self.arity)) if positions is None else tuple(positions)
         for position in selected:
@@ -132,6 +188,13 @@ class Relation:
                 raise SchemaError(
                     f"Column {position} out of range for arity {self.arity}"
                 )
+        if domain is not None:
+            # One interning implementation: the canonical form builds
+            # every column; this view just selects from it.
+            from repro.storage.domain import InternedRelation
+
+            interned = InternedRelation.from_relation(self, domain)
+            return tuple(interned.columns[position] for position in selected)
         rows = list(self.rows)
         return tuple([row[position] for row in rows] for position in selected)
 
@@ -179,6 +242,35 @@ class Relation:
         return sorted(self.rows, key=lambda row: tuple(str(v) for v in row))
 
 
+def rows_added_since(relation: Relation, base: Relation,
+                     max_hops: int = 64) -> Optional[frozenset[Row]]:
+    """The rows *relation* gained over *base*, or ``None`` if unknown.
+
+    Walks the extension lineage recorded by :meth:`Relation.extended_with`
+    from *relation* back towards *base*; returns the union of the added
+    rows when the chain reaches *base* (the empty frozenset when they
+    are the same object).  ``None`` means the chain is broken — no
+    lineage, a collected base, or too many hops — and the caller must
+    rebuild whatever it was hoping to extend.
+    """
+    if relation is base:
+        return frozenset()
+    added: list[frozenset[Row]] = []
+    node: Optional[Relation] = relation
+    for _ in range(max_hops):
+        extension = getattr(node, "_extension", None)
+        if extension is None:
+            return None
+        base_ref, delta = extension
+        node = base_ref()
+        if node is None:
+            return None
+        added.append(delta)
+        if node is base:
+            return frozenset().union(*added)
+    return None
+
+
 class RowSetBuilder:
     """A mutable accumulator of canonical rows for one relation.
 
@@ -192,12 +284,14 @@ class RowSetBuilder:
     which guarantees this).
     """
 
-    __slots__ = ("name", "arity", "rows")
+    __slots__ = ("name", "arity", "rows", "_last_frozen", "_added_since_freeze")
 
     def __init__(self, name: str, arity: int, rows: Iterable[Row] = ()):
         self.name = name
         self.arity = arity
         self.rows: set[Row] = set(rows)
+        self._last_frozen: Optional[Relation] = None
+        self._added_since_freeze: set[Row] = set()
 
     def __contains__(self, row: Row) -> bool:
         return row in self.rows
@@ -209,8 +303,25 @@ class RowSetBuilder:
         """Absorb *rows*, returning (as a frozenset) the ones that were new."""
         new_rows = frozenset(rows - self.rows)
         self.rows |= new_rows
+        if self._last_frozen is not None:
+            self._added_since_freeze |= new_rows
         return new_rows
 
     def freeze(self) -> Relation:
-        """Snapshot the accumulated rows as an immutable relation."""
-        return Relation.from_canonical(self.name, self.arity, frozenset(self.rows))
+        """Snapshot the accumulated rows as an immutable relation.
+
+        Consecutive freezes are chained through the extension lineage
+        (:meth:`Relation.extended_with`): each snapshot records what it
+        gained over the previous one, so delta-index and interning
+        caches maintain their structures from the new rows alone when a
+        driver (e.g. the naive closure) re-freezes every iteration.
+        """
+        previous = self._last_frozen
+        if previous is None:
+            frozen = Relation.from_canonical(self.name, self.arity,
+                                             frozenset(self.rows))
+        else:
+            frozen = previous.extended_with(self._added_since_freeze)
+        self._last_frozen = frozen
+        self._added_since_freeze = set()
+        return frozen

@@ -113,3 +113,58 @@ def wide_multirule_workload(layers: int, width: int, num_rules: int = 6,
         "wide", 2, [(node, node) for node in range(layers * width)]
     )
     return rules, database, initial
+
+
+# ----------------------------------------------------------------------
+# The wide 5-ary variant (the paper's wide-head rule shape)
+# ----------------------------------------------------------------------
+
+
+def wide5_rules(num_rules: int = 4) -> tuple[Rule, ...]:
+    """Linear 5-ary rules in the shape of the paper's Example 5.1 heads.
+
+    ::
+
+        wide5(V, W, X, Y, Z) :- wide5(U, W, X, Y, Z), link<i>(V, U), mark<i>(V).
+
+    Only the first head position is rewritten per step; the remaining
+    four are *persistent* (carried), which is exactly the wide-head
+    profile the paper's Section-5 rules exhibit.  For the batch and
+    interned executors this exercises the multi-carry fused head
+    (``headN``) and the counted final probe (``mark<i>`` binds
+    nothing), the shapes a binary head never reaches.
+    """
+    if num_rules < 1:
+        raise ValueError("num_rules must be at least 1")
+    return tuple(
+        parse_rule(
+            f"wide5(V, W, X, Y, Z) :- wide5(U, W, X, Y, Z), "
+            f"link{i}(V, U), mark{i}(V)."
+        )
+        for i in range(num_rules)
+    )
+
+
+def wide5_workload(layers: int, width: int, num_rules: int = 4,
+                   fanout: int = 4, mark_fraction: float = 0.5,
+                   rng: Optional[random.Random] = None
+                   ) -> tuple[tuple[Rule, ...], Database, Relation]:
+    """Rules, EDB and seed for the wide 5-ary scenario.
+
+    The EDB is the same dealt ``link<i>``/``mark<i>`` layered DAG as
+    :func:`wide_multirule_workload`.  The seed holds one 5-tuple per
+    node, ``(n, n, layer(n), slot(n), n mod 7)`` — the last four
+    positions ride along unchanged through the closure, so the result
+    is mark-restricted reachability tagged with the origin's
+    attributes.
+    """
+    rules = wide5_rules(num_rules)
+    database = wide_multirule_database(
+        layers, width, num_rules, fanout, mark_fraction, rng
+    )
+    initial = Relation.of(
+        "wide5", 5,
+        [(node, node, node // width, node % width, node % 7)
+         for node in range(layers * width)],
+    )
+    return rules, database, initial

@@ -53,6 +53,75 @@ class TestHashIndex:
         index = HashIndex(_colour_relation(), (1,))
         assert sorted(index.keys()) == [("blue",), ("red",)]
 
+    def test_repeated_key_positions(self):
+        # An index may key the same column twice; the key then repeats
+        # that column's value and lookups must match it positionally.
+        relation = Relation.of("t", 2, [(1, 2), (3, 4)])
+        index = HashIndex(relation, (0, 0))
+        assert index.lookup((1, 1)) == [(1, 2)]
+        assert index.lookup((1, 3)) == []
+
+
+class TestLookupBatch:
+    def test_batch_matches_single_lookups(self):
+        index = HashIndex(_colour_relation(), (1,))
+        batched = index.lookup_batch([("red",), ("green",), ("blue",)])
+        assert batched == [index.lookup(("red",)), [], index.lookup(("blue",))]
+
+    def test_batch_over_empty_relation(self):
+        index = HashIndex(Relation.empty("e", 2), (0,))
+        assert index.lookup_batch([(1,), (2,)]) == [[], []]
+
+    def test_batch_with_no_keys(self):
+        index = HashIndex(_colour_relation(), (1,))
+        assert index.lookup_batch([]) == []
+
+    def test_batch_with_empty_positions_tuple(self):
+        relation = _colour_relation()
+        index = HashIndex(relation, ())
+        (bucket,) = index.lookup_batch([()])
+        assert sorted(bucket) == sorted(relation.rows)
+
+    def test_batch_on_arity_zero_relation(self):
+        populated = HashIndex(Relation.of("n", 0, [()]), ())
+        assert populated.lookup_batch([()]) == [[()]]
+        empty = HashIndex(Relation.empty("n", 0), ())
+        assert empty.lookup_batch([()]) == [[]]
+
+    def test_batch_with_repeated_key_positions(self):
+        relation = Relation.of("t", 2, [(1, 1), (1, 2)])
+        index = HashIndex(relation, (0, 1))
+        one_one, one_two = index.lookup_batch([(1, 1), (1, 2)])
+        assert one_one == [(1, 1)]
+        assert one_two == [(1, 2)]
+
+
+class TestHashIndexExtend:
+    def test_extend_appends_to_existing_buckets(self):
+        relation = _colour_relation()
+        index = HashIndex(relation, (1,))
+        grown = relation.with_rows([(5, "red"), (6, "green")])
+        index.extend({(5, "red"), (6, "green")}, grown)
+        assert index.relation is grown
+        assert sorted(index.lookup(("red",))) == [
+            (1, "red"), (2, "red"), (4, "red"), (5, "red")
+        ]
+        assert index.lookup(("green",)) == [(6, "green")]
+
+    def test_extend_full_scan_index(self):
+        relation = Relation.of("r", 1, [(1,)])
+        index = HashIndex(relation, ())
+        grown = relation.with_rows([(2,)])
+        index.extend({(2,)}, grown)
+        assert sorted(index.lookup(())) == [(1,), (2,)]
+
+    def test_extend_empty_full_scan_index_with_nothing(self):
+        relation = Relation.empty("r", 1)
+        index = HashIndex(relation, ())
+        index.extend(set(), relation)
+        assert index.lookup(()) == []
+        assert len(index) == 0
+
 
 class TestDatabaseIndexCache:
     def test_index_is_cached_per_name_and_positions(self):

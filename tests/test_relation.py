@@ -11,6 +11,23 @@ class TestConstruction:
         relation = Relation.of("r", 2, [[1, 2], (1, 2), (3, 4)])
         assert len(relation) == 2
 
+    def test_canonical_rows_kept_without_retupling(self):
+        # A frozenset of plain tuples is already canonical: construction
+        # must keep the object instead of re-tupling and re-hashing it.
+        rows = frozenset({(1, 2), (3, 4)})
+        relation = Relation("r", 2, rows)
+        assert relation.rows is rows
+
+    def test_non_canonical_rows_still_normalised(self):
+        relation = Relation("r", 2, frozenset({(1, 2)}) | {(3, 4)})
+        assert relation.rows == frozenset({(1, 2), (3, 4)})
+        lists = Relation("r", 2, [[1, 2], [1, 2]])
+        assert lists.rows == frozenset({(1, 2)})
+
+    def test_canonical_rows_are_still_validated(self):
+        with pytest.raises(SchemaError):
+            Relation("r", 2, frozenset({(1, 2, 3)}))
+
     def test_empty(self):
         relation = Relation.empty("r", 3)
         assert relation.is_empty()
@@ -99,3 +116,56 @@ class TestQueries:
 
     def test_str_mentions_name_and_size(self):
         assert "r/2" in str(Relation.of("r", 2, [(1, 2)]))
+
+
+class TestColumns:
+    def test_columns_row_aligned(self):
+        relation = Relation.of("r", 2, [(1, "a"), (2, "b")])
+        first, second = relation.columns()
+        assert sorted(zip(first, second)) == [(1, "a"), (2, "b")]
+
+    def test_columns_of_empty_relation(self):
+        first, second = Relation.empty("r", 2).columns()
+        assert first == [] and second == []
+
+    def test_columns_empty_positions_tuple(self):
+        relation = Relation.of("r", 2, [(1, 2)])
+        assert relation.columns(()) == ()
+
+    def test_columns_of_arity_zero_relation(self):
+        relation = Relation.of("n", 0, [()])
+        assert relation.columns() == ()
+        assert relation.columns(()) == ()
+
+    def test_columns_repeated_positions(self):
+        relation = Relation.of("r", 2, [(1, 2), (3, 4)])
+        first, again, second = relation.columns((0, 0, 1))
+        assert first == again
+        assert sorted(zip(first, second)) == [(1, 2), (3, 4)]
+
+    def test_columns_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Relation.of("r", 2, [(1, 2)]).columns([2])
+        with pytest.raises(SchemaError):
+            Relation.empty("r", 0).columns([0])
+
+    def test_columns_with_domain_returns_interned_arrays(self):
+        from array import array
+
+        from repro.storage.domain import Domain
+
+        domain = Domain()
+        relation = Relation.of("r", 2, [(1, "a"), (2, "b")])
+        first, second = relation.columns(domain=domain)
+        assert isinstance(first, array) and isinstance(second, array)
+        decoded = sorted(
+            (domain.value_of(x), domain.value_of(y))
+            for x, y in zip(first, second)
+        )
+        assert decoded == [(1, "a"), (2, "b")]
+
+    def test_columns_with_domain_empty_relation(self):
+        from repro.storage.domain import Domain
+
+        (column,) = Relation.empty("r", 1).columns(domain=Domain())
+        assert len(column) == 0
