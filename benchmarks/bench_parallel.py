@@ -42,12 +42,15 @@ _SRC = pathlib.Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.datalog.parser import parse_rule  # noqa: E402
 from repro.engine.naive import naive_closure  # noqa: E402
 from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.plan import clear_plan_cache  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
 from repro.engine.statistics import EvaluationStatistics  # noqa: E402
 from repro.storage.database import Database  # noqa: E402
+from repro.storage.relation import Relation  # noqa: E402
+from repro.workloads.graphs import layered_dag_edges  # noqa: E402
 from repro.workloads.wide import wide5_workload, wide_multirule_workload  # noqa: E402
 
 NUM_RULES = 6
@@ -56,9 +59,29 @@ WIDTH = 16
 #: The wide 5-ary side benchmark (per-entry ``wide5_*`` series): the
 #: paper's wide-head rule shape, used to measure the interned executor's
 #: multi-carry fused head and the incremental maintenance of a growing
-#: override's interned columns/indexes (naive driver).
+#: override's interned columns/indexes (naive driver), plus the
+#: shared-memory process exchange (``wide5_shm``) on the same shape.
 WIDE5_WIDTH = 12
 WIDE5_RULES = 4
+
+#: The packed TC-512 series (``tc512_interned_*``): binary transitive
+#: closure over a *wide* 512-node layered DAG — few iterations with fat
+#: deltas, the profile where farming the packed grouped join out to
+#: workers can actually pay.  The interned executor runs the whole
+#: closure in packed-id space on every backend; ``threads`` shares the
+#: parent's accumulator through the striped sink, ``processes``
+#: exchanges deltas/results through shared-memory segments.
+TC512_LAYERS = 8
+TC512_WIDTH = 64
+TC512_FANOUT = 8
+
+#: The ≥2-CPU floor for ``tc512_speedup_processes``: the shared-memory
+#: exchange must beat the serial packed closure outright.  This is the
+#: single source for the full-mode gate below *and* is emitted into the
+#: report as ``tc512_processes_floor`` so the CI gate
+#: (``check_bench_regression.py --speedup-floor`` in
+#: ``.github/workflows/ci.yml``) can be kept in sync with it.
+TC512_PROCESSES_FLOOR = 1.02
 
 
 def _configs(workers: int, executor: str) -> dict[str, EvalConfig | None]:
@@ -113,21 +136,28 @@ def _run_wide5(layers, closure, config):
     return elapsed, relation, statistics
 
 
-def run_wide5(layers, repeats):
+def run_wide5(layers, repeats, workers):
     """The wide5 series for one entry: executors + delta maintenance.
 
     ``wide5_seminaive_*`` compares batch vs interned on the multi-carry
     5-ary head; ``wide5_naive_*`` compares incremental maintenance of
     the growing total's interned columns/indexes
     (``incremental_deltas=True``, the default) against a per-iteration
-    rebuild.  Every variant must agree with the serial rows executor on
-    the result relation and the derivation/duplicate statistics.
+    rebuild; ``wide5_shm`` runs the packed closure on the process
+    backend, exchanging the 5-ary grouped-chain deltas through
+    shared-memory segments.  Every variant must agree with the serial
+    rows executor on the result relation and the derivation/duplicate
+    statistics.
     """
     variants = {
         "wide5_seminaive_rows": (seminaive_closure, None),
         "wide5_seminaive_batch": (seminaive_closure, EvalConfig(executor="batch")),
         "wide5_seminaive_interned": (
             seminaive_closure, EvalConfig(executor="batch", intern=True)),
+        "wide5_shm": (
+            seminaive_closure,
+            EvalConfig(executor="batch", intern=True, backend="processes",
+                       max_workers=workers)),
         "wide5_naive_rows": (naive_closure, None),
         "wide5_naive_interned": (
             naive_closure, EvalConfig(executor="batch", intern=True)),
@@ -148,7 +178,8 @@ def run_wide5(layers, repeats):
         timings[name] = best
     match = (
         all(signatures[name] == signatures["wide5_seminaive_rows"]
-            for name in ("wide5_seminaive_batch", "wide5_seminaive_interned"))
+            for name in ("wide5_seminaive_batch", "wide5_seminaive_interned",
+                         "wide5_shm"))
         and all(signatures[name] == signatures["wide5_naive_rows"]
                 for name in ("wide5_naive_interned", "wide5_naive_rebuild"))
     )
@@ -168,6 +199,82 @@ def run_wide5(layers, repeats):
         f"match={match}"
     )
     return series
+
+
+def _tc512_workload():
+    """Binary TC over the wide 512-node layered DAG, identity-seeded."""
+    edge = layered_dag_edges(TC512_LAYERS, TC512_WIDTH, fanout=TC512_FANOUT,
+                             name="edge", rng=random.Random(17))
+    database = Database.of(edge)
+    initial = Relation.of(
+        "path", 2, [(node, node) for node in range(TC512_LAYERS * TC512_WIDTH)]
+    )
+    rules = (parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y)."),)
+    return rules, database, initial
+
+
+def run_tc512(repeats, workers):
+    """The packed TC-512 entry: the interned executor on every backend.
+
+    All three backends run the identical packed-id closure (grouped
+    binary join, Counter-free ``total - |fresh|`` accounting) and must
+    agree bit-for-bit on the result relation and every statistic.  The
+    ``tc512_speedup_*`` fields feed the CI speedup floors
+    (``check_bench_regression.py --speedup-floor``), which are enforced
+    only on machines with at least two usable CPUs.
+    """
+    variants = {
+        "tc512_interned_serial": EvalConfig(executor="batch", intern=True),
+        "tc512_interned_threads": EvalConfig(
+            executor="batch", intern=True, backend="threads",
+            max_workers=workers),
+        "tc512_interned_processes": EvalConfig(
+            executor="batch", intern=True, backend="processes",
+            max_workers=workers),
+    }
+    timings = {}
+    signatures = {}
+    for name, config in variants.items():
+        best = None
+        for _ in range(repeats):
+            clear_plan_cache()
+            rules, database, initial = _tc512_workload()
+            database = Database(dict(database.relations))
+            statistics = EvaluationStatistics()
+            start = time.perf_counter()
+            relation = seminaive_closure(rules, initial, database, statistics,
+                                         config=config)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+            signatures[name] = (relation.rows, _stats_key(statistics))
+        timings[name] = best
+    match = all(signature == signatures["tc512_interned_serial"]
+                for signature in signatures.values())
+    serial = timings["tc512_interned_serial"]
+    entry = {
+        "size": TC512_LAYERS * TC512_WIDTH,
+        "layers_x_width_x_fanout": (
+            f"{TC512_LAYERS}x{TC512_WIDTH}x{TC512_FANOUT}"
+        ),
+        "tc512_speedup_threads": round(
+            serial / timings["tc512_interned_threads"], 2),
+        "tc512_speedup_processes": round(
+            serial / timings["tc512_interned_processes"], 2),
+        "tc512_processes_floor": TC512_PROCESSES_FLOOR,
+        "results_and_counts_match": match,
+    }
+    entry.update({f"{name}_seconds": round(value, 6)
+                  for name, value in timings.items()})
+    print(
+        f"tc512 ({entry['layers_x_width_x_fanout']})  "
+        f"serial={serial:7.3f}s  "
+        f"threads={timings['tc512_interned_threads']:7.3f}s "
+        f"({entry['tc512_speedup_threads']:4.2f}x)  "
+        f"processes={timings['tc512_interned_processes']:7.3f}s "
+        f"({entry['tc512_speedup_processes']:4.2f}x)  match={match}"
+    )
+    return entry
 
 
 def run_benchmark(sizes, repeats, workers, executor="rows"):
@@ -218,7 +325,7 @@ def run_benchmark(sizes, repeats, workers, executor="rows"):
         }
         # Best-of-2 regardless of mode: the wide5 series sit in the
         # 10-100ms range where a single sample is scheduler noise.
-        entry.update(run_wide5(layers, 2))
+        entry.update(run_wide5(layers, 2, workers))
         entry["results_and_counts_match"] = (
             entry["results_and_counts_match"] and entry["wide5_match"]
         )
@@ -263,6 +370,11 @@ def main(argv=None):
     results = run_benchmark(sizes, repeats, workers, args.executor)
     largest = results[-1]
     best_speedup = max(largest["speedup_threads"], largest["speedup_processes"])
+    # The packed TC-512 entry (own size key; best-of-3 in every mode —
+    # each repeat pays worker-pool start-up inside the timed region, so
+    # an extra sample materially narrows the parallel series' noise).
+    tc512 = run_tc512(3, workers)
+    results.append(tc512)
     report = {
         "benchmark": "parallel batched fixpoint vs serial compiled path",
         "workload": "wide multi-rule mark-restricted reachability "
@@ -301,13 +413,25 @@ def main(argv=None):
                 f"note: only {cpus} usable CPU(s); the {args.min_speedup}x "
                 "speedup floor is not enforced on this machine",
             )
-        elif best_speedup < args.min_speedup:
-            print(
-                f"FAIL: best parallel speedup {best_speedup}x at layers="
-                f"{largest['layers']} is below the {args.min_speedup}x floor",
-                file=sys.stderr,
-            )
-            return 1
+        else:
+            if best_speedup < args.min_speedup:
+                print(
+                    f"FAIL: best parallel speedup {best_speedup}x at layers="
+                    f"{largest['layers']} is below the {args.min_speedup}x "
+                    f"floor",
+                    file=sys.stderr,
+                )
+                return 1
+            if tc512["tc512_speedup_processes"] < TC512_PROCESSES_FLOOR:
+                # The packed shared-memory exchange must beat the serial
+                # packed closure outright where parallelism exists at all.
+                print(
+                    f"FAIL: tc512 interned processes speedup "
+                    f"{tc512['tc512_speedup_processes']}x is below the "
+                    f"{TC512_PROCESSES_FLOOR}x floor",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

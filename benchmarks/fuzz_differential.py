@@ -15,19 +15,33 @@ each program to fixpoint through four independent engines:
   dictionary-encoded ids (``EvalConfig(executor="batch", intern=True)``,
   which on this serial path runs the whole closure in packed-id space).
 
-All four must agree on the result relation, the derivation count, the
-duplicate count and the iteration count (the Theorem 3.1 accounting);
-any disagreement prints the offending seed and program and fails the
-run, and with ``--failures-file`` every failing case (seed, program,
-EDB summary, per-engine signature) is appended to the given file so CI
-can upload it as a reproducible artifact.  CI runs a quick seed set on
-every PR and a larger sweep nightly.
+With ``--backend-seeds N``, the first ``N`` seeds of the range
+additionally sweep the **backend** axis: every executor runs on the
+``threads`` and ``processes`` scheduling backends (including the packed
+shared-memory exchange of the interned × processes combination, and the
+legacy pickled exchange behind ``shared_memory=False``), so the
+parallel merge accounting — per-worker ``total - |fresh|`` reduction,
+striped thread sinks, shm delta/result buffers — is differentially
+fuzzed against the same reference signatures, not just the serial
+executors.  Backend sweeps spawn a worker pool per configuration, so CI
+applies them to a subset of the nightly seeds.
+
+All engines must agree on the result relation, the derivation count,
+the duplicate count and the iteration count (the Theorem 3.1
+accounting); any disagreement prints the offending seed and program and
+fails the run, and with ``--failures-file`` every failing case (seed,
+program, EDB summary, per-engine signature) is appended to the given
+file so CI can upload it as a reproducible artifact.  CI runs a quick
+seed set on every PR and a larger sweep nightly.
 
 Usage::
 
     python benchmarks/fuzz_differential.py                 # default seed set
     python benchmarks/fuzz_differential.py --seeds 200     # nightly sweep
     python benchmarks/fuzz_differential.py --base-seed 7   # shift the set
+    python benchmarks/fuzz_differential.py --backend-seeds 10
+                                                           # + executor×backend
+                                                           # matrix on 10 seeds
     python benchmarks/fuzz_differential.py --failures-file fuzz-failures.txt
 """
 
@@ -120,7 +134,32 @@ def signature(relation: Relation, statistics: EvaluationStatistics):
     )
 
 
-def run_seed(seed: int, max_iterations: int) -> tuple[bool, str]:
+#: The parallel sweep: every executor on both parallel backends, plus
+#: the interned × processes pair through the legacy pickled exchange
+#: (``shared_memory=False``) so both process wire formats stay covered.
+#: Low worker counts keep per-seed pool start-up bounded; partitions=3
+#: forces real delta splits even on tiny deltas.
+def _parallel_sweep_configs() -> tuple[tuple[str, EvalConfig], ...]:
+    configs = []
+    for executor in ("rows", "batch", "interned"):
+        for backend in ("threads", "processes"):
+            configs.append((
+                f"{executor}-{backend}",
+                EvalConfig(executor="batch" if executor == "interned" else executor,
+                           intern=executor == "interned",
+                           backend=backend, max_workers=2, partitions=3,
+                           min_partition_rows=2),
+            ))
+    configs.append((
+        "interned-processes-pickled",
+        EvalConfig(executor="batch", intern=True, backend="processes",
+                   max_workers=2, partitions=3, shared_memory=False),
+    ))
+    return tuple(configs)
+
+
+def run_seed(seed: int, max_iterations: int,
+             sweep_backends: bool = False) -> tuple[bool, str]:
     """Run one fuzz case; returns (ok, description)."""
     rng = random.Random(seed)
     rules = generate_rules(rng)
@@ -137,11 +176,14 @@ def run_seed(seed: int, max_iterations: int) -> tuple[bool, str]:
         rules, initial, fresh(), interpreted_stats
     )
     outcomes = {"interpreted": signature(interpreted, interpreted_stats)}
-    for label, config in (
+    engines: list[tuple[str, EvalConfig | None]] = [
         ("compiled", None),
         ("batch", EvalConfig(executor="batch")),
         ("interned", EvalConfig(executor="batch", intern=True)),
-    ):
+    ]
+    if sweep_backends:
+        engines.extend(_parallel_sweep_configs())
+    for label, config in engines:
         stats = EvaluationStatistics()
         relation = seminaive_closure(
             rules, initial, fresh(), stats,
@@ -169,6 +211,11 @@ def main(argv=None) -> int:
                         help="number of random programs to check (default 25)")
     parser.add_argument("--base-seed", type=int, default=0,
                         help="first seed of the range (default 0)")
+    parser.add_argument("--backend-seeds", type=int, default=0,
+                        help="additionally sweep every executor over the "
+                             "threads/processes backends (incl. the packed "
+                             "shared-memory exchange) on the first N seeds "
+                             "of the range (default 0: serial only)")
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
@@ -179,11 +226,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = []
+    swept = 0
     for seed in range(args.base_seed, args.base_seed + args.seeds):
-        ok, description = run_seed(seed, args.max_iterations)
+        sweep = seed - args.base_seed < args.backend_seeds
+        swept += sweep
+        ok, description = run_seed(seed, args.max_iterations,
+                                   sweep_backends=sweep)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
-            print(f"seed={seed:5d} {status} {description}")
+            matrix = " [executor x backend matrix]" if sweep else ""
+            print(f"seed={seed:5d} {status} {description}{matrix}")
         if not ok:
             failures.append((seed, description))
     if failures:
@@ -206,10 +258,15 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    matrix_note = (
+        f"; executor x backend matrix on the first {swept}"
+        if swept else ""
+    )
     print(
         f"ok: {args.seeds} random programs agree across interpreted, "
         f"compiled, batch and interned executors "
-        f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1})"
+        f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1}"
+        f"{matrix_note})"
     )
     return 0
 

@@ -62,9 +62,11 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
     with ParallelEvaluator(plans, database, config) as evaluator:
         packed = evaluator.packed_closure(initial)
         if packed is not None:
-            # Serial interned execution: the accumulated total stays in
-            # packed-id space, its interned view and indexes maintained
-            # incrementally from each iteration's new rows.
+            # Interned execution on any backend: the accumulated total
+            # stays in packed-id space.  On the serial backend its
+            # interned view and indexes are maintained incrementally
+            # from each iteration's new rows; the parallel backends
+            # repartition the grown total across workers per iteration.
             for _ in range(max_iterations):
                 statistics.iterations += 1
                 if packed.step_naive(statistics) == 0:

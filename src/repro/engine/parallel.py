@@ -82,31 +82,64 @@ the per-rule executor.
 ``serial`` is still fastest when deltas are small (partition + task
 overhead dominates), on single-core machines, and for thread executors
 on GIL-bound builds; see ``src/repro/engine/README.md``.
+
+Packed-id closures on the parallel backends
+-------------------------------------------
+
+With interned execution the drivers do not use the collapsed-pair merge
+at all: :class:`PackedClosure` keeps the whole fixpoint in packed
+integers on *every* backend.  Parallel iterations split the delta
+across workers (plans that scan the recursive predicate exactly once
+partition; any other plan runs once, unpartitioned) and the Theorem-3.1
+merge is Counter-free: each worker reports its emission *total* and its
+*distinct* packed set, and at the barrier the totals sum, the distinct
+sets union (``threads`` workers merge into the shared
+:class:`StripedPackedSink` as they finish), and duplicates are
+``total - |fresh|`` — the same order-independent accounting the serial
+packed path uses.  On ``processes`` the per-iteration delta and each
+task's distinct results cross the worker boundary as flat ``int64``
+buffers in ``multiprocessing.shared_memory`` segments
+(:mod:`repro.engine.shm`), so ids never decode to values mid-closure;
+``EvalConfig(shared_memory=False)`` restores the PR-4 pickled exchange.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from array import array
 from collections import Counter
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Container, Mapping, Optional, Sequence
+from typing import Any, Container, Mapping, Optional, Sequence
 
 from repro.datalog.terms import Constant
 from repro.engine.plan import CompiledRule, compile_rule
+from repro.engine.shm import (
+    SegmentRing,
+    decode_result,
+    encode_delta,
+    packed_wire_fits,
+    worker_close,
+    worker_read_range,
+    worker_write_result,
+)
 from repro.engine.statistics import EvaluationStatistics, JoinCounters
 from repro.engine.vectorized import (
     InternedDeltaCache,
-    PackedBinaryJoin,
     decode_packed_rows,
     execute_batch,
     execute_interned,
     execute_interned_into,
     execute_interned_packed,
+    select_packed_specialization,
 )
 from repro.storage.database import Database
-from repro.storage.domain import Domain, InternedRelation
+from repro.storage.domain import (
+    Domain,
+    InternedRelation,
+    unpack_packed_columns,
+)
 from repro.storage.relation import Relation, Row, RowSetBuilder
 
 #: The per-rule executors accepted by :class:`EvalConfig`: ``rows`` is
@@ -171,6 +204,13 @@ class EvalConfig:
     #: per-iteration rebuild — only useful for benchmarking the
     #: maintenance win itself.
     incremental_deltas: bool = True
+    #: With ``intern`` on the ``processes`` backend, exchange packed
+    #: deltas/results through ``multiprocessing.shared_memory`` segments
+    #: (the packed closure runs on every backend).  ``False`` falls back
+    #: to the PR-4 pickled-``array('q')`` exchange, which decodes at the
+    #: evaluator boundary every iteration — kept as an escape hatch and
+    #: a differential-test target.
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.executor in BACKENDS:
@@ -410,6 +450,10 @@ def _pack_relation(relation: Relation,
 
 _WORKER_DATABASE: Optional[Database] = None
 _WORKER_PLANS: list[CompiledRule] = []
+#: Values the worker's domain was seeded with at pool start-up; a task's
+#: domain tail replays ids ``base..`` in order, so once the domain has
+#: caught up the replay can be skipped by a bare length check.
+_WORKER_DOMAIN_BASE = 0
 
 
 def _process_worker_init(database: Database, rules: tuple,
@@ -423,11 +467,13 @@ def _process_worker_init(database: Database, rules: tuple,
     worker's domain is bit-compatible with the parent's and flat id
     buffers can cross the process boundary in either direction.
     """
-    global _WORKER_DATABASE, _WORKER_PLANS
+    global _WORKER_DATABASE, _WORKER_PLANS, _WORKER_DOMAIN_BASE
     _WORKER_DATABASE = database
     _WORKER_PLANS = [compile_rule(rule, database) for rule in rules]
+    _WORKER_DOMAIN_BASE = 0
     if domain_values is not None:
         database.domain().seed(domain_values)
+        _WORKER_DOMAIN_BASE = len(domain_values)
 
 
 def _process_worker_run(plan_indices: tuple[int, ...],
@@ -495,6 +541,189 @@ def _process_worker_run_interned(plan_indices: tuple[int, ...],
     return segments, counters
 
 
+class StripedPackedSink:
+    """The packed closure's shared fresh-row accumulator, striped.
+
+    Thread-backend packed tasks merge their distinct packed emissions
+    into this structure instead of shipping private sets back for a
+    serial union: rows are bucketed by ``packed % stripes`` and each
+    stripe has its own lock, so merges from different workers contend
+    only when they land on the same stripe.  ``drain()`` is called by
+    the parent at the iteration barrier, after every task completed, so
+    it needs no locking; the union it returns is exactly the distinct
+    emission set of the iteration (stripes are disjoint by
+    construction).  On GIL-bound builds the striping is overhead-neutral;
+    on free-threaded builds it is what keeps the merge off the critical
+    path.
+    """
+
+    __slots__ = ("_stripes", "_locks", "_n")
+
+    def __init__(self, stripes: int):
+        self._n = max(1, stripes)
+        self._stripes: list[set[int]] = [set() for _ in range(self._n)]
+        self._locks = [threading.Lock() for _ in range(self._n)]
+
+    def merge(self, rows: set[int]) -> None:
+        """Fold one task's distinct packed rows into the stripes."""
+        n = self._n
+        if n == 1:
+            with self._locks[0]:
+                self._stripes[0] |= rows
+            return
+        buckets: list[list[int]] = [[] for _ in range(n)]
+        for packed in rows:
+            buckets[packed % n].append(packed)
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                with self._locks[index]:
+                    self._stripes[index].update(bucket)
+
+    def drain(self) -> set[int]:
+        """The union of all stripes (barrier-side; no concurrent merges)."""
+        out: set[int] = set()
+        for stripe in self._stripes:
+            out |= stripe
+        return out
+
+
+#: Per-worker grouped specialisations, keyed by (predicate, arity, K) —
+#: rebuilt lazily per closure so the same pool can serve closures over
+#: different predicates or packing bases.
+_WORKER_PACKED_FAST: dict[tuple[str, int, int], list] = {}
+
+
+def _worker_packed_specials(predicate_name: str, arity: int,
+                            base_k: int) -> list:
+    specials = _WORKER_PACKED_FAST.get((predicate_name, arity, base_k))
+    if specials is None:
+        specials = [
+            select_packed_specialization(plan, predicate_name, arity, base_k)
+            for plan in _WORKER_PLANS
+        ]
+        _WORKER_PACKED_FAST[(predicate_name, arity, base_k)] = specials
+    return specials
+
+
+def _packed_plans_over_rows(plans: Sequence[CompiledRule],
+                            plan_indices: Sequence[int],
+                            specials: Sequence[Any],
+                            rows: Any, columns: Optional[tuple],
+                            n_rows: int,
+                            predicate_name: str, arity: int, base_k: int,
+                            database: Database, domain: Domain,
+                            distinct: set[int], counters: JoinCounters) -> int:
+    """Run packed plans over one delta window; emissions go to *distinct*.
+
+    *rows* is the window's packed values (any iterable of ints; may be
+    ``None`` when only *columns* are at hand and no grouped plan needs
+    the packed form), *columns* its column-wise form (built lazily when
+    a generic plan needs an :class:`InternedRelation` view).  Shared by
+    the thread tasks and the process workers so the per-plan dispatch —
+    grouped specialisation vs generic interned pipeline — cannot drift
+    between backends.  Returns the emission total (the multiset size).
+    """
+    view: Optional[InternedRelation] = None
+    deltas: Optional[InternedDeltaCache] = None
+    total = 0
+    for index in plan_indices:
+        plan = plans[index]
+        fast = specials[index]
+        if fast is not None:
+            if rows is None:
+                assert columns is not None
+                rows = _compose_packed_rows(columns, base_k, n_rows)
+            groups = fast.build_groups(rows, base_k)
+            total += fast.run(groups, database, distinct, counters, n_rows)
+            continue
+        if view is None:
+            if columns is None:
+                columns = unpack_packed_columns(rows, base_k, arity)
+            view = InternedRelation(predicate_name, arity, tuple(columns),
+                                    n_rows)
+            deltas = InternedDeltaCache(domain)
+        emitted, _, _ = execute_interned_into(
+            plan, database, distinct, {predicate_name: view}, counters,
+            deltas, base_k,
+        )
+        total += emitted
+    return total
+
+
+def _compose_packed_rows(columns: tuple, base_k: int, n_rows: int) -> Any:
+    """Column views back to packed values (the flat-wire grouped path)."""
+    if len(columns) == 1:
+        return columns[0]
+    if len(columns) == 2:
+        first, second = columns
+        return [first[j] * base_k + second[j] for j in range(n_rows)]
+    packed_rows = []
+    for j in range(n_rows):
+        packed = 0
+        for column in columns:
+            packed = packed * base_k + column[j]
+        packed_rows.append(packed)
+    return packed_rows
+
+
+def _process_worker_run_packed(plan_indices: tuple[int, ...],
+                               predicate_name: str, arity: int, base_k: int,
+                               delta_name: str, wire_packed: bool,
+                               start: int, stop: int,
+                               result_name: str, result_capacity: int,
+                               domain_tail: list
+                               ) -> tuple[int, int, JoinCounters,
+                                          Optional[array], int]:
+    """Packed process task: shared-memory ids in, shared-memory ids out.
+
+    The worker maps a zero-copy window over rows ``start..stop-1`` of
+    the shared delta segment, runs its plans entirely in packed-id
+    space (grouped specialisations where the shape allows, the generic
+    interned pipeline into a distinct-row sink otherwise), and writes
+    the distinct packed emissions into the reserved result segment.
+    Only ``(total, row count, counters)`` — and, when the result
+    outgrew its segment, the payload itself plus the size needed next
+    time — cross the pickle boundary.
+    """
+    assert _WORKER_DATABASE is not None, "worker used before initialization"
+    database = _WORKER_DATABASE
+    domain = database.domain()
+    if len(domain) < _WORKER_DOMAIN_BASE + len(domain_tail):
+        # The tail replays parent ids in order, so a domain already at
+        # the target length has seen it (idempotent either way).
+        for value in domain_tail:
+            domain.intern(value)
+    counters = JoinCounters()
+    distinct: set[int] = set()
+    specials = _worker_packed_specials(predicate_name, arity, base_k)
+    shm, window = worker_read_range(delta_name, wire_packed, start, stop,
+                                    arity)
+    try:
+        if wire_packed:
+            rows: Any = window
+            columns = None
+            n_rows = stop - start
+        else:
+            rows = None
+            columns = window
+            n_rows = stop - start
+        total = _packed_plans_over_rows(
+            _WORKER_PLANS, plan_indices, specials, rows, columns, n_rows,
+            predicate_name, arity, base_k, database, domain, distinct,
+            counters,
+        )
+    finally:
+        # Drop every view over the mapping before closing it.
+        rows = columns = window = None
+        worker_close(shm)
+    payload = encode_delta(distinct, len(distinct), arity, base_k,
+                           wire_packed)
+    needed = len(payload) * payload.itemsize
+    if worker_write_result(result_name, result_capacity, payload):
+        return total, len(distinct), counters, None, needed
+    return total, len(distinct), counters, payload, needed
+
+
 # ----------------------------------------------------------------------
 # The evaluator
 # ----------------------------------------------------------------------
@@ -525,6 +754,10 @@ class ParallelEvaluator:
         #: Domain size at pool start-up (interned process backend): the
         #: values workers were seeded with; later growth ships as a tail.
         self._domain_base = 0
+        #: Shared-memory segments of the packed process exchange; owned
+        #: here so ``close()`` (and the drivers' ``with`` blocks, even on
+        #: a worker-crash unwind) always unlinks them.
+        self._segment_ring: Optional[SegmentRing] = None
 
     # ------------------------------------------------------------------
 
@@ -544,9 +777,7 @@ class ParallelEvaluator:
                 # domains replay the parent's ids exactly and any id a
                 # worker emits is already decodable by the parent.
                 domain = self.database.domain()
-                for relation in self.database.relations.values():
-                    self.database.interned_relation(relation.name,
-                                                    relation.arity)
+                self.database.intern_all()
                 intern_program_constants(self.plans, domain)
                 domain_values = domain.values_snapshot()
                 self._domain_base = len(domain_values)
@@ -561,10 +792,19 @@ class ParallelEvaluator:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and unlink shared memory (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._segment_ring is not None:
+            self._segment_ring.close()
+            self._segment_ring = None
+
+    def _attach_segment_ring(self, slots: int) -> SegmentRing:
+        """The evaluator-owned segment ring, created on first use."""
+        if self._segment_ring is None:
+            self._segment_ring = SegmentRing(slots)
+        return self._segment_ring
 
     # ------------------------------------------------------------------
 
@@ -629,13 +869,20 @@ class ParallelEvaluator:
     def packed_closure(self, initial: Relation) -> Optional["PackedClosure"]:
         """A packed-id-space closure, when this configuration supports one.
 
-        Serial interned execution qualifies: the drivers then keep the
-        whole fixpoint in packed integers and decode once at the end.
-        Parallel backends return ``None`` (their merge path already
-        decodes at the evaluator boundary) and the drivers fall back to
-        the value-space loop.
+        Interned execution qualifies on *every* backend: the drivers
+        keep the whole fixpoint in packed integers and decode once at
+        the end.  On ``threads`` the workers share the parent's packed
+        accumulator through a striped sink; on ``processes`` deltas and
+        results cross the worker boundary as flat id buffers in
+        ``multiprocessing.shared_memory`` segments.  The only exception
+        is ``processes`` with ``shared_memory=False`` — the escape hatch
+        back to the PR-4 pickled exchange, which decodes per iteration
+        at the evaluator boundary — where the drivers fall back to the
+        value-space loop.
         """
-        if self._pool is not None or not self.config.interned():
+        if not self.config.interned():
+            return None
+        if self.config.backend == "processes" and not self.config.shared_memory:
             return None
         return PackedClosure(self, initial)
 
@@ -692,32 +939,55 @@ class ParallelEvaluator:
 class PackedClosure:
     """A fixpoint closure kept entirely in packed-id space.
 
-    On the serial backend with interned execution, the whole driver loop
-    can run on packed integers: the accumulated result is a ``set[int]``,
-    the per-iteration delta is a set of list-backed id columns, and the
-    executors emit packed pairs directly
-    (:func:`repro.engine.vectorized.execute_interned_packed` with a
-    frozen base).  Rows are decoded back to values exactly once, at
+    With interned execution — on *any* backend — the whole driver loop
+    runs on packed integers: the accumulated result is a ``set[int]``,
+    the per-iteration delta is a set of packed rows, and the executors
+    emit packed values directly
+    (:func:`repro.engine.vectorized.execute_interned_into` with a frozen
+    base).  Rows are decoded back to values exactly once, at
     :meth:`freeze` — per-iteration decode/re-intern round trips
     disappear, which is where the interned series' speedup over the
     value-level batch series comes from.
 
+    The parallel backends run the same iteration with the delta split
+    across workers (plans that scan the recursive predicate exactly once
+    partition; any other plan runs unpartitioned, once):
+
+    * ``threads`` — tasks share the parent database, domain and interned
+      index caches directly and merge their distinct packed emissions
+      into a :class:`StripedPackedSink`;
+    * ``processes`` — deltas ship to (and distinct results return from)
+      domain-seeded workers as flat ``int64`` buffers in
+      ``multiprocessing.shared_memory`` segments
+      (:mod:`repro.engine.shm`), so per-iteration traffic never decodes
+      ids to values.
+
+    Derivation/duplicate accounting is Counter-free and
+    order-independent on every backend: each worker reports its emission
+    *total* and its *distinct* packed set; at the iteration barrier the
+    totals sum, the distinct sets union, and Theorem 3.1's duplicates
+    are ``total - |fresh|`` with ``fresh = distinct - known`` — exactly
+    the bulk form of :func:`record_collapsed_productions` (packing is
+    injective, so counting packed ints equals counting rows).
+
     The packing base is frozen at construction, after interning the full
     EDB, the program constants and the initial relation — every value a
-    derivation can produce.  Derivation/duplicate accounting is the same
-    bulk form as :func:`record_collapsed_productions` (packing is
-    injective, so counting packed ints equals counting rows).
+    derivation can produce.
     """
 
     def __init__(self, evaluator: "ParallelEvaluator", initial: Relation):
         database = evaluator.database
         self.database = database
         self.plans = evaluator.plans
-        self.incremental = evaluator.config.incremental_deltas
+        self.evaluator = evaluator
+        config = evaluator.config
+        self.backend = config.backend
+        self.incremental = config.incremental_deltas
+        self.partitions = config.resolved_partitions()
+        self.min_partition_rows = config.min_partition_rows
         domain = database.domain()
         self.domain = domain
-        for relation in database.relations.values():
-            database.interned_relation(relation.name, relation.arity)
+        database.intern_all()
         intern_program_constants(self.plans, domain)
         intern_row = domain.intern_row
         id_rows = [intern_row(row) for row in initial.rows]
@@ -735,17 +1005,48 @@ class PackedClosure:
         self._delta_packed: set[int] = set(known)
         self._deltas = InternedDeltaCache(domain)
         self._total_view: Optional[InternedRelation] = None
-        #: Per-plan grouped-join specialisation (the dominant two-scan
-        #: binary shape), with per-plan persistent groups for the naive
+        #: Per-plan grouped-join specialisation — the two-scan binary
+        #: shape and the 3-atom chain shapes (any head arity), selected
+        #: by :func:`repro.engine.vectorized.select_packed_specialization`
+        #: — with per-plan persistent groups for the serial naive
         #: driver's incrementally maintained total.
-        self._fast: list[Optional[PackedBinaryJoin]] = [
-            PackedBinaryJoin.try_specialize(plan, self.name, base)
-            if self.arity == 2 else None
+        self._fast: list[Optional[Any]] = [
+            select_packed_specialization(plan, self.name, self.arity, base)
             for plan in self.plans
         ]
         self._fast_groups: list[Optional[dict[int, list[int]]]] = (
             [None] * len(self.plans)
         )
+        #: Plans that scan the recursive predicate exactly once can have
+        #: the delta row-partitioned; every other plan runs once, whole.
+        self._splittable = tuple(
+            plan.scan_relation_names().count(self.name) == 1
+            for plan in self.plans
+        )
+        #: With no splittable plan at all there is no parallelism to
+        #: win — every iteration would ship the whole delta to a single
+        #: worker task — so such closures stay on the in-process path.
+        self._any_splittable = any(self._splittable)
+        self._split_plans = tuple(
+            i for i, ok in enumerate(self._splittable) if ok
+        )
+        self._solo_plans = tuple(
+            i for i, ok in enumerate(self._splittable) if not ok
+        )
+        #: Domain growth beyond the process workers' seed snapshot.
+        #: The base is frozen above, after interning everything a
+        #: derivation can produce, so this tail never changes again —
+        #: compute it once (workers skip replaying it once their domain
+        #: has caught up).
+        self._domain_tail: list = (
+            domain.values_snapshot(evaluator._domain_base)
+            if self.backend == "processes" else []
+        )
+        #: Whether packed values fit the ``int64`` shared-memory wire.
+        self._packed_wire = packed_wire_fits(base, self.arity)
+        self._ring: Optional[SegmentRing] = None
+        if self.backend == "processes":
+            self._ring = evaluator._attach_segment_ring(self.partitions + 1)
 
     # ------------------------------------------------------------------
 
@@ -757,10 +1058,33 @@ class PackedClosure:
         """Rows accumulated so far (including the initial relation)."""
         return len(self.known)
 
+    def _parallel_ready(self, n_rows: int) -> bool:
+        """Whether this iteration's rows are worth farming out."""
+        return (self.evaluator._pool is not None and self.partitions > 1
+                and self._any_splittable
+                and n_rows >= self.min_partition_rows)
+
     def _run(self, packed_rows: set[int], n_rows: int, naive: bool,
              statistics: EvaluationStatistics) -> tuple[int, set[int]]:
         """All plans against the packed rows; returns (total, distinct)."""
         statistics.rule_applications += len(self.plans)
+        if self._parallel_ready(n_rows):
+            if self.backend == "threads":
+                return self._run_threads(packed_rows, n_rows, statistics)
+            return self._run_processes(packed_rows, n_rows, statistics)
+        return self._run_serial(packed_rows, n_rows, naive, statistics)
+
+    def _run_serial(self, packed_rows: set[int], n_rows: int, naive: bool,
+                    statistics: EvaluationStatistics) -> tuple[int, set[int]]:
+        """The in-process iteration (also the small-delta fallback).
+
+        Persistent per-closure structures (the naive total's interned
+        view and grouped-join mappings) are only maintained on the
+        serial backend — a parallel backend reaching this path for a
+        below-threshold delta uses ephemeral views, since most of its
+        iterations never update the persistent ones.
+        """
+        persist = naive and self.backend == "serial"
         if not self.incremental:
             self._deltas = InternedDeltaCache(self.domain)
         counters = statistics.joins
@@ -770,7 +1094,7 @@ class PackedClosure:
         for i, plan in enumerate(self.plans):
             fast = self._fast[i]
             if fast is not None:
-                if naive:
+                if persist:
                     groups = self._fast_groups[i]
                     if groups is None or not self.incremental:
                         groups = fast.build_groups(packed_rows, self.base_k)
@@ -781,7 +1105,7 @@ class PackedClosure:
                                   n_rows)
                 continue
             if view is None:
-                if naive:
+                if persist:
                     view = self._total_view
                     if view is None or not self.incremental:
                         view = InternedRelation(
@@ -801,20 +1125,130 @@ class PackedClosure:
             total += emitted
         return total, distinct
 
+    # -- threads -------------------------------------------------------
+
+    def _run_threads(self, packed_rows: set[int], n_rows: int,
+                     statistics: EvaluationStatistics) -> tuple[int, set[int]]:
+        """One iteration on the thread pool, merging into a striped sink.
+
+        The delta is partitioned by ``packed % partitions`` (stable
+        across runs — packed values are ints), each partition task runs
+        every partitionable plan over its part against the shared parent
+        database, and non-partitionable plans run once, in their own
+        task over the full delta.  Workers push distinct emissions into
+        the shared :class:`StripedPackedSink`; per-worker totals and
+        counters return through the futures and reduce at the barrier.
+        """
+        pool = self.evaluator._pool
+        assert pool is not None
+        split_plans = self._split_plans
+        solo_plans = self._solo_plans
+        sink = StripedPackedSink(self.evaluator.config.resolved_workers())
+        futures = []
+        if split_plans:
+            parts: list[list[int]] = [[] for _ in range(self.partitions)]
+            for packed in packed_rows:
+                parts[packed % self.partitions].append(packed)
+            for part in parts:
+                if part:
+                    futures.append(pool.submit(
+                        self._packed_thread_task, part, split_plans, sink,
+                    ))
+        if solo_plans:
+            futures.append(pool.submit(
+                self._packed_thread_task, packed_rows, solo_plans, sink,
+            ))
+        total = 0
+        for future in futures:
+            task_total, counters = future.result()
+            total += task_total
+            statistics.joins.merge(counters)
+        return total, sink.drain()
+
+    def _packed_thread_task(self, rows: Any, plan_indices: tuple[int, ...],
+                            sink: StripedPackedSink) -> tuple[int, JoinCounters]:
+        """Thread-backend packed task over one delta part."""
+        counters = JoinCounters()
+        distinct: set[int] = set()
+        total = _packed_plans_over_rows(
+            self.plans, plan_indices, self._fast, rows, None, len(rows),
+            self.name, self.arity, self.base_k, self.database, self.domain,
+            distinct, counters,
+        )
+        sink.merge(distinct)
+        return total, counters
+
+    # -- processes -----------------------------------------------------
+
+    def _run_processes(self, packed_rows: set[int], n_rows: int,
+                       statistics: EvaluationStatistics) -> tuple[int, set[int]]:
+        """One iteration over shared-memory segments on the process pool.
+
+        The delta is written once into the ring's delta segment (packed
+        ``int64`` values, or row-major digits when packed values can
+        overflow ``int64``); each task is just a row range plus segment
+        names, so nothing but descriptors and counters is pickled.
+        Distinct results come back through the task's reserved result
+        segment — a worker whose result outgrew its slot ships it inline
+        once and the slot is grown for the following iterations.
+        """
+        pool = self.evaluator._pool
+        ring = self._ring
+        assert pool is not None and ring is not None
+        wire = encode_delta(packed_rows, n_rows, self.arity, self.base_k,
+                            self._packed_wire)
+        ring.delta.ensure(len(wire) * wire.itemsize)
+        ring.delta.write_q(wire)
+        delta_name = ring.delta.name
+        split_plans = self._split_plans
+        solo_plans = self._solo_plans
+        tasks: list[tuple[tuple[int, ...], int, int]] = []
+        if split_plans:
+            chunk = -(-n_rows // self.partitions)
+            start = 0
+            while start < n_rows:
+                stop = min(start + chunk, n_rows)
+                tasks.append((split_plans, start, stop))
+                start = stop
+        if solo_plans:
+            tasks.append((solo_plans, 0, n_rows))
+        # The tail must ride every task: pool workers are anonymous, so
+        # there is no way to know which of them have already replayed it
+        # (a worker's first packed task may come at any iteration).  The
+        # worker-side length check makes the replay itself one-shot, and
+        # in every suite workload the tail is empty (seed values appear
+        # in the EDB), so the recurring cost is the pickle of an empty
+        # list.
+        tail = self._domain_tail
+        entry_width = 1 if self._packed_wire else max(1, self.arity)
+        futures = []
+        for slot, (plan_indices, start, stop) in enumerate(tasks):
+            segment = ring.result(slot)
+            # Sized to a multiple of the task's input; grown further on
+            # demand when a worker reports an overflow.
+            segment.ensure(8 * entry_width * (4 * (stop - start) + 64))
+            futures.append(pool.submit(
+                _process_worker_run_packed, plan_indices, self.name,
+                self.arity, self.base_k, delta_name, self._packed_wire,
+                start, stop, segment.name, segment.capacity, tail,
+            ))
+        total = 0
+        distinct: set[int] = set()
+        for slot, future in enumerate(futures):
+            task_total, n_distinct, counters, inline, needed = future.result()
+            total += task_total
+            statistics.joins.merge(counters)
+            if inline is not None:
+                payload: Any = inline
+                ring.result(slot).ensure(needed)
+            else:
+                payload = ring.result(slot).read_q(n_distinct * entry_width)
+            distinct.update(decode_result(payload, n_distinct, self.arity,
+                                          self.base_k, self._packed_wire))
+        return total, distinct
+
     def _unpack_columns(self, packed_rows: set[int]) -> tuple[list[int], ...]:
-        base = self.base_k
-        arity = self.arity
-        if arity == 2:
-            return ([packed // base for packed in packed_rows],
-                    [packed % base for packed in packed_rows])
-        if arity == 1:
-            return (list(packed_rows),)
-        columns: tuple[list[int], ...] = tuple([] for _ in range(arity))
-        for packed in packed_rows:
-            for i in range(arity - 1, -1, -1):
-                packed, ident = divmod(packed, base)
-                columns[i].append(ident)
-        return columns
+        return unpack_packed_columns(packed_rows, self.base_k, self.arity)
 
     def step_seminaive(self, statistics: EvaluationStatistics) -> int:
         """One semi-naive iteration against the current delta."""

@@ -76,8 +76,12 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
     with ParallelEvaluator(plans, database, config) as evaluator:
         packed = evaluator.packed_closure(initial)
         if packed is not None:
-            # Serial interned execution: the whole loop runs on packed
-            # integer ids and decodes to value rows exactly once.
+            # Interned execution on any backend: the whole loop runs on
+            # packed integer ids and decodes to value rows exactly once.
+            # Parallel backends split each iteration's delta across
+            # workers (threads share the parent's accumulator through a
+            # striped sink; processes exchange flat id buffers through
+            # shared memory) and reduce Counter-free at the barrier.
             while packed.delta_size() and iterations < max_iterations:
                 iterations += 1
                 statistics.iterations += 1

@@ -47,7 +47,9 @@ def separable_evaluate(outer_rules: Iterable[Rule], inner_rules: Iterable[Rule],
     *config* (:class:`repro.engine.parallel.EvalConfig`) is forwarded to
     both phases' semi-naive closures, so the per-rule executor
     (``rows``/``batch``, optionally interned via ``intern=True``) and
-    the scheduling backend apply to both phases.
+    the scheduling backend apply to both phases; interned configurations
+    run each phase as a packed-id closure on every backend
+    (shared-memory delta exchange on ``processes``).
     """
     statistics = statistics if statistics is not None else EvaluationStatistics()
     statistics.initial_size = len(initial)

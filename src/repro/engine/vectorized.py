@@ -1297,6 +1297,9 @@ class PackedBinaryJoin:
     bucket row).
     """
 
+    #: Shape label shown by ``explain(executor="interned")``.
+    label = "grouped-binary"
+
     __slots__ = ("name", "arity", "key_positions", "payload_positions",
                  "key_digit_first", "carry_coeff", "row_coeff")
 
@@ -1439,6 +1442,283 @@ class PackedBinaryJoin:
         return emitted
 
 
+class PackedChainJoin:
+    """A packed grouped specialisation of 3-atom chain rules.
+
+    Matches plans whose batch lowering is ``[leading scan of the
+    recursive delta; single-key single-payload probe of a stored
+    relation; fused *counted* probe keyed on that payload]`` with a head
+    built entirely from the probed payload and carried delta digits —
+    the wide multi-rule workload's
+
+        ``wide(X, Y) :- wide(U, Y), link(X, U), mark(X).``
+
+    and the paper's 5-ary wide-head shape
+
+        ``wide5(V, W, X, Y, Z) :- wide5(U, W, X, Y, Z), link(V, U), mark(V).``
+
+    both fit (any head arity does).  The grouped evaluation mirrors
+    :class:`PackedBinaryJoin`:
+
+    * the delta is grouped by the probed join-key digit, so the middle
+      index is probed once per *distinct* key instead of once per row;
+    * each group's carried head contribution is packed once per row at
+      group-build time (for the canonical shape — key digit first, the
+      remaining digits carried in place — it is literally
+      ``packed % K**(arity-1)``, one C-level modulo);
+    * the final counted probe filters each middle-bucket id once per
+      group, and surviving ids (pre-multiplied by their head
+      coefficient) cross-product into the distinct-row sink through
+      ``product``/``starmap`` exactly like the binary fast path.
+
+    Join counters and the emission total are exactly those of the
+    generic interned pipeline: the middle probe contributes
+    ``|group| * |bucket|`` probes/extensions per group, and the counted
+    probe contributes its multiplicity per surviving binding (see
+    :meth:`run`).
+    """
+
+    #: Shape label shown by ``explain(executor="interned")``.
+    label = "grouped-chain"
+
+    __slots__ = ("arity", "base_k", "key_position",
+                 "mid_name", "mid_arity", "mid_key_positions",
+                 "mid_payload_positions",
+                 "fin_name", "fin_arity", "fin_key_positions",
+                 "v_coeff", "carried", "identity_carry")
+
+    def __init__(self, arity: int, base_k: int, key_position: int,
+                 mid_name: str, mid_arity: int,
+                 mid_key_positions: tuple[int, ...],
+                 mid_payload_positions: tuple[int, ...],
+                 fin_name: str, fin_arity: int,
+                 fin_key_positions: tuple[int, ...],
+                 v_coeff: int, carried: tuple[tuple[int, int], ...]):
+        self.arity = arity
+        self.base_k = base_k
+        #: Delta digit probed into the middle relation.
+        self.key_position = key_position
+        self.mid_name = mid_name
+        self.mid_arity = mid_arity
+        self.mid_key_positions = mid_key_positions
+        self.mid_payload_positions = mid_payload_positions
+        self.fin_name = fin_name
+        self.fin_arity = fin_arity
+        self.fin_key_positions = fin_key_positions
+        #: Head coefficient of the probed payload id.
+        self.v_coeff = v_coeff
+        #: ``(delta digit, head coefficient)`` per carried head position.
+        self.carried = carried
+        #: The canonical orientation — key digit first, every remaining
+        #: digit carried at its own coefficient — reduces the carried
+        #: contribution to ``packed % K**(arity-1)``.
+        self.identity_carry = (
+            key_position == 0
+            and carried == tuple(
+                (digit, base_k ** (arity - 1 - digit))
+                for digit in range(1, arity)
+            )
+        )
+
+    @classmethod
+    def try_specialize(cls, plan: CompiledRule, predicate_name: str,
+                       arity: int, base_k: int) -> Optional["PackedChainJoin"]:
+        """The specialisation of *plan*, or ``None`` if it doesn't fit."""
+        if plan.fact_row is not None:
+            return None
+        head_template = plan.head_template
+        if len(head_template) != arity or any(
+            is_const for is_const, _ in head_template
+        ):
+            return None
+        lowered = batch_plan(plan)
+        infos = interned_plan(plan).ops
+        if len(lowered.ops) != 3:
+            return None
+        lead, mid, fin = lowered.ops
+        if (type(lead) is not _BatchScan or type(mid) is not _BatchScan
+                or type(fin) is not _BatchScan):
+            return None
+        if (lead.name != predicate_name or lead.arity != arity
+                or lead.key_kind != _KEY_CONST or lead.key_const != ()
+                or lead.checks or lead.fused):
+            return None
+        mid_info = infos[1]
+        assert mid_info is not None
+        if (mid.name == predicate_name or mid.fused
+                or mid.key_kind != _KEY_SINGLE or mid.checks
+                or not mid_info.single_payload or len(mid_info.binds) != 1):
+            return None
+        fin_info = infos[2]
+        assert fin_info is not None
+        if (fin.name == predicate_name or not fin.fused
+                or fin.key_kind != _KEY_SINGLE or fin.checks
+                or fin_info.payload_positions):
+            return None
+        ((v_slot, _),) = mid_info.binds
+        if fin.key_slot != v_slot:
+            return None
+        slot_position = {slot: position for position, slot in lead.mat_binds}
+        key_position = slot_position.get(mid.key_slot)
+        if key_position is None:
+            return None
+        # The fused head must cover every position from bound columns
+        # (counted probe => nothing comes from the probed row), with the
+        # payload id at exactly one of them and delta digits elsewhere.
+        if fin.head_rows or len(fin.head_cols) != arity:
+            return None
+        v_coeff = None
+        carried: list[tuple[int, int]] = []
+        for head_index, slot in fin.head_cols:
+            coeff = base_k ** (arity - 1 - head_index)
+            if slot == v_slot:
+                if v_coeff is not None:
+                    return None
+                v_coeff = coeff
+            elif slot in slot_position:
+                carried.append((slot_position[slot], coeff))
+            else:
+                return None
+        if v_coeff is None:
+            return None
+        return cls(
+            arity, base_k, key_position,
+            mid.name, mid.arity, mid.key_positions,
+            mid_info.payload_positions,
+            fin.name, fin.arity, fin.key_positions,
+            v_coeff, tuple(carried),
+        )
+
+    def build_groups(self, packed_rows: Any, base_k: int,
+                     groups: Optional[dict[int, list[int]]] = None
+                     ) -> dict[int, list[int]]:
+        """Group packed delta rows by the probed key digit.
+
+        Values are the rows' carried head contributions (already summed
+        over the carried positions' coefficients).  Passing existing
+        *groups* appends — the incremental-maintenance path for the
+        naive driver's growing total.
+        """
+        if groups is None:
+            groups = {}
+        get = groups.get
+        if self.identity_carry:
+            mod = base_k ** (self.arity - 1)
+            for packed in packed_rows:
+                key_digit, carry = divmod(packed, mod)
+                bucket = get(key_digit)
+                if bucket is None:
+                    groups[key_digit] = [carry]
+                else:
+                    bucket.append(carry)
+            return groups
+        arity = self.arity
+        key_position = self.key_position
+        carried = self.carried
+        digits = [0] * arity
+        for packed in packed_rows:
+            value = packed
+            for position in range(arity - 1, -1, -1):
+                value, digits[position] = divmod(value, base_k)
+            carry = 0
+            for position, coeff in carried:
+                carry += coeff * digits[position]
+            key_digit = digits[key_position]
+            bucket = get(key_digit)
+            if bucket is None:
+                groups[key_digit] = [carry]
+            else:
+                bucket.append(carry)
+        return groups
+
+    def run(self, groups: dict[int, list[int]], database: Database,
+            sink: set[int], counters: JoinCounters, delta_rows: int) -> int:
+        """One rule application over grouped delta rows; returns total.
+
+        Counter parity with the generic interned pipeline, per group of
+        ``m`` delta rows probing a middle bucket of ``b`` payload ids
+        whose counted-probe multiplicities sum to ``s``:
+
+        * middle probe — ``m * b`` rows probed and bindings extended;
+        * counted probe — ``m * s`` rows probed, bindings extended and
+          tuples emitted (every binding sees its key's multiplicity);
+        * the leading scan adds one probe + one extension per delta row,
+          exactly once for the whole delta.
+        """
+        mid = database.interned_index(self.mid_name, self.mid_arity,
+                                      self.mid_key_positions,
+                                      self.mid_payload_positions)
+        fin = database.interned_index(self.fin_name, self.fin_arity,
+                                      self.fin_key_positions, ())
+        mid_get = mid.buckets.get
+        fin_get = fin.buckets.get
+        v_coeff = self.v_coeff
+        update = sink.update
+        emitted = 0
+        probed = 0
+        for key_digit, carries in groups.items():
+            bucket = mid_get(key_digit)
+            if not bucket:
+                continue
+            m = len(carries)
+            probed += m * len(bucket)
+            hit_sum = 0
+            hits: list[int] = []
+            for payload_id in bucket:
+                count = fin_get(payload_id)
+                if count:
+                    hit_sum += count
+                    hits.append(v_coeff * payload_id)
+            if not hits:
+                continue
+            emitted += m * hit_sum
+            if m == 1:
+                update(map(carries[0].__add__, hits))
+            else:
+                update(starmap(add, product(hits, carries)))
+        counters.rows_probed += delta_rows + probed + emitted
+        counters.bindings_extended += delta_rows + probed + emitted
+        counters.tuples_emitted += emitted
+        return emitted
+
+
+#: The grouped packed specialisations, in selection order.
+PACKED_SPECIALIZATIONS = (PackedBinaryJoin, PackedChainJoin)
+
+
+def select_packed_specialization(plan: CompiledRule, predicate_name: str,
+                                 arity: int, base_k: int
+                                 ) -> Optional[Any]:
+    """The grouped packed specialisation for *plan*, or ``None``.
+
+    This is the packed closure's batch planner: the two-scan binary
+    shape (:class:`PackedBinaryJoin`) is preferred, then the 3-atom
+    chain shape (:class:`PackedChainJoin`, any head arity); plans that
+    fit neither run the generic interned pipeline.  The same selection
+    runs in the parent (serial and thread backends) and in each process
+    worker, so grouped evaluation — and its join counters — is
+    identical on every backend.
+    """
+    if arity == 2:
+        binary = PackedBinaryJoin.try_specialize(plan, predicate_name, base_k)
+        if binary is not None:
+            return binary
+    return PackedChainJoin.try_specialize(plan, predicate_name, arity, base_k)
+
+
+def packed_specialization_shape(plan: CompiledRule) -> Optional[str]:
+    """The grouped-shape label the packed closure would select, if any.
+
+    Shape detection only (the packing base does not affect whether a
+    plan matches), against the plan's own head predicate — this is what
+    ``explain(executor="interned")`` annotates.
+    """
+    predicate = plan.rule.head.predicate
+    special = select_packed_specialization(plan, predicate.name,
+                                           predicate.arity, 2)
+    return None if special is None else special.label
+
+
 def _payload_passes(payload: tuple[int, ...],
                     checks: tuple[tuple[int, int], ...]) -> bool:
     """Within-atom repeated-variable filter over a payload tuple."""
@@ -1573,4 +1853,10 @@ def describe_interned(plan: CompiledRule) -> str:
     if lowered.emit is not None:
         lines.append(f"pack {plan.rule.head} (K-base packed ints)")
     lines.append("collapse packed ints -> (row, count) pairs; decode via Domain")
+    special = packed_specialization_shape(plan)
+    if special is not None:
+        lines.append(
+            f"packed-closure specialization: {special} "
+            "(delta grouped by join key; selected on every backend)"
+        )
     return "\n".join(lines)

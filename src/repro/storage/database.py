@@ -279,6 +279,18 @@ class Database:
         for key in [key for key in cache if key[0] == name and key[1] == arity]:
             del cache[key]
 
+    def intern_all(self) -> None:
+        """Intern every stored relation into the database's domain.
+
+        Builds (or incrementally extends) the canonical interned form of
+        each relation, so the domain afterwards contains every value the
+        EDB can contribute.  The packed closure and the process-backend
+        worker seeding both run this before freezing a packing base or
+        snapshotting the domain.
+        """
+        for relation in self.relations.values():
+            self.interned_relation(relation.name, relation.arity)
+
     def has_relation(self, name: str) -> bool:
         """True if a relation named *name* is stored."""
         return name in self.relations

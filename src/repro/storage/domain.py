@@ -230,6 +230,32 @@ class InternedRelation:
         return f"InternedRelation({self.name}/{self.arity}, {self.length} rows)"
 
 
+def unpack_packed_columns(packed_rows: Iterable[int], base: int,
+                          arity: int) -> tuple[list[int], ...]:
+    """Packed row values back to column-wise id lists.
+
+    The inverse of the packed closure's head packing
+    (``sum(id_i * base**(arity-1-i))``): column ``p`` holds each row's
+    digit at position ``p``, in the iteration order of *packed_rows*.
+    Shared by the serial packed closure, the thread-backend packed
+    tasks, and the shared-memory process workers, so every backend
+    materialises identical column views from the same packed rows.
+    The common low arities take a single-pass comprehension; the
+    generic path peels base-``base`` digits.
+    """
+    if arity == 2:
+        return ([packed // base for packed in packed_rows],
+                [packed % base for packed in packed_rows])
+    if arity == 1:
+        return (list(packed_rows),)
+    columns: tuple[list[int], ...] = tuple([] for _ in range(arity))
+    for packed in packed_rows:
+        for position in range(arity - 1, -1, -1):
+            packed, ident = divmod(packed, base)
+            columns[position].append(ident)
+    return columns
+
+
 #: An interned index key: a raw id for single-column keys, a tuple of
 #: ids otherwise (the empty tuple keys a full scan).
 IntKey = Union[int, tuple[int, ...]]

@@ -628,7 +628,11 @@ class TestExplainInterned:
         assert "array'q'" in lines[0]
         assert lines[1].startswith("int-probe edge(X, Z)")
         assert "fused-pack path(X, Y)" in lines[1]
-        assert lines[-1].startswith("collapse packed ints")
+        assert lines[2].startswith("collapse packed ints")
+        # The grouped packed-closure specialisation is part of the plan.
+        assert lines[-1].startswith(
+            "packed-closure specialization: grouped-binary"
+        )
 
     def test_counted_probe_described(self):
         database = Database.of(
