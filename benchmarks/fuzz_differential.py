@@ -26,6 +26,16 @@ fuzzed against the same reference signatures, not just the serial
 executors.  Backend sweeps spawn a worker pool per configuration, so CI
 applies them to a subset of the nightly seeds.
 
+With ``--fault-seeds N``, the first ``N`` seeds additionally run the
+interned executor on both parallel backends under a deterministic
+seed-derived :class:`repro.engine.faults.FaultPlan` (worker kills, task
+errors/delays, segment leak/corruption, merge-point errors).  The
+supervised evaluator must absorb every injected fault and still produce
+the reference signature; the per-run
+:class:`~repro.engine.statistics.HealthReport` (retries, pool rebuilds,
+degradations, segment churn) is aggregated and, with ``--health-file``,
+written out as a JSON artifact.
+
 All engines must agree on the result relation, the derivation count,
 the duplicate count and the iteration count (the Theorem 3.1
 accounting); any disagreement prints the offending seed and program and
@@ -42,12 +52,15 @@ Usage::
     python benchmarks/fuzz_differential.py --backend-seeds 10
                                                            # + executor×backend
                                                            # matrix on 10 seeds
+    python benchmarks/fuzz_differential.py --fault-seeds 5 \
+        --health-file fuzz-health.json                     # + chaos sweep
     python benchmarks/fuzz_differential.py --failures-file fuzz-failures.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import random
 import sys
@@ -58,6 +71,7 @@ if str(_SRC) not in sys.path:
 
 from repro.datalog.parser import parse_rule  # noqa: E402
 from repro.datalog.rules import Rule  # noqa: E402
+from repro.engine.faults import FaultPlan  # noqa: E402
 from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.reference import seminaive_closure_interpreted  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
@@ -158,8 +172,28 @@ def _parallel_sweep_configs() -> tuple[tuple[str, EvalConfig], ...]:
     return tuple(configs)
 
 
+#: The chaos sweep: the interned executor on both parallel backends
+#: under a seed-derived fault schedule.  Supervision must absorb every
+#: injected fault without perturbing the reference signature; whether a
+#: given schedule fires at all depends on how long the program iterates,
+#: which the health aggregate records faithfully.
+def _fault_sweep_configs(seed: int) -> tuple[tuple[str, EvalConfig], ...]:
+    configs = []
+    for backend in ("threads", "processes"):
+        configs.append((
+            f"interned-{backend}-chaos",
+            EvalConfig(executor="batch", intern=True, backend=backend,
+                       max_workers=2, partitions=3, min_partition_rows=2,
+                       retry_backoff=0.0,
+                       fault_plan=FaultPlan.from_seed(seed)),
+        ))
+    return tuple(configs)
+
+
 def run_seed(seed: int, max_iterations: int,
-             sweep_backends: bool = False) -> tuple[bool, str]:
+             sweep_backends: bool = False,
+             fault_sweep: bool = False,
+             health_sink: list | None = None) -> tuple[bool, str]:
     """Run one fuzz case; returns (ok, description)."""
     rng = random.Random(seed)
     rules = generate_rules(rng)
@@ -183,6 +217,8 @@ def run_seed(seed: int, max_iterations: int,
     ]
     if sweep_backends:
         engines.extend(_parallel_sweep_configs())
+    if fault_sweep:
+        engines.extend(_fault_sweep_configs(seed))
     for label, config in engines:
         stats = EvaluationStatistics()
         relation = seminaive_closure(
@@ -190,6 +226,14 @@ def run_seed(seed: int, max_iterations: int,
             max_iterations=max_iterations, config=config,
         )
         outcomes[label] = signature(relation, stats)
+        if (health_sink is not None and config is not None
+                and config.fault_plan is not None):
+            health_sink.append({
+                "seed": seed, "engine": label,
+                "plan": [vars(event) for event in config.fault_plan.events],
+                "fired": [list(hit) for hit in config.fault_plan.fired],
+                **stats.health.as_dict(),
+            })
 
     reference = outcomes["interpreted"]
     mismatched = [label for label, outcome in outcomes.items()
@@ -216,6 +260,11 @@ def main(argv=None) -> int:
                              "threads/processes backends (incl. the packed "
                              "shared-memory exchange) on the first N seeds "
                              "of the range (default 0: serial only)")
+    parser.add_argument("--fault-seeds", type=int, default=0,
+                        help="additionally run the interned executor on both "
+                             "parallel backends under a deterministic "
+                             "seed-derived fault schedule on the first N "
+                             "seeds of the range (default 0: no chaos)")
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
@@ -223,21 +272,41 @@ def main(argv=None) -> int:
                         help="append every failing case (seed, program, "
                              "signatures) to this file; CI uploads it as a "
                              "workflow artifact for offline reproduction")
+    parser.add_argument("--health-file", type=pathlib.Path, default=None,
+                        help="write the aggregated HealthReports of the "
+                             "--fault-seeds runs (plans, fired faults, "
+                             "recovery counters) to this JSON file")
     args = parser.parse_args(argv)
 
     failures = []
     swept = 0
+    chaos_runs: list[dict] = []
     for seed in range(args.base_seed, args.base_seed + args.seeds):
         sweep = seed - args.base_seed < args.backend_seeds
+        chaos = seed - args.base_seed < args.fault_seeds
         swept += sweep
         ok, description = run_seed(seed, args.max_iterations,
-                                   sweep_backends=sweep)
+                                   sweep_backends=sweep,
+                                   fault_sweep=chaos,
+                                   health_sink=chaos_runs)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
             matrix = " [executor x backend matrix]" if sweep else ""
             print(f"seed={seed:5d} {status} {description}{matrix}")
         if not ok:
             failures.append((seed, description))
+    if args.health_file is not None and chaos_runs:
+        totals: dict[str, int] = {}
+        for entry in chaos_runs:
+            for key, value in entry.items():
+                if isinstance(value, int) and key != "seed":
+                    totals[key] = totals.get(key, 0) + value
+        args.health_file.write_text(json.dumps(
+            {"runs": chaos_runs, "totals": totals}, indent=2) + "\n")
+        print(f"wrote {len(chaos_runs)} chaos health reports to "
+              f"{args.health_file} "
+              f"(faults injected: {totals.get('faults_injected', 0)}, "
+              f"recovery actions: {totals.get('recovery_actions', 0)})")
     if failures:
         if args.failures_file is not None:
             with args.failures_file.open("a") as handle:

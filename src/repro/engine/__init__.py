@@ -30,12 +30,26 @@ The engine provides:
   compiled plans under an :class:`~repro.engine.parallel.EvalConfig`
   (executor ``rows``/``batch`` × backend ``serial``/``threads``/
   ``processes``), with delta partitioning and statistics-preserving
-  merge.
+  merge;
+* :mod:`repro.engine.supervision` — the fault-tolerance layer around the
+  parallel backends: per-task deadlines and bounded retries, worker-pool
+  rebuilds after crashes, and the graceful-degradation ladder
+  (``processes`` → ``threads`` → ``serial``), all recorded on the
+  evaluation's :class:`~repro.engine.statistics.HealthReport`;
+* :mod:`repro.engine.faults` — the deterministic, test-only
+  fault-injection harness (:class:`~repro.engine.faults.FaultPlan`)
+  driving the chaos-parity suite.
 """
 
-from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.engine.statistics import (
+    EvaluationStatistics,
+    HealthReport,
+    JoinCounters,
+)
 from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.parallel import EvalConfig, ParallelEvaluator
+from repro.engine.faults import FaultEvent, FaultPlan
+from repro.engine.supervision import IterationFailure, Supervisor
 from repro.engine.vectorized import execute_batch, execute_interned
 from repro.engine.conjunctive import evaluate_rule
 from repro.engine.naive import naive_closure
@@ -49,8 +63,13 @@ __all__ = [
     "DerivationGraph",
     "EvalConfig",
     "EvaluationStatistics",
+    "FaultEvent",
+    "FaultPlan",
+    "HealthReport",
+    "IterationFailure",
     "JoinCounters",
     "ParallelEvaluator",
+    "Supervisor",
     "build_derivation_graph",
     "compile_rule",
     "decomposed_closure",

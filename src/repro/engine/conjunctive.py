@@ -215,7 +215,7 @@ def evaluate_rule_multiset_interpreted(
         if index is None:
             index = HashIndex(relation, bound_positions)
             indexes[key] = index
-        for row in index.lookup(bound_values):
+        for row in index.lookup(tuple(bound_values)):
             counters.rows_probed += 1
             extended = _match_row(atom, row, bindings)
             if extended is not None:

@@ -59,7 +59,10 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
             )
     plans = [compile_rule(rule, database) for rule in rules]
 
-    with ParallelEvaluator(plans, database, config) as evaluator:
+    # The evaluator's supervisor logs every recovery action (retries,
+    # pool rebuilds, degradations) onto this evaluation's health report.
+    with ParallelEvaluator(plans, database, config,
+                           health=statistics.health) as evaluator:
         packed = evaluator.packed_closure(initial)
         if packed is not None:
             # Interned execution on any backend: the accumulated total

@@ -114,17 +114,28 @@ from dataclasses import dataclass
 from typing import Any, Container, Mapping, Optional, Sequence
 
 from repro.datalog.terms import Constant
+from repro.engine.faults import FaultPlan, apply_worker_fault
 from repro.engine.plan import CompiledRule, compile_rule
 from repro.engine.shm import (
+    ManagedSegment,
+    SegmentCorruption,
     SegmentRing,
     decode_result,
     encode_delta,
     packed_wire_fits,
+    sabotage_segment,
+    window_checksum,
+    wire_checksum,
     worker_close,
     worker_read_range,
     worker_write_result,
 )
-from repro.engine.statistics import EvaluationStatistics, JoinCounters
+from repro.engine.statistics import (
+    EvaluationStatistics,
+    HealthReport,
+    JoinCounters,
+)
+from repro.engine.supervision import Supervisor
 from repro.engine.vectorized import (
     InternedDeltaCache,
     decode_packed_rows,
@@ -211,6 +222,37 @@ class EvalConfig:
     #: evaluator boundary every iteration — kept as an escape hatch and
     #: a differential-test target.
     shared_memory: bool = True
+    #: Per-task deadline (seconds) on the parallel backends; a task that
+    #: exceeds it is abandoned and resubmitted (the straggler's late
+    #: output is discarded).  ``None`` disables the deadline.
+    task_timeout: Optional[float] = None
+    #: Wall-clock budget (seconds) for the whole evaluation; checked at
+    #: every iteration start and between retries.  ``None`` disables it.
+    deadline: Optional[float] = None
+    #: Retry budget, applied at both supervision levels: each task may
+    #: be resubmitted up to this many times, and each iteration replayed
+    #: up to this many times per backend before the failure escalates
+    #: (degrade or raise, per ``on_failure``).  ``0`` disables retries.
+    max_retries: int = 2
+    #: Base of the exponential retry backoff (seconds; jittered,
+    #: capped).  ``0`` retries immediately.
+    retry_backoff: float = 0.05
+    #: What to do when a backend keeps failing after ``max_retries``
+    #: consecutive iteration replays: ``"degrade"`` steps down the
+    #: ladder (``processes`` → ``threads`` → ``serial``; the serial rung
+    #: cannot fail), ``"raise"`` surfaces the failure.
+    on_failure: str = "degrade"
+    #: Checksum shared-memory delta windows end to end: the parent sums
+    #: each task's wire range before copying it into the segment and the
+    #: worker verifies the mapped window before joining on it, so a
+    #: lost-then-recreated or clobbered segment fails loudly
+    #: (:class:`~repro.engine.shm.SegmentCorruption`) instead of
+    #: deriving garbage.
+    verify_segments: bool = True
+    #: Test-only deterministic fault schedule
+    #: (:class:`~repro.engine.faults.FaultPlan`); ``None`` — always, in
+    #: production — injects nothing and costs nothing.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.executor in BACKENDS:
@@ -247,6 +289,19 @@ class EvalConfig:
             raise ValueError("partitions must be at least 1")
         if self.min_partition_rows < 2:
             raise ValueError("min_partition_rows must be at least 2")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be at least 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be at least 0")
+        if self.on_failure not in ("degrade", "raise"):
+            raise ValueError(
+                f"Unknown on_failure {self.on_failure!r}; expected "
+                "'degrade' or 'raise'"
+            )
 
     # ------------------------------------------------------------------
 
@@ -407,14 +462,18 @@ def _plan_pairs(plan: CompiledRule, database: Database,
 
 
 def _execute_task(database: Database, plans: Sequence[CompiledRule],
-                  overrides: Mapping[str, Relation], mode: str
+                  overrides: Mapping[str, Relation], mode: str,
+                  fault: Optional[tuple[str, float]] = None
                   ) -> tuple[list[tuple[Row, int]], JoinCounters]:
     """Thread-backend task body: run the task's plans on shared storage.
 
     Interned tasks share the parent database's domain (interning is
     thread-safe) but build their override views per task: partitioned
-    views differ between tasks, so there is nothing to share.
+    views differ between tasks, so there is nothing to share.  *fault*
+    is a planned task directive drawn by the supervisor at submission
+    time (``None`` outside chaos tests).
     """
+    apply_worker_fault(fault, in_process_worker=False)
     counters = JoinCounters()
     deltas = (InternedDeltaCache(database.domain())
               if mode == "interned" else None)
@@ -478,7 +537,8 @@ def _process_worker_init(database: Database, rules: tuple,
 
 def _process_worker_run(plan_indices: tuple[int, ...],
                         overrides: Mapping[str, Relation],
-                        mode: str
+                        mode: str,
+                        fault: Optional[tuple[str, float]] = None
                         ) -> tuple[list[tuple[Row, int]], JoinCounters]:
     """Process-pool task body: execute the task's pre-compiled plans.
 
@@ -488,6 +548,7 @@ def _process_worker_run(plan_indices: tuple[int, ...],
     later cannot silently go missing from one backend.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    apply_worker_fault(fault, in_process_worker=True)
     counters = JoinCounters()
     pairs: list[tuple[Row, int]] = []
     for plan_index in plan_indices:
@@ -500,7 +561,8 @@ def _process_worker_run(plan_indices: tuple[int, ...],
 
 def _process_worker_run_interned(plan_indices: tuple[int, ...],
                                  packed: Mapping[str, tuple[int, int, array]],
-                                 domain_tail: list
+                                 domain_tail: list,
+                                 fault: Optional[tuple[str, float]] = None
                                  ) -> tuple[list[tuple[int, array, array]], JoinCounters]:
     """Interned process task: flat id buffers in, flat id buffers out.
 
@@ -514,6 +576,7 @@ def _process_worker_run_interned(plan_indices: tuple[int, ...],
     relation's novel values), keeping the id spaces aligned.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    apply_worker_fault(fault, in_process_worker=True)
     database = _WORKER_DATABASE
     domain = database.domain()
     for value in domain_tail:
@@ -549,10 +612,13 @@ class StripedPackedSink:
     serial union: rows are bucketed by ``packed % stripes`` and each
     stripe has its own lock, so merges from different workers contend
     only when they land on the same stripe.  ``drain()`` is called by
-    the parent at the iteration barrier, after every task completed, so
-    it needs no locking; the union it returns is exactly the distinct
-    emission set of the iteration (stripes are disjoint by
-    construction).  On GIL-bound builds the striping is overhead-neutral;
+    the parent at the iteration barrier under the stripe locks (an
+    abandoned straggler may still be merging — see the method); the
+    union it returns is exactly the distinct emission set of the
+    iteration (stripes are disjoint by construction).  One sink serves
+    one iteration *attempt*: a replayed iteration starts a fresh sink,
+    so emissions of a failed attempt are discarded wholesale.  On
+    GIL-bound builds the striping is overhead-neutral;
     on free-threaded builds it is what keeps the merge off the critical
     path.
     """
@@ -580,10 +646,18 @@ class StripedPackedSink:
                     self._stripes[index].update(bucket)
 
     def drain(self) -> set[int]:
-        """The union of all stripes (barrier-side; no concurrent merges)."""
+        """The union of all stripes (barrier-side).
+
+        Taken under the stripe locks: every *accepted* task has finished
+        before the barrier, but a task abandoned on timeout may still be
+        running and merging — its rows are the same distinct rows its
+        replacement produced (union-idempotent), the lock just keeps the
+        concurrent ``update`` from racing the read.
+        """
         out: set[int] = set()
-        for stripe in self._stripes:
-            out |= stripe
+        for index, stripe in enumerate(self._stripes):
+            with self._locks[index]:
+                out |= stripe
         return out
 
 
@@ -671,7 +745,9 @@ def _process_worker_run_packed(plan_indices: tuple[int, ...],
                                delta_name: str, wire_packed: bool,
                                start: int, stop: int,
                                result_name: str, result_capacity: int,
-                               domain_tail: list
+                               domain_tail: list,
+                               fault: Optional[tuple[str, float]] = None,
+                               checksum: Optional[int] = None
                                ) -> tuple[int, int, JoinCounters,
                                           Optional[array], int]:
     """Packed process task: shared-memory ids in, shared-memory ids out.
@@ -684,8 +760,16 @@ def _process_worker_run_packed(plan_indices: tuple[int, ...],
     Only ``(total, row count, counters)`` — and, when the result
     outgrew its segment, the payload itself plus the size needed next
     time — cross the pickle boundary.
+
+    With ``EvalConfig.verify_segments`` the parent ships *checksum* —
+    the additive sum it computed over this task's wire range before the
+    copy into shared memory — and the worker verifies the mapped window
+    against it before any join work, so a lost-then-recreated or
+    clobbered segment raises :class:`~repro.engine.shm.SegmentCorruption`
+    instead of deriving from garbage ids.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    apply_worker_fault(fault, in_process_worker=True)
     database = _WORKER_DATABASE
     domain = database.domain()
     if len(domain) < _WORKER_DOMAIN_BASE + len(domain_tail):
@@ -699,6 +783,13 @@ def _process_worker_run_packed(plan_indices: tuple[int, ...],
     shm, window = worker_read_range(delta_name, wire_packed, start, stop,
                                     arity)
     try:
+        if checksum is not None:
+            found = window_checksum(window, wire_packed)
+            if found != checksum:
+                raise SegmentCorruption(
+                    f"delta window [{start}:{stop}] of segment "
+                    f"{delta_name!r} sums to {found}, expected {checksum}"
+                )
         if wire_packed:
             rows: Any = window
             columns = None
@@ -739,10 +830,29 @@ class ParallelEvaluator:
     """
 
     def __init__(self, plans: Sequence[CompiledRule], database: Database,
-                 config: Optional[EvalConfig] = None):
+                 config: Optional[EvalConfig] = None,
+                 health: Optional[HealthReport] = None):
         self.plans = list(plans)
         self.database = database
         self.config = config if config is not None else SERIAL_CONFIG
+        #: Recovery-action log, usually the driver's
+        #: ``statistics.health`` so retries/rebuilds/degradations land on
+        #: the evaluation's report.
+        self.health = health if health is not None else HealthReport()
+        #: The retry/rebuild/degrade policy loop.  The *effective*
+        #: backend lives on the supervisor and may step down the
+        #: degradation ladder mid-evaluation; dispatch consults it, not
+        #: ``config.backend``.
+        self.supervisor = Supervisor(
+            self.config, self.health,
+            rebuild_pool=self._rebuild_pool,
+            degrade=self._degrade,
+            before_retry=self._before_iteration_retry,
+        )
+        #: Bumped whenever the worker pool is (re)built; consumers that
+        #: cache pool-lifetime state (the packed closure's domain tail)
+        #: refresh when it moves.
+        self.pool_generation = 0
         self._pool: Optional[Executor] = None
         #: Serial interned execution keeps one delta cache for the whole
         #: closure, so growing overrides (extension lineage) have their
@@ -753,6 +863,8 @@ class ParallelEvaluator:
             self._deltas = InternedDeltaCache(database.domain())
         #: Domain size at pool start-up (interned process backend): the
         #: values workers were seeded with; later growth ships as a tail.
+        #: Refreshed on every pool rebuild (rebuilt workers are seeded
+        #: with the domain as it stands *then*).
         self._domain_base = 0
         #: Shared-memory segments of the packed process exchange; owned
         #: here so ``close()`` (and the drivers' ``with`` blocks, even on
@@ -762,13 +874,21 @@ class ParallelEvaluator:
     # ------------------------------------------------------------------
 
     def __enter__(self) -> "ParallelEvaluator":
+        self.health.backend = self.supervisor.backend
+        self._build_pool()
+        return self
+
+    def _build_pool(self, backend: Optional[str] = None) -> None:
+        """Create the worker pool for the current *effective* backend."""
         config = self.config
-        if config.backend == "threads":
+        if backend is None:
+            backend = self.supervisor.backend
+        if backend == "threads":
             self._pool = ThreadPoolExecutor(
                 max_workers=config.resolved_workers(),
                 thread_name_prefix="repro-eval",
             )
-        elif config.backend == "processes":
+        elif backend == "processes":
             rules = tuple(plan.rule for plan in self.plans)
             domain_values: Optional[list] = None
             if config.interned():
@@ -786,7 +906,51 @@ class ParallelEvaluator:
                 initializer=_process_worker_init,
                 initargs=(self.database, rules, domain_values),
             )
-        return self
+        else:
+            self._pool = None
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            # A broken pool's workers are already gone; ``wait=True`` on
+            # the healthy path lets thread workers finish unwinding.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken pool (supervisor callback).
+
+        Process workers are re-seeded exactly like at ``__enter__``:
+        fresh database pickle, fresh plan compilation, and — interned —
+        a fresh domain snapshot, so ids stay aligned no matter how far
+        the evaluation had progressed when the pool died.
+        """
+        self._shutdown_pool()
+        self.pool_generation += 1
+        self._build_pool()
+
+    def _degrade(self, backend: str) -> None:
+        """Step down to *backend* (supervisor callback).
+
+        Tears down the failing pool and its shared-memory ring (the
+        thread and serial rungs exchange nothing through segments), then
+        builds whatever pool the new rung needs.  The supervisor updates
+        its effective backend after this returns.
+        """
+        self._shutdown_pool()
+        if self._segment_ring is not None:
+            self.health.segments_recycled += self._segment_ring.recycle()
+        self.pool_generation += 1
+        self._build_pool(backend)
+
+    def _before_iteration_retry(self) -> None:
+        """Pre-replay hook: drop segments a failed attempt may have lost.
+
+        Recycling gives every slot a fresh name on the next ``ensure``,
+        so a replay can never collide with a leaked/corrupted segment or
+        with a zombie writer from the abandoned attempt.
+        """
+        if self._segment_ring is not None:
+            self.health.segments_recycled += self._segment_ring.recycle()
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
@@ -818,51 +982,89 @@ class ParallelEvaluator:
         accounting over the pairs is exactly equivalent to per-emission
         accounting in the serial drivers (see
         :func:`record_collapsed_productions`).  ``statistics`` receives
-        one rule application per plan and the folded join counters.
+        one rule application per plan and the folded join counters —
+        committed only once the iteration *succeeds*, so replayed
+        attempts never double-count.
         """
-        statistics.rule_applications += len(self.plans)
         mode = self.config.mode()
+        supervisor = self.supervisor
+        supervisor.start_iteration()
         if self._pool is None:
-            deltas = self._deltas
-            if mode == "interned" and deltas is None:
-                # incremental_deltas=False: fresh views per iteration
-                # (plans within the iteration still share them).
-                deltas = InternedDeltaCache(self.database.domain())
-            collapsed: list[tuple[Row, int]] = []
-            for plan in self.plans:
-                collapsed.extend(_plan_pairs(
-                    plan, self.database, overrides, statistics.joins, mode,
-                    deltas,
-                ))
-            return collapsed
+            # Serial (configured, or the floor of the degradation
+            # ladder): in-process execution has no infrastructure to
+            # fail, so counters write through directly.
+            statistics.rule_applications += len(self.plans)
+            return self._execute_batch_serial(overrides, mode,
+                                              statistics.joins)
 
+        def attempt() -> tuple[list[tuple[Row, int]], JoinCounters]:
+            counters = JoinCounters()
+            collapsed = self._execute_batch_attempt(overrides, mode, counters)
+            supervisor.check_merge_fault()
+            return collapsed, counters
+
+        collapsed, counters = supervisor.run_iteration(attempt)
+        statistics.rule_applications += len(self.plans)
+        statistics.joins.merge(counters)
+        return collapsed
+
+    def _execute_batch_serial(self, overrides: Mapping[str, Relation],
+                              mode: str, counters: JoinCounters
+                              ) -> list[tuple[Row, int]]:
+        """The in-process batch (serial config or fully degraded)."""
+        deltas = self._deltas
+        if mode == "interned" and deltas is None:
+            # incremental_deltas=False (or a degraded-to-serial run):
+            # fresh views per iteration (plans within the iteration
+            # still share them).
+            deltas = InternedDeltaCache(self.database.domain())
+        collapsed: list[tuple[Row, int]] = []
+        for plan in self.plans:
+            collapsed.extend(_plan_pairs(
+                plan, self.database, overrides, counters, mode, deltas,
+            ))
+        return collapsed
+
+    def _execute_batch_attempt(self, overrides: Mapping[str, Relation],
+                               mode: str, counters: JoinCounters
+                               ) -> list[tuple[Row, int]]:
+        """One iteration attempt on the current effective backend.
+
+        Re-dispatches on ``supervisor.backend`` every call, so a replay
+        after a degradation lands on the new rung automatically.
+        """
+        supervisor = self.supervisor
+        backend = supervisor.backend
+        pool = self._pool
+        if pool is None or backend == "serial":
+            return self._execute_batch_serial(overrides, mode, counters)
         tasks = partition_tasks(
             self.plans, overrides,
             self.config.resolved_partitions(), self.config.min_partition_rows,
         )
-        if self.config.backend == "threads":
-            futures = [
-                self._pool.submit(
-                    _execute_task, self.database,
-                    [self.plans[index] for index in task.plan_indices],
-                    task.overrides, mode,
-                )
-                for task in tasks
-            ]
+        if backend == "threads":
+            def make_submit(index: int, task: RuleTask):
+                plans = [self.plans[i] for i in task.plan_indices]
+
+                def submit():
+                    fault = supervisor.draw_task_fault(index)
+                    return pool.submit(_execute_task, self.database, plans,
+                                       task.overrides, mode, fault)
+                return submit
         elif mode == "interned":
-            return self._execute_interned_processes(tasks, statistics)
+            return self._execute_interned_processes(tasks, counters)
         else:
-            futures = [
-                self._pool.submit(
-                    _process_worker_run, task.plan_indices, task.overrides,
-                    mode,
-                )
-                for task in tasks
-            ]
-        collapsed = []
-        for future in futures:
-            task_pairs, counters = future.result()
-            statistics.joins.merge(counters)
+            def make_submit(index: int, task: RuleTask):
+                def submit():
+                    fault = supervisor.draw_task_fault(index)
+                    return pool.submit(_process_worker_run, task.plan_indices,
+                                       task.overrides, mode, fault)
+                return submit
+        submits = [make_submit(index, task)
+                   for index, task in enumerate(tasks)]
+        collapsed: list[tuple[Row, int]] = []
+        for task_pairs, task_counters in supervisor.gather(submits):
+            counters.merge(task_counters)
             collapsed.extend(task_pairs)
         return collapsed
 
@@ -887,7 +1089,7 @@ class ParallelEvaluator:
         return PackedClosure(self, initial)
 
     def _execute_interned_processes(self, tasks: Sequence[RuleTask],
-                                    statistics: EvaluationStatistics
+                                    counters: JoinCounters
                                     ) -> list[tuple[Row, int]]:
         """Interned tasks on the process pool: flat id buffers both ways.
 
@@ -897,7 +1099,9 @@ class ParallelEvaluator:
         when several tasks reference it.  Results come back as flat row
         ids plus counts and are decoded through the parent domain.
         """
-        assert self._pool is not None
+        pool = self._pool
+        assert pool is not None
+        supervisor = self.supervisor
         domain = self.database.domain()
         packed_cache: dict[int, tuple[int, int, array]] = {}
 
@@ -908,22 +1112,30 @@ class ParallelEvaluator:
                 packed_cache[id(relation)] = cached
             return cached
 
-        submissions = []
-        for task in tasks:
+        def make_submit(index: int, task: RuleTask):
             packed = {name: pack(relation)
                       for name, relation in task.overrides.items()}
-            # Packing may have interned values the workers have never
-            # seen (the initial relation's novel values on the first
-            # iteration); ship the domain tail alongside.
-            tail = domain.values_snapshot(self._domain_base)
-            submissions.append(self._pool.submit(
-                _process_worker_run_interned, task.plan_indices, packed, tail,
-            ))
+
+            def submit():
+                fault = supervisor.draw_task_fault(index)
+                # Packing may have interned values the workers have
+                # never seen (the initial relation's novel values on the
+                # first iteration); ship the domain tail alongside.  The
+                # tail is taken at submission time against the *current*
+                # seed base, so it stays correct across pool rebuilds.
+                tail = domain.values_snapshot(self._domain_base)
+                return pool.submit(
+                    _process_worker_run_interned, task.plan_indices, packed,
+                    tail, fault,
+                )
+            return submit
+
+        submits = [make_submit(index, task)
+                   for index, task in enumerate(tasks)]
         values = domain.values_view()
         collapsed: list[tuple[Row, int]] = []
-        for future in submissions:
-            segments, counters = future.result()
-            statistics.joins.merge(counters)
+        for segments, task_counters in supervisor.gather(submits):
+            counters.merge(task_counters)
             for head_arity, flat_ids, counts in segments:
                 offset = 0
                 for count in counts:
@@ -981,7 +1193,6 @@ class PackedClosure:
         self.plans = evaluator.plans
         self.evaluator = evaluator
         config = evaluator.config
-        self.backend = config.backend
         self.incremental = config.incremental_deltas
         self.partitions = config.resolved_partitions()
         self.min_partition_rows = config.min_partition_rows
@@ -1035,20 +1246,31 @@ class PackedClosure:
         )
         #: Domain growth beyond the process workers' seed snapshot.
         #: The base is frozen above, after interning everything a
-        #: derivation can produce, so this tail never changes again —
-        #: compute it once (workers skip replaying it once their domain
-        #: has caught up).
-        self._domain_tail: list = (
-            domain.values_snapshot(evaluator._domain_base)
-            if self.backend == "processes" else []
-        )
+        #: derivation can produce, so within one pool generation the
+        #: tail never changes — computed lazily against the generation
+        #: (a rebuilt pool is seeded with the *current* domain, so its
+        #: tail snapshot must be retaken).
+        self._domain_tail_cache: Optional[list] = None
+        self._tail_generation = -1
         #: Whether packed values fit the ``int64`` shared-memory wire.
         self._packed_wire = packed_wire_fits(base, self.arity)
-        self._ring: Optional[SegmentRing] = None
-        if self.backend == "processes":
-            self._ring = evaluator._attach_segment_ring(self.partitions + 1)
 
     # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """The *effective* backend (may degrade during the closure)."""
+        return self.evaluator.supervisor.backend
+
+    def _domain_tail(self) -> list:
+        """The seed-to-now domain tail for the current pool generation."""
+        generation = self.evaluator.pool_generation
+        if self._tail_generation != generation:
+            self._domain_tail_cache = self.domain.values_snapshot(
+                self.evaluator._domain_base)
+            self._tail_generation = generation
+        assert self._domain_tail_cache is not None
+        return self._domain_tail_cache
 
     def delta_size(self) -> int:
         """Rows in the current delta (0 once the fixpoint is reached)."""
@@ -1066,16 +1288,43 @@ class PackedClosure:
 
     def _run(self, packed_rows: set[int], n_rows: int, naive: bool,
              statistics: EvaluationStatistics) -> tuple[int, set[int]]:
-        """All plans against the packed rows; returns (total, distinct)."""
+        """All plans against the packed rows; returns (total, distinct).
+
+        Parallel iterations run as supervised *attempts*: join counters
+        accumulate into per-attempt scratch and commit into
+        ``statistics`` only when the attempt succeeds, so a replayed
+        iteration — after a worker crash, task timeout, lost segment or
+        injected fault — contributes exactly once.  The attempt body
+        re-dispatches on the supervisor's effective backend, so replays
+        after a degradation land on the new rung.
+        """
+        supervisor = self.evaluator.supervisor
+        supervisor.start_iteration()
+        if not self._parallel_ready(n_rows):
+            statistics.rule_applications += len(self.plans)
+            return self._run_serial(packed_rows, n_rows, naive,
+                                    statistics.joins)
+
+        def attempt() -> tuple[tuple[int, set[int]], JoinCounters]:
+            counters = JoinCounters()
+            backend = supervisor.backend
+            if backend == "threads":
+                outcome = self._run_threads(packed_rows, n_rows, counters)
+            elif backend == "processes":
+                outcome = self._run_processes(packed_rows, n_rows, counters)
+            else:
+                outcome = self._run_serial(packed_rows, n_rows, naive,
+                                           counters)
+            supervisor.check_merge_fault()
+            return outcome, counters
+
+        (total, distinct), counters = supervisor.run_iteration(attempt)
         statistics.rule_applications += len(self.plans)
-        if self._parallel_ready(n_rows):
-            if self.backend == "threads":
-                return self._run_threads(packed_rows, n_rows, statistics)
-            return self._run_processes(packed_rows, n_rows, statistics)
-        return self._run_serial(packed_rows, n_rows, naive, statistics)
+        statistics.joins.merge(counters)
+        return total, distinct
 
     def _run_serial(self, packed_rows: set[int], n_rows: int, naive: bool,
-                    statistics: EvaluationStatistics) -> tuple[int, set[int]]:
+                    counters: JoinCounters) -> tuple[int, set[int]]:
         """The in-process iteration (also the small-delta fallback).
 
         Persistent per-closure structures (the naive total's interned
@@ -1087,7 +1336,6 @@ class PackedClosure:
         persist = naive and self.backend == "serial"
         if not self.incremental:
             self._deltas = InternedDeltaCache(self.domain)
-        counters = statistics.joins
         total = 0
         distinct: set[int] = set()
         view: Optional[InternedRelation] = None
@@ -1128,8 +1376,8 @@ class PackedClosure:
     # -- threads -------------------------------------------------------
 
     def _run_threads(self, packed_rows: set[int], n_rows: int,
-                     statistics: EvaluationStatistics) -> tuple[int, set[int]]:
-        """One iteration on the thread pool, merging into a striped sink.
+                     counters: JoinCounters) -> tuple[int, set[int]]:
+        """One iteration attempt on the thread pool, via a striped sink.
 
         The delta is partitioned by ``packed % partitions`` (stable
         across runs — packed values are ints), each partition task runs
@@ -1138,36 +1386,51 @@ class PackedClosure:
         task over the full delta.  Workers push distinct emissions into
         the shared :class:`StripedPackedSink`; per-worker totals and
         counters return through the futures and reduce at the barrier.
+
+        The sink is per *attempt*: a replayed task merges the same
+        distinct rows again (idempotent union), an abandoned attempt's
+        sink is discarded wholesale, and only totals of *accepted* task
+        results are summed — which is why replays keep the Theorem-3.1
+        accounting bit-identical.
         """
         pool = self.evaluator._pool
         assert pool is not None
+        supervisor = self.evaluator.supervisor
         split_plans = self._split_plans
         solo_plans = self._solo_plans
         sink = StripedPackedSink(self.evaluator.config.resolved_workers())
-        futures = []
+        work: list[tuple[Any, tuple[int, ...]]] = []
         if split_plans:
             parts: list[list[int]] = [[] for _ in range(self.partitions)]
             for packed in packed_rows:
                 parts[packed % self.partitions].append(packed)
             for part in parts:
                 if part:
-                    futures.append(pool.submit(
-                        self._packed_thread_task, part, split_plans, sink,
-                    ))
+                    work.append((part, split_plans))
         if solo_plans:
-            futures.append(pool.submit(
-                self._packed_thread_task, packed_rows, solo_plans, sink,
-            ))
+            work.append((packed_rows, solo_plans))
+
+        def make_submit(index: int, rows: Any, plan_indices: tuple[int, ...]):
+            def submit():
+                fault = supervisor.draw_task_fault(index)
+                return pool.submit(self._packed_thread_task, rows,
+                                   plan_indices, sink, fault)
+            return submit
+
+        submits = [make_submit(index, rows, plan_indices)
+                   for index, (rows, plan_indices) in enumerate(work)]
         total = 0
-        for future in futures:
-            task_total, counters = future.result()
+        for task_total, task_counters in supervisor.gather(submits):
             total += task_total
-            statistics.joins.merge(counters)
+            counters.merge(task_counters)
         return total, sink.drain()
 
     def _packed_thread_task(self, rows: Any, plan_indices: tuple[int, ...],
-                            sink: StripedPackedSink) -> tuple[int, JoinCounters]:
+                            sink: StripedPackedSink,
+                            fault: Optional[tuple[str, float]] = None
+                            ) -> tuple[int, JoinCounters]:
         """Thread-backend packed task over one delta part."""
+        apply_worker_fault(fault, in_process_worker=False)
         counters = JoinCounters()
         distinct: set[int] = set()
         total = _packed_plans_over_rows(
@@ -1181,8 +1444,8 @@ class PackedClosure:
     # -- processes -----------------------------------------------------
 
     def _run_processes(self, packed_rows: set[int], n_rows: int,
-                       statistics: EvaluationStatistics) -> tuple[int, set[int]]:
-        """One iteration over shared-memory segments on the process pool.
+                       counters: JoinCounters) -> tuple[int, set[int]]:
+        """One iteration attempt over shared memory on the process pool.
 
         The delta is written once into the ring's delta segment (packed
         ``int64`` values, or row-major digits when packed values can
@@ -1191,10 +1454,21 @@ class PackedClosure:
         Distinct results come back through the task's reserved result
         segment — a worker whose result outgrew its slot ships it inline
         once and the slot is grown for the following iterations.
+
+        Supervision details: result slots are taken per *submission*
+        (:meth:`~repro.engine.shm.SegmentRing.take_result`), so a task
+        resubmitted after a timeout writes into a fresh slot instead of
+        racing its abandoned twin; with ``verify_segments`` each task
+        carries the parent-side checksum of its wire range, verified by
+        the worker against the mapped window; and a replayed iteration
+        finds the ring recycled (fresh names) and rewrites the delta
+        from the same immutable ``packed_rows``.
         """
         pool = self.evaluator._pool
-        ring = self._ring
-        assert pool is not None and ring is not None
+        assert pool is not None
+        supervisor = self.evaluator.supervisor
+        ring = self.evaluator._attach_segment_ring(self.partitions + 1)
+        ring.begin_iteration()
         wire = encode_delta(packed_rows, n_rows, self.arity, self.base_k,
                             self._packed_wire)
         ring.delta.ensure(len(wire) * wire.itemsize)
@@ -1219,30 +1493,56 @@ class PackedClosure:
         # in every suite workload the tail is empty (seed values appear
         # in the EDB), so the recurring cost is the pickle of an empty
         # list.
-        tail = self._domain_tail
+        tail = self._domain_tail()
         entry_width = 1 if self._packed_wire else max(1, self.arity)
-        futures = []
-        for slot, (plan_indices, start, stop) in enumerate(tasks):
-            segment = ring.result(slot)
-            # Sized to a multiple of the task's input; grown further on
-            # demand when a worker reports an overflow.
-            segment.ensure(8 * entry_width * (4 * (stop - start) + 64))
-            futures.append(pool.submit(
-                _process_worker_run_packed, plan_indices, self.name,
-                self.arity, self.base_k, delta_name, self._packed_wire,
-                start, stop, segment.name, segment.capacity, tail,
-            ))
+        verify = self.evaluator.config.verify_segments
+        # Checksums come from the pristine in-memory wire buffer, per
+        # task range, *before* any fault can touch the segment.
+        checksums: list[Optional[int]] = [
+            wire_checksum(wire, start * entry_width, stop * entry_width)
+            if verify else None
+            for (_, start, stop) in tasks
+        ]
+        segment_fault = supervisor.draw_segment_fault()
+        if segment_fault is not None:
+            sabotage_segment(delta_name, segment_fault[0])
+        slots: list[Optional[ManagedSegment]] = [None] * len(tasks)
+
+        def make_submit(index: int, plan_indices: tuple[int, ...],
+                        start: int, stop: int, checksum: Optional[int]):
+            def submit():
+                fault = supervisor.draw_task_fault(index)
+                segment = ring.take_result()
+                # Sized to a multiple of the task's input; grown further
+                # on demand when a worker reports an overflow.
+                segment.ensure(8 * entry_width * (4 * (stop - start) + 64))
+                slots[index] = segment
+                return pool.submit(
+                    _process_worker_run_packed, plan_indices, self.name,
+                    self.arity, self.base_k, delta_name, self._packed_wire,
+                    start, stop, segment.name, segment.capacity, tail,
+                    fault, checksum,
+                )
+            return submit
+
+        submits = [
+            make_submit(index, plan_indices, start, stop, checksums[index])
+            for index, (plan_indices, start, stop) in enumerate(tasks)
+        ]
         total = 0
         distinct: set[int] = set()
-        for slot, future in enumerate(futures):
-            task_total, n_distinct, counters, inline, needed = future.result()
+        results = supervisor.gather(submits)
+        for index, result in enumerate(results):
+            task_total, n_distinct, task_counters, inline, needed = result
             total += task_total
-            statistics.joins.merge(counters)
+            counters.merge(task_counters)
+            segment = slots[index]
+            assert segment is not None
             if inline is not None:
                 payload: Any = inline
-                ring.result(slot).ensure(needed)
+                segment.ensure(needed)
             else:
-                payload = ring.result(slot).read_q(n_distinct * entry_width)
+                payload = segment.read_q(n_distinct * entry_width)
             distinct.update(decode_result(payload, n_distinct, self.arity,
                                           self.base_k, self._packed_wire))
         return total, distinct

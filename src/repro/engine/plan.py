@@ -59,7 +59,7 @@ class _ScanStep:
     """One index-nested-loop join step over a stored or override relation."""
 
     __slots__ = ("atom", "name", "arity", "key_positions", "key_template",
-                 "post_actions", "bind_slots")
+                 "post_actions", "bind_slots", "static_key")
 
     def __init__(self, atom: Atom, key_positions: tuple[int, ...],
                  key_template: tuple[tuple[bool, Any], ...],
@@ -77,6 +77,14 @@ class _ScanStep:
         #: variable binds its slot, later occurrences check it.
         self.post_actions = post_actions
         self.bind_slots = tuple(slot for is_bind, _, slot in post_actions if is_bind)
+        #: The probe key interned at compile time when every key entry is
+        #: a constant (including the empty key of an unconstrained
+        #: scan): such steps probe with one prebuilt tuple per execution
+        #: instead of rebuilding it per binding — the rows executor's
+        #: last per-probe allocation that could be hoisted.
+        self.static_key: Optional[tuple] = None
+        if all(is_const for is_const, _ in key_template):
+            self.static_key = tuple(value for _, value in key_template)
 
 
 class _EqualityStep:
@@ -226,10 +234,12 @@ class CompiledRule:
             index = indexes[i]
             if index is None:
                 index = index_for(i, step)
-            key = tuple(
-                value if is_const else env[value]
-                for is_const, value in step.key_template
-            )
+            key = step.static_key
+            if key is None:
+                key = tuple(
+                    value if is_const else env[value]
+                    for is_const, value in step.key_template
+                )
             post_actions = step.post_actions
             bind_slots = step.bind_slots
             for row in index.lookup(key):

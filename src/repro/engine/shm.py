@@ -65,6 +65,16 @@ SEGMENT_PREFIX = "repro-shm"
 PACKED_WIRE_MAX = 2 ** 63
 
 
+class SegmentCorruption(RuntimeError):
+    """A worker's checksum over its shared-memory window disagreed.
+
+    Raised worker-side before any join work runs, so a corrupted (or
+    concurrently clobbered) delta segment can never silently produce
+    wrong rows: the supervisor treats it like any task failure, and the
+    iteration replay rewrites the delta into fresh segments.
+    """
+
+
 def packed_wire_fits(base_k: int, arity: int) -> bool:
     """True when every packed row id of this shape fits in an ``int64``."""
     if arity == 0:
@@ -99,16 +109,45 @@ class ManagedSegment:
         return self.shm.name
 
     def ensure(self, nbytes: int) -> None:
-        """Make the segment at least *nbytes* big (create or replace)."""
+        """Make the segment at least *nbytes* big (create or replace).
+
+        Allocation is atomic with respect to ownership: the name is
+        chosen first, and if ``SharedMemory`` raises *after* the OS
+        object came into existence (``shm_open`` succeeded but the
+        ``ftruncate``/``mmap`` half failed), the orphan is unlinked
+        before the exception propagates.  Without this, an allocation
+        failure between creating the segment and recording it on
+        ``self.shm`` would leave a segment no ``close_unlink()`` can
+        ever reach — the silent leak window closed by the regression
+        test in ``tests/test_packed_parallel.py``.
+        """
         needed = max(nbytes, 8)
         if self.shm is not None and self.capacity >= needed:
             return
         rounded = 1 << max(needed - 1, 1).bit_length()
         self.close_unlink()
-        self.shm = shared_memory.SharedMemory(
-            create=True, size=rounded, name=_fresh_name()
-        )
+        name = _fresh_name()
+        try:
+            self.shm = shared_memory.SharedMemory(
+                create=True, size=rounded, name=name
+            )
+        except BaseException:
+            self._unlink_orphan(name)
+            raise
         self.capacity = rounded
+
+    @staticmethod
+    def _unlink_orphan(name: str) -> None:
+        """Remove a half-created segment left behind by a failed create."""
+        try:
+            orphan = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError, ValueError):
+            return  # creation failed before the OS object existed
+        try:
+            orphan.close()
+            orphan.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - racy
+            pass
 
     def write_q(self, values: array) -> None:
         """Copy an ``array('q')`` into the segment (one C-level memcpy)."""
@@ -150,23 +189,78 @@ class SegmentRing:
     """A delta segment plus a ring of per-task result segments.
 
     One ring serves a whole packed closure: the delta segment is
-    rewritten each iteration, and result slot ``i`` is reused by the
-    ``i``-th task of every iteration (tasks of one iteration are all
-    collected before the next begins, so a slot is never concurrently
-    owned).  ``close()`` unlinks everything and is registered with
-    :mod:`atexit` until then; it runs from
-    ``ParallelEvaluator.close()`` on the normal path and on worker-crash
-    unwinds alike.
+    rewritten each iteration, and result slots are handed out in task
+    submission order by :meth:`take_result` after a
+    :meth:`begin_iteration` reset — so slot ``i`` is reused by the
+    ``i``-th *submission* of every iteration, and a task retried after
+    a timeout draws a fresh slot instead of racing a still-running
+    zombie attempt over the same buffer.  ``close()`` unlinks
+    everything and is registered with :mod:`atexit` until then; it runs
+    from ``ParallelEvaluator.close()`` on the normal path and on
+    worker-crash unwinds alike.
+
+    Registration is leak-safe by construction: the atexit hook is armed
+    and every :class:`ManagedSegment` joins ``self.results`` *before*
+    any backing memory is allocated (allocation happens later, inside
+    ``ensure``), so there is no window in which an exception can orphan
+    an allocated-but-unregistered segment.
     """
 
     def __init__(self, slots: int):
-        self.delta = ManagedSegment()
-        self.results = [ManagedSegment() for _ in range(slots)]
         self._closed = False
+        self.results: list[ManagedSegment] = []
+        #: Result segments dropped and re-allocated by :meth:`recycle`.
+        self.recycled = 0
+        self._cursor = 0
         atexit.register(self.close)
+        # Register-then-allocate: from here on, every segment the ring
+        # ever owns is reachable by close().
+        self.delta = ManagedSegment()
+        for _ in range(slots):
+            self.add_result_slot()
+
+    def add_result_slot(self) -> ManagedSegment:
+        """Append (and register) one more empty result slot."""
+        segment = ManagedSegment()
+        self.results.append(segment)
+        return segment
+
+    def begin_iteration(self) -> None:
+        """Reset the slot allocator for a new iteration attempt."""
+        self._cursor = 0
+
+    def take_result(self) -> ManagedSegment:
+        """The next free result slot of this iteration attempt.
+
+        Grows the ring when submissions (first attempts plus retries)
+        outnumber the existing slots.
+        """
+        if self._cursor < len(self.results):
+            segment = self.results[self._cursor]
+        else:
+            segment = self.add_result_slot()
+        self._cursor += 1
+        return segment
 
     def result(self, slot: int) -> ManagedSegment:
         return self.results[slot]
+
+    def recycle(self) -> int:
+        """Drop every backing segment; the ring itself stays usable.
+
+        The recovery path after a worker crash or a lost/corrupted
+        segment: all current segments are unlinked, so the next
+        ``ensure`` on each slot allocates under a fresh name that no
+        crashed worker or stale attachment can reference.  Returns the
+        number of live segments dropped.
+        """
+        dropped = 0
+        for segment in (self.delta, *self.results):
+            if segment.shm is not None:
+                dropped += 1
+            segment.close_unlink()
+        self.recycled += dropped
+        return dropped
 
     def close(self) -> None:
         """Unlink every segment (idempotent; atexit-safe)."""
@@ -230,6 +324,54 @@ def decode_result(payload: Sequence[int], n_rows: int, arity: int,
         packed_rows.append(packed)
         offset += arity
     return packed_rows
+
+
+def wire_checksum(wire: array, start_entry: int, stop_entry: int) -> int:
+    """Additive checksum over wire entries ``start_entry..stop_entry-1``.
+
+    Computed parent-side over the in-memory wire buffer *before* it is
+    copied into shared memory, one range per task, and shipped with the
+    task descriptor; :func:`window_checksum` is the worker-side
+    counterpart over the mapped window.  A plain sum is enough here —
+    the threat model is lost/clobbered/short-written segments (and the
+    fault harness's deliberate bit flips), not an adversary.
+    """
+    return sum(memoryview(wire)[start_entry:stop_entry])
+
+
+def window_checksum(window, wire_packed: bool) -> int:
+    """Additive checksum over a worker's mapped window (either wire)."""
+    if wire_packed:
+        return sum(window)
+    return sum(sum(column) for column in window)
+
+
+def sabotage_segment(name: str, kind: str) -> None:
+    """Apply a planned ``segment`` fault to a live segment (test-only).
+
+    Invoked by the supervised evaluator when a
+    :class:`~repro.engine.faults.FaultPlan` arms a segment event, right
+    after the iteration's delta was written.  ``leak`` unlinks the OS
+    object while the parent still believes it is live, so workers fail
+    to attach — the "segment vanished under us" schedule; ``corrupt``
+    xors the low byte of the first few ``int64`` entries in place, so
+    workers with checksum verification raise
+    :class:`SegmentCorruption` instead of joining on garbage ids.
+    Recovery is the same either way: the iteration replay recycles the
+    ring and rewrites the delta into fresh segments.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        if kind == "leak":
+            shm.unlink()
+        elif kind == "corrupt":
+            buf = shm.buf
+            for offset in range(0, min(len(buf), 64), 8):
+                buf[offset] ^= 0xFF
+        else:  # pragma: no cover - guarded by FaultEvent validation
+            raise ValueError(f"unknown segment fault kind {kind!r}")
+    finally:
+        shm.close()
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,77 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class HealthReport:
+    """Recovery actions taken by the supervised parallel evaluator.
+
+    Fault tolerance must never change *what* was computed — results and
+    the Theorem-3.1 derivation/duplicate accounting stay bit-identical
+    to a fault-free serial run — so everything the supervisor did to get
+    there is recorded here instead: per-task retries and timeouts,
+    worker-pool rebuilds after crashes, whole-iteration replays, shared
+    memory segment churn, and the backend-degradation ladder
+    (``processes`` → ``threads`` → ``serial``).  A fault-free run leaves
+    every counter at zero.  The report lives on
+    :attr:`EvaluationStatistics.health`; phase merging folds child
+    reports into the parent like every other counter.
+    """
+
+    #: The effective backend at the end of evaluation ("" before any
+    #: supervised evaluator ran; differs from the configured backend
+    #: only after a degradation).
+    backend: str = ""
+    #: Task attempts re-submitted after a retriable failure.
+    task_retries: int = 0
+    #: Task attempts abandoned because they exceeded ``task_timeout``.
+    task_timeouts: int = 0
+    #: Worker pools torn down and rebuilt after a crash.
+    pool_rebuilds: int = 0
+    #: Whole iterations replayed from the last completed iteration's
+    #: state (always safe: an iteration is a pure function of the delta
+    #: and the accumulated total).
+    iteration_retries: int = 0
+    #: Shared-memory segments dropped and reallocated under fresh names
+    #: during recovery (see :meth:`repro.engine.shm.SegmentRing.recycle`).
+    segments_recycled: int = 0
+    #: Faults fired by a test-only :class:`repro.engine.faults.FaultPlan`.
+    faults_injected: int = 0
+    #: Degradation steps taken, e.g. ``["processes->threads"]``.
+    degradations: list[str] = field(default_factory=list)
+
+    def merge(self, other: "HealthReport") -> None:
+        """Accumulate another report into this one."""
+        self.task_retries += other.task_retries
+        self.task_timeouts += other.task_timeouts
+        self.pool_rebuilds += other.pool_rebuilds
+        self.iteration_retries += other.iteration_retries
+        self.segments_recycled += other.segments_recycled
+        self.faults_injected += other.faults_injected
+        self.degradations.extend(other.degradations)
+        if other.backend:
+            self.backend = other.backend
+
+    def recovery_actions(self) -> int:
+        """Total recovery actions taken (0 for a clean run)."""
+        return (self.task_retries + self.task_timeouts + self.pool_rebuilds
+                + self.iteration_retries + self.segments_recycled
+                + len(self.degradations))
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary (for reports and CI artifacts)."""
+        return {
+            "backend": self.backend,
+            "task_retries": self.task_retries,
+            "task_timeouts": self.task_timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "iteration_retries": self.iteration_retries,
+            "segments_recycled": self.segments_recycled,
+            "faults_injected": self.faults_injected,
+            "degradations": list(self.degradations),
+            "recovery_actions": self.recovery_actions(),
+        }
+
+
+@dataclass
 class JoinCounters:
     """Low-level work counters for one or more conjunctive evaluations."""
 
@@ -58,6 +129,9 @@ class EvaluationStatistics:
     result_size: int = 0
     #: Low-level join work.
     joins: JoinCounters = field(default_factory=JoinCounters)
+    #: Recovery actions taken by the supervised parallel evaluator
+    #: (retries, pool rebuilds, degradations); all-zero for clean runs.
+    health: HealthReport = field(default_factory=HealthReport)
     #: Free-form labelled sub-phase statistics (e.g. the two phases of a
     #: decomposed evaluation).
     phases: dict[str, "EvaluationStatistics"] = field(default_factory=dict)
@@ -87,6 +161,7 @@ class EvaluationStatistics:
         self.iterations += other.iterations
         self.rule_applications += other.rule_applications
         self.joins.merge(other.joins)
+        self.health.merge(other.health)
 
     def add_phase(self, name: str, stats: "EvaluationStatistics") -> None:
         """Record a labelled sub-phase and fold its counters into the totals."""

@@ -1,0 +1,262 @@
+"""Supervision of parallel fixpoint execution: retry, rebuild, degrade.
+
+A fixpoint iteration is a pure function of (delta partition, snapshot of
+the accumulated total, EDB): tasks have no side effects the driver
+observes before the iteration commits, and the Theorem-3.1 merge dedupes
+distinct emissions, so *any* failed unit of work can simply be replayed.
+That purity is what this module turns into fault tolerance, at three
+nested levels:
+
+1. **Task attempts** (:meth:`Supervisor.gather`): every submitted task
+   gets a per-attempt deadline (``EvalConfig.task_timeout``) and up to
+   ``max_retries`` replacement submissions with exponential backoff and
+   jitter.  A replayed task recomputes exactly the multiset its failed
+   twin would have produced, so accepted results — and the committed
+   derivation/duplicate counters — are bit-identical to a fault-free
+   run; a timed-out straggler that finishes late is simply ignored
+   (thread stragglers merge into a per-attempt sink that is discarded
+   with the attempt).
+2. **Iteration attempts** (:meth:`Supervisor.run_iteration`): a broken
+   worker pool (``BrokenProcessPool``/SIGKILL), a lost or corrupted
+   shared-memory segment, or a failure between collect and commit
+   abandons the whole attempt; the pool is rebuilt (domains re-seeded,
+   segments re-allocated under fresh names) and the iteration replays
+   from the last *committed* iteration's state — never from scratch,
+   because drivers only advance their accumulators after a successful
+   attempt.
+3. **The degradation ladder**: after ``max_retries`` consecutive failed
+   attempts on one backend, ``on_failure="degrade"`` steps
+   ``processes`` → ``threads`` → ``serial`` (``"raise"`` surfaces the
+   failure instead).  The serial rung cannot fail, so every bounded
+   fault schedule terminates with correct results.
+
+Nothing here changes what is computed: statistics are accumulated into
+per-attempt scratch counters and committed only when an attempt
+succeeds, so retries never double-count.  Every recovery action is
+recorded on the :class:`~repro.engine.statistics.HealthReport`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor, Future
+from concurrent.futures import TimeoutError as FuturesTimeout
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, TypeVar
+
+from repro.engine.faults import InjectedCrash, InjectedFault
+from repro.engine.statistics import HealthReport
+from repro.exceptions import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.parallel import EvalConfig
+
+T = TypeVar("T")
+
+#: The graceful-degradation ladder; ``serial`` is the floor.
+DEGRADATION_LADDER = {"processes": "threads", "threads": "serial"}
+
+#: Ceiling on one backoff sleep (seconds); keeps pathological schedules
+#: from stalling tests or services.
+MAX_BACKOFF_SECONDS = 1.0
+
+
+class IterationFailure(Exception):
+    """One iteration attempt is unrecoverable at the task level.
+
+    Raised by :meth:`Supervisor.gather` when a task exhausted its retry
+    budget (the failing cause is chained), and by evaluator code for
+    infrastructure failures mid-attempt.  ``rebuild_pool`` asks the
+    retry handler to tear the worker pool down before replaying.
+    """
+
+    def __init__(self, message: str, rebuild_pool: bool = False):
+        super().__init__(message)
+        self.rebuild_pool = rebuild_pool
+
+
+class Supervisor:
+    """Retry/rebuild/degrade policy engine for one evaluator lifetime.
+
+    Owned by :class:`~repro.engine.parallel.ParallelEvaluator`; the
+    evaluator supplies the mechanics (how to rebuild its pool, how to
+    switch backends, what to do before an iteration replay) as
+    callbacks, and the supervisor supplies the policy loop.  The
+    *effective* backend lives here (``self.backend``) and may walk down
+    the degradation ladder during evaluation; the evaluator and the
+    packed closure consult it on every iteration instead of caching the
+    configured backend.
+    """
+
+    def __init__(self, config: "EvalConfig", health: HealthReport, *,
+                 rebuild_pool: Callable[[], None],
+                 degrade: Callable[[str], None],
+                 before_retry: Optional[Callable[[], None]] = None):
+        self.config = config
+        self.health = health
+        self.backend = config.backend
+        self.fault_plan = config.fault_plan
+        #: Supervised iterations started (1-based; drives fault draws).
+        self.iteration = 0
+        self._rebuild_pool = rebuild_pool
+        self._degrade = degrade
+        self._before_retry = before_retry
+        #: Jitter source for backoff sleeps only — it never influences
+        #: what is computed, so a fixed seed keeps test timing stable
+        #: without threatening result determinism.
+        self._rng = random.Random(0x5EED)
+        self._started = time.monotonic()
+
+    # -- deadline ------------------------------------------------------
+
+    def check_deadline(self) -> None:
+        """Raise when the evaluation's wall-clock budget is spent."""
+        deadline = self.config.deadline
+        if deadline is not None:
+            elapsed = time.monotonic() - self._started
+            if elapsed > deadline:
+                raise EvaluationError(
+                    f"evaluation deadline of {deadline}s exceeded after "
+                    f"{elapsed:.3f}s ({self.iteration} iterations started)"
+                )
+
+    def start_iteration(self) -> None:
+        """Mark the start of one driver iteration (all backends)."""
+        self.iteration += 1
+        self.check_deadline()
+
+    # -- fault-plan draws (parent side only) ---------------------------
+
+    def draw_task_fault(self, task_index: int) -> Optional[tuple[str, float]]:
+        """The directive to ship with this task submission, if any."""
+        if self.fault_plan is None:
+            return None
+        directive = self.fault_plan.draw("task", self.iteration, task_index)
+        if directive is not None:
+            self.health.faults_injected += 1
+        return directive
+
+    def draw_segment_fault(self) -> Optional[tuple[str, float]]:
+        """The segment fault to apply after writing the delta, if any."""
+        if self.fault_plan is None:
+            return None
+        directive = self.fault_plan.draw("segment", self.iteration)
+        if directive is not None:
+            self.health.faults_injected += 1
+        return directive
+
+    def check_merge_fault(self) -> None:
+        """Fire a planned collect-before-commit failure, if armed."""
+        if self.fault_plan is None:
+            return
+        directive = self.fault_plan.draw("merge", self.iteration)
+        if directive is not None:
+            self.health.faults_injected += 1
+            raise InjectedFault("injected merge fault")
+
+    # -- task-level resilience -----------------------------------------
+
+    def gather(self, submits: Sequence[Callable[[], Future]]) -> list[Any]:
+        """Submit every task, then collect each under deadline + retry.
+
+        ``submits[i]`` (re)submits task ``i`` and is called once up
+        front — so all tasks run concurrently — and again for every
+        retry of that task.  Results come back in task order.  A task
+        that exhausts its retry budget, or any pool break, escalates as
+        :class:`IterationFailure` to :meth:`run_iteration`.
+        """
+        futures = [submit() for submit in submits]
+        return [
+            self._collect(future, submits[index], index)
+            for index, future in enumerate(futures)
+        ]
+
+    def _collect(self, future: Future, resubmit: Callable[[], Future],
+                 index: int) -> Any:
+        attempts = 0
+        while True:
+            try:
+                return future.result(timeout=self.config.task_timeout)
+            except (BrokenExecutor, InjectedCrash) as exc:
+                raise IterationFailure(
+                    f"worker pool broke while collecting task {index}: {exc!r}",
+                    rebuild_pool=True,
+                ) from exc
+            except FuturesTimeout as exc:
+                self.health.task_timeouts += 1
+                future.cancel()
+                failure: BaseException = exc
+            except Exception as exc:
+                failure = exc
+            attempts += 1
+            if attempts > self.config.max_retries:
+                raise IterationFailure(
+                    f"task {index} failed after {attempts} attempts: "
+                    f"{failure!r}"
+                ) from failure
+            self.health.task_retries += 1
+            self._backoff(attempts)
+            self.check_deadline()
+            future = resubmit()
+
+    # -- iteration-level resilience and the degradation ladder ---------
+
+    def run_iteration(self, attempt: Callable[[], T]) -> T:
+        """Run one iteration attempt body until it commits.
+
+        *attempt* executes the whole iteration against the current
+        pool/backend and returns its (uncommitted) outcome; it must be
+        safe to call repeatedly, which every evaluator attempt is —
+        iteration inputs are immutable until the driver commits.  Only
+        infrastructure failures are retried; genuine evaluation errors
+        propagate unchanged.
+        """
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except InjectedCrash as exc:
+                failure: BaseException = exc
+                rebuild = True
+            except BrokenExecutor as exc:
+                failure = exc
+                rebuild = True
+            except IterationFailure as exc:
+                failure = exc
+                rebuild = exc.rebuild_pool
+            except InjectedFault as exc:
+                failure = exc
+                rebuild = False
+            failures += 1
+            if failures > self.config.max_retries:
+                nxt = (DEGRADATION_LADDER.get(self.backend)
+                       if self.config.on_failure == "degrade" else None)
+                if nxt is None:
+                    raise EvaluationError(
+                        f"iteration {self.iteration} failed {failures} "
+                        f"times on the {self.backend!r} backend: {failure!r}"
+                    ) from failure
+                self._degrade(nxt)
+                self.health.degradations.append(f"{self.backend}->{nxt}")
+                self.backend = nxt
+                self.health.backend = nxt
+                failures = 0
+                continue
+            self.health.iteration_retries += 1
+            if rebuild:
+                self._rebuild_pool()
+                self.health.pool_rebuilds += 1
+            if self._before_retry is not None:
+                self._before_retry()
+            self._backoff(failures)
+            self.check_deadline()
+
+    # ------------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff with jitter before a replay."""
+        base = self.config.retry_backoff
+        if base <= 0:
+            return
+        delay = min(base * (2 ** (attempt - 1)), MAX_BACKOFF_SECONDS)
+        time.sleep(delay * (0.5 + 0.5 * self._rng.random()))

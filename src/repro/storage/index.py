@@ -49,8 +49,15 @@ class HashIndex:
                 bucket.append(row)
 
     def lookup(self, key: Iterable[Any]) -> list[Row]:
-        """Rows whose indexed columns equal *key* (in position order)."""
-        return self._buckets.get(tuple(key), [])
+        """Rows whose indexed columns equal *key* (in position order).
+
+        Keys that are already tuples (the compiled executor's probe
+        keys, including its compile-time-interned static keys) probe the
+        bucket table directly; anything else is normalised first.
+        """
+        if type(key) is not tuple:
+            key = tuple(key)
+        return self._buckets.get(key, [])
 
     def extend(self, added: Iterable[Row], relation: Relation) -> None:
         """Append *added* rows and re-point the index at *relation*.

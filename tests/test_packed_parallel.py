@@ -39,6 +39,7 @@ from repro.engine.vectorized import (
     packed_specialization_shape,
     select_packed_specialization,
 )
+from repro.exceptions import EvaluationError
 from repro.storage.database import Database
 from repro.storage.relation import Relation
 from repro.workloads.graphs import layered_dag_edges
@@ -367,27 +368,99 @@ class TestSharedMemoryLifecycle:
         run_closure(seminaive_closure, "wide5", packed_config("processes"))
         assert not _stale_segments()
 
-    def test_worker_crash_mid_iteration_leaves_no_segments(self):
-        """Killing a worker fails the step but never leaks segments."""
+    def test_worker_crash_mid_iteration_recovers_and_leaves_no_segments(self):
+        """A SIGKILLed pool is rebuilt, the closure completes exactly.
+
+        The supervisor catches the ``BrokenProcessPool``, rebuilds the
+        pool (re-seeded domains, recycled segments) and replays the
+        iteration from the last committed state — so the final relation
+        and the full counter signature still match the fault-free serial
+        reference, with the recovery recorded on the health report.
+        """
         assert not _stale_segments()
+        reference, reference_stats = run_closure(
+            seminaive_closure, "wide5", None
+        )
         rules, database, initial = scenario_wide5()
         database = Database(dict(database.relations))
         plans = [compile_rule(rule, database) for rule in rules]
         config = packed_config("processes")
         statistics = EvaluationStatistics()
-        with pytest.raises(Exception):
+        with ParallelEvaluator(plans, database, config,
+                               health=statistics.health) as evaluator:
+            packed = evaluator.packed_closure(initial)
+            assert packed is not None
+            # One good iteration so the ring's segments exist...
+            statistics.iterations += 1
+            packed.step_seminaive(statistics)
+            assert evaluator._segment_ring is not None
+            assert _stale_segments()
+            # ...then hard-kill every worker mid-closure.
+            assert evaluator._pool is not None
+            for process in evaluator._pool._processes.values():
+                os.kill(process.pid, signal.SIGKILL)
+            while packed.delta_size():
+                statistics.iterations += 1
+                packed.step_seminaive(statistics)
+            relation = packed.freeze()
+            statistics.result_size = len(relation)
+        assert relation.rows == reference.rows
+        assert full_signature(statistics) == full_signature(reference_stats)
+        assert statistics.health.pool_rebuilds >= 1
+        assert statistics.health.iteration_retries >= 1
+        assert statistics.health.segments_recycled >= 1
+        assert not _stale_segments()
+
+    def test_worker_crash_with_retries_disabled_raises_without_leaks(self):
+        """``max_retries=0, on_failure="raise"`` keeps the old contract:
+        the crash surfaces, and the unwind still unlinks every segment."""
+        assert not _stale_segments()
+        rules, database, initial = scenario_wide5()
+        database = Database(dict(database.relations))
+        plans = [compile_rule(rule, database) for rule in rules]
+        config = packed_config("processes", max_retries=0,
+                               on_failure="raise")
+        statistics = EvaluationStatistics()
+        with pytest.raises(EvaluationError):
             with ParallelEvaluator(plans, database, config) as evaluator:
                 packed = evaluator.packed_closure(initial)
                 assert packed is not None
-                # One good iteration so the ring's segments exist...
                 packed.step_seminaive(statistics)
-                assert evaluator._segment_ring is not None
-                assert _stale_segments()
-                # ...then hard-kill every worker mid-closure.
                 assert evaluator._pool is not None
                 for process in evaluator._pool._processes.values():
                     os.kill(process.pid, signal.SIGKILL)
                 packed.step_seminaive(statistics)
+        assert not _stale_segments()
+
+    def test_segment_allocation_failure_leaves_no_orphan(self, monkeypatch):
+        """Allocate-then-register atomicity in ``ManagedSegment.ensure``.
+
+        If ``SharedMemory`` raises *after* the OS object exists (the
+        ``ftruncate``/``mmap`` half of creation fails), the orphan must
+        be unlinked before the exception propagates — previously it
+        survived unreachable by any ``close_unlink()``.
+        """
+        assert not _stale_segments()
+        real = shm.shared_memory.SharedMemory
+
+        class ExplodingSharedMemory:
+            def __init__(self, *args, **kwargs):
+                if kwargs.get("create"):
+                    # Create the OS object for real, then fail as if the
+                    # mapping step had raised.
+                    real(*args, **kwargs).close()
+                    raise MemoryError("simulated mmap failure")
+                self._shm = real(*args, **kwargs)
+
+            def __getattr__(self, name):
+                return getattr(self._shm, name)
+
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory",
+                            ExplodingSharedMemory)
+        segment = shm.ManagedSegment()
+        with pytest.raises(MemoryError):
+            segment.ensure(64)
+        monkeypatch.undo()
         assert not _stale_segments()
 
     def test_segment_ring_close_is_idempotent(self):
