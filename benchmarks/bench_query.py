@@ -1,0 +1,232 @@
+"""Query-serving benchmark: point queries vs full-closure-then-lookup.
+
+The serving claim behind the ``repro.query`` subsystem, measured: a
+point or successor query should not pay for the whole closure.  On the
+layered-DAG transitive-closure workload (the ``bench_engine_micro``
+shape) this benchmark times three ways of answering ``path(a, X)?`` /
+``path(a, b)?``:
+
+* **closure** — the reference plan: evaluate the full fixpoint cold
+  (fresh engine, cold plan cache), then filter.  This is what callers
+  did before the query API existed.
+* **magic** — the magic-sets demand rewrite, cold: only the fraction of
+  the fixpoint demanded by the bound constant is computed, through the
+  unchanged drivers.
+* **labels** — the reachability-label index: one cold build
+  (``label_build_seconds``), then warm point lookups at O(label) each
+  (``label_point_seconds`` is the mean latency over many ground
+  queries, which is the serving steady state).
+
+All three answer sets must be bit-identical; any mismatch fails the
+run, as does a warm label point query slower than ``closure /
+--min-point-speedup`` or a magic run slower than ``closure /
+--min-magic-speedup`` at the largest size.  Results are written to
+``BENCH_query.json``.
+
+Usage::
+
+    python benchmarks/bench_query.py             # full sizes, 3 repeats
+    python benchmarks/bench_query.py --quick     # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.engine.plan import clear_plan_cache  # noqa: E402
+from repro.query import Query, QueryEngine  # noqa: E402
+from repro.storage.database import Database  # noqa: E402
+from repro.workloads.graphs import layered_dag_edges  # noqa: E402
+
+TC_PROGRAM = (
+    "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+    "path(X, Y) :- edge(X, Y)."
+)
+
+#: Warm ground lookups averaged per measurement (one batch is fast
+#: enough that timer resolution would otherwise dominate).
+POINT_QUERIES = 512
+
+
+def _workload(size: int) -> Database:
+    """The ``bench_engine_micro`` DAG at *size* nodes."""
+    rng = random.Random(11)
+    return Database.of(
+        layered_dag_edges(size // 8, 8, fanout=2, name="edge", rng=rng)
+    )
+
+
+def _time_best_of(repeats, run):
+    best_seconds = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return best_seconds, result
+
+
+def run_benchmark(sizes, repeats):
+    results = []
+    for size in sizes:
+        database = _workload(size)
+        nodes = sorted(database.active_domain())
+        # The median-depth node is the representative serving point: a
+        # top-of-DAG source demands nearly the whole closure (magic ≈
+        # break-even there), a bottom one almost nothing.
+        source = nodes[len(nodes) // 2]
+        rng = random.Random(97)
+        ground_queries = [
+            Query.of("path", rng.choice(nodes), rng.choice(nodes))
+            for _ in range(POINT_QUERIES)
+        ]
+        successor_query = Query.of("path", source, None)
+
+        def run_closure():
+            # Cold: fresh engine (fresh caches), cold plan cache — what a
+            # caller paid per point lookup before the query API.
+            clear_plan_cache()
+            engine = QueryEngine(_workload(size), TC_PROGRAM)
+            return engine.ask(successor_query, strategy="closure")
+
+        def run_magic():
+            clear_plan_cache()
+            engine = QueryEngine(_workload(size), TC_PROGRAM)
+            return engine.ask(successor_query, strategy="magic")
+
+        def run_label_build():
+            engine = QueryEngine(_workload(size), TC_PROGRAM)
+            engine.labels("edge")
+            return engine
+
+        closure_seconds, closure_answer = _time_best_of(repeats, run_closure)
+        magic_seconds, magic_answer = _time_best_of(repeats, run_magic)
+        build_seconds, warm_engine = _time_best_of(repeats, run_label_build)
+        label_answer = warm_engine.ask(successor_query, strategy="labels")
+
+        def run_points():
+            hits = 0
+            for query in ground_queries:
+                if warm_engine.ask(query, strategy="labels"):
+                    hits += 1
+            return hits
+
+        point_total_seconds, hits = _time_best_of(repeats, run_points)
+        point_seconds = point_total_seconds / POINT_QUERIES
+
+        # Parity: every tier answers the successor query identically, and
+        # the warm label verdicts match the materialised closure.
+        full = warm_engine.closure(successor_query.predicate)
+        match = (
+            closure_answer.relation.rows == magic_answer.relation.rows
+            == label_answer.relation.rows
+            and all(
+                bool(warm_engine.ask(query, strategy="labels"))
+                == bool(query.filter(full).rows)
+                for query in ground_queries[:32]
+            )
+        )
+
+        entry = {
+            "size": size,
+            "closure_seconds": round(closure_seconds, 6),
+            "magic_seconds": round(magic_seconds, 6),
+            "label_build_seconds": round(build_seconds, 6),
+            "label_point_seconds": round(point_seconds, 9),
+            "point_queries": POINT_QUERIES,
+            "point_hits": hits,
+            "point_speedup": round(closure_seconds / point_seconds, 1),
+            "magic_speedup": round(closure_seconds / magic_seconds, 2),
+            "answer_size": len(closure_answer),
+            "results_match": match,
+        }
+        results.append(entry)
+        print(
+            f"size={size:4d}  closure={closure_seconds:8.4f}s  "
+            f"magic={magic_seconds:8.4f}s  "
+            f"label_build={build_seconds:8.4f}s  "
+            f"point={point_seconds * 1e6:8.1f}us  "
+            f"point_speedup={entry['point_speedup']:9.1f}x  "
+            f"magic_speedup={entry['magic_speedup']:5.2f}x  "
+            f"answers={entry['answer_size']}  match={match}"
+        )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke run: fewer sizes, one repeat")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent.parent
+                        / "BENCH_query.json")
+    parser.add_argument("--min-point-speedup", type=float, default=5.0,
+                        help="fail unless a warm label point query beats the "
+                             "cold full closure by this factor at the "
+                             "largest size (the acceptance floor; measured "
+                             "ratios are orders of magnitude higher)")
+    parser.add_argument("--min-magic-speedup", type=float, default=None,
+                        help="fail unless the demand rewrite beats the full "
+                             "closure by this factor at the largest size "
+                             "(default: 1.8 full, 1.3 quick — one repeat "
+                             "tolerates timer noise; the median-depth "
+                             "source measures ~3x)")
+    args = parser.parse_args(argv)
+
+    # Quick mode keeps size 512: the acceptance criteria name the
+    # layered-DAG TC-512 workload.
+    sizes = [128, 512] if args.quick else [128, 256, 512]
+    repeats = 1 if args.quick else 3
+    min_magic = (args.min_magic_speedup if args.min_magic_speedup is not None
+                 else (1.3 if args.quick else 1.8))
+
+    results = run_benchmark(sizes, repeats)
+    report = {
+        "benchmark": "point-query serving: labels vs magic vs "
+                     "full-closure-then-filter",
+        "workload": "transitive closure over a layered DAG "
+                    "(bench_engine_micro shape), exit-rule seeded",
+        "program": TC_PROGRAM,
+        "mode": "quick" if args.quick else "full",
+        "repeats": repeats,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not all(entry["results_match"] for entry in results):
+        print("FAIL: query tiers disagree", file=sys.stderr)
+        return 1
+    headline = results[-1]
+    if headline["point_speedup"] < args.min_point_speedup:
+        print(
+            f"FAIL: label point query is only {headline['point_speedup']}x "
+            f"the full closure at size {headline['size']}, below the "
+            f"{args.min_point_speedup}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    if headline["magic_speedup"] < min_magic:
+        print(
+            f"FAIL: magic rewrite is only {headline['magic_speedup']}x the "
+            f"full closure at size {headline['size']}, below the "
+            f"{min_magic}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

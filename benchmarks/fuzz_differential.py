@@ -26,6 +26,17 @@ fuzzed against the same reference signatures, not just the serial
 executors.  Backend sweeps spawn a worker pool per configuration, so CI
 applies them to a subset of the nightly seeds.
 
+With ``--query-seeds N``, the first ``N`` seeds additionally fuzz the
+query tier: for random bound/free adornments of the recursive
+predicate, the magic-sets demand rewrite
+(:func:`repro.query.magic.magic_rewrite`) is evaluated through the
+rows, batch, and interned executors and its filtered answers must be
+bit-identical to filtering the reference closure — the
+demand-rewritten == full-closure-then-filtered invariant of the query
+subsystem, checked on programs the hand-written parity tests cannot
+enumerate.  Adornments with no stable bound position are recorded as
+(correct) fallbacks, not failures.
+
 With ``--fault-seeds N``, the first ``N`` seeds additionally run the
 interned executor on both parallel backends under a deterministic
 seed-derived :class:`repro.engine.faults.FaultPlan` (worker kills, task
@@ -52,6 +63,9 @@ Usage::
     python benchmarks/fuzz_differential.py --backend-seeds 10
                                                            # + executor×backend
                                                            # matrix on 10 seeds
+    python benchmarks/fuzz_differential.py --query-seeds 25
+                                                           # + magic-vs-reference
+                                                           # query parity
     python benchmarks/fuzz_differential.py --fault-seeds 5 \
         --health-file fuzz-health.json                     # + chaos sweep
     python benchmarks/fuzz_differential.py --failures-file fuzz-failures.txt
@@ -76,6 +90,9 @@ from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.reference import seminaive_closure_interpreted  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
 from repro.engine.statistics import EvaluationStatistics  # noqa: E402
+from repro.datalog.programs import LinearRecursion  # noqa: E402
+from repro.exceptions import NotApplicableError  # noqa: E402
+from repro.query import Query, magic_rewrite  # noqa: E402
 from repro.storage.database import Database  # noqa: E402
 from repro.storage.relation import Relation  # noqa: E402
 from repro.workloads.rulegen import (  # noqa: E402
@@ -148,6 +165,66 @@ def signature(relation: Relation, statistics: EvaluationStatistics):
     )
 
 
+#: Serial configs for the query-parity leg (the backend axis is already
+#: fuzzed by the closure sweep; the query leg fuzzes the *rewrite*).
+_QUERY_CONFIGS: tuple[tuple[str, EvalConfig | None], ...] = (
+    ("rows", None),
+    ("batch", EvalConfig(executor="batch")),
+    ("interned", EvalConfig(executor="batch", intern=True)),
+)
+
+
+def check_queries(rules: tuple[Rule, ...], database: Database,
+                  initial: Relation, reference: Relation,
+                  rng: random.Random) -> list[str]:
+    """Magic-rewritten answers vs filtering the reference closure.
+
+    Fuzzes a few random adornments of the recursive predicate: bound
+    values are drawn from the closure's own columns (so queries usually
+    have answers) or at random (so empty demand is covered too).
+    Returns mismatch descriptions; adornments with no stable bound
+    position fall back to full closure by design and are skipped.
+    """
+    predicate = rules[0].head.predicate
+    recursion = LinearRecursion(predicate, rules, ())
+    reference_rows = sorted(reference.rows)
+    mismatches: list[str] = []
+    for _ in range(3):
+        bound = sorted(rng.sample(range(predicate.arity),
+                                  rng.randint(1, predicate.arity)))
+        if reference_rows and rng.random() < 0.8:
+            row = rng.choice(reference_rows)
+            values = {position: row[position] for position in bound}
+        else:
+            values = {position: rng.randrange(7) for position in bound}
+        query = Query.of(predicate.name, *[
+            values.get(position) for position in range(predicate.arity)
+        ])
+        expected = query.filter(reference).rows
+        try:
+            magic = magic_rewrite(recursion, query.bound_positions,
+                                  reserved_names=database.names())
+        except NotApplicableError:
+            continue  # nothing stable: full closure is the documented plan
+        # The rewrite may stabilise to a subset of the query's bound
+        # positions; the seed carries exactly the surviving ones.
+        seed_values = tuple(
+            values[position] for position in magic.bound_positions
+        )
+        for label, config in _QUERY_CONFIGS:
+            demanded = magic.solve(
+                seed_values, Database(dict(database.relations)),
+                initial=initial, config=config,
+            )
+            answered = query.filter(demanded).rows
+            if answered != expected:
+                mismatches.append(
+                    f"query {query} [{label}]: {len(answered)} answers != "
+                    f"{len(expected)} expected"
+                )
+    return mismatches
+
+
 #: The parallel sweep: every executor on both parallel backends, plus
 #: the interned × processes pair through the legacy pickled exchange
 #: (``shared_memory=False``) so both process wire formats stay covered.
@@ -193,6 +270,7 @@ def _fault_sweep_configs(seed: int) -> tuple[tuple[str, EvalConfig], ...]:
 def run_seed(seed: int, max_iterations: int,
              sweep_backends: bool = False,
              fault_sweep: bool = False,
+             query_sweep: bool = False,
              health_sink: list | None = None) -> tuple[bool, str]:
     """Run one fuzz case; returns (ok, description)."""
     rng = random.Random(seed)
@@ -235,6 +313,13 @@ def run_seed(seed: int, max_iterations: int,
                 **stats.health.as_dict(),
             })
 
+    if query_sweep:
+        query_mismatches = check_queries(
+            rules, database, initial, interpreted, rng,
+        )
+        if query_mismatches:
+            return False, f"{description}\n    " + "; ".join(query_mismatches)
+
     reference = outcomes["interpreted"]
     mismatched = [label for label, outcome in outcomes.items()
                   if outcome != reference]
@@ -265,6 +350,12 @@ def main(argv=None) -> int:
                              "parallel backends under a deterministic "
                              "seed-derived fault schedule on the first N "
                              "seeds of the range (default 0: no chaos)")
+    parser.add_argument("--query-seeds", type=int, default=0,
+                        help="additionally check, on the first N seeds of "
+                             "the range, that magic-sets demand-rewritten "
+                             "answers for random adornments match filtering "
+                             "the reference closure, on every serial "
+                             "executor (default 0: no query parity)")
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
@@ -284,14 +375,17 @@ def main(argv=None) -> int:
     for seed in range(args.base_seed, args.base_seed + args.seeds):
         sweep = seed - args.base_seed < args.backend_seeds
         chaos = seed - args.base_seed < args.fault_seeds
+        queries = seed - args.base_seed < args.query_seeds
         swept += sweep
         ok, description = run_seed(seed, args.max_iterations,
                                    sweep_backends=sweep,
                                    fault_sweep=chaos,
+                                   query_sweep=queries,
                                    health_sink=chaos_runs)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
             matrix = " [executor x backend matrix]" if sweep else ""
+            matrix += " [query parity]" if queries else ""
             print(f"seed={seed:5d} {status} {description}{matrix}")
         if not ok:
             failures.append((seed, description))

@@ -9,19 +9,29 @@ paper's contribution: syntactic commutativity tests, commutativity-driven
 decomposition, the separable algorithm, and recursive-redundancy-aware
 evaluation.
 
-Quickstart::
+Quickstart — materialise a closure::
 
-    from repro import RecursiveQueryEngine, Database, Relation
+    from repro import solve, Database, Relation
 
     program = '''
         path(X, Y) :- edge(X, Z), path(Z, Y).
-        path(X, Y) :- path(X, Z), hop(Z, Y).
         path(X, Y) :- edge(X, Y).
     '''
-    database = Database.of(
-        Relation.of("edge", 2, [(1, 2), (2, 3)]),
-        Relation.of("hop", 2, [(3, 4)]),
-    )
+    database = Database.of(Relation.of("edge", 2, [(1, 2), (2, 3)]))
+    closure = solve(program, database, config="interned-processes")
+
+Quickstart — answer queries (serving)::
+
+    from repro import QueryEngine
+
+    engine = QueryEngine(database, program)
+    engine.ask("path(1, X)?").rows      # demand/label tiers, not full closure
+    bool(engine.ask("path(1, 3)?"))     # ground membership
+
+The strategy-analysis layer of the paper (commutativity,
+separability, redundancy) lives behind
+:class:`~repro.core.engine.RecursiveQueryEngine`::
+
     result = RecursiveQueryEngine().query(program, "path", database)
     print(result.plan.strategy, sorted(result.relation.rows))
 """
@@ -55,6 +65,8 @@ from repro.core import (
     is_separable,
     sufficient_condition,
 )
+from repro.engine import EvalConfig, EvaluationStatistics, solve
+from repro.query import Query, QueryAnswer, QueryEngine, answer
 from repro.exceptions import (
     AnalysisError,
     DatalogSyntaxError,
@@ -75,12 +87,17 @@ __all__ = [
     "Database",
     "DatalogSyntaxError",
     "EqualitySelection",
+    "EvalConfig",
     "EvaluationError",
+    "EvaluationStatistics",
     "LinearOperator",
     "NotApplicableError",
     "PositionEqualitySelection",
     "Predicate",
     "Program",
+    "Query",
+    "QueryAnswer",
+    "QueryEngine",
     "QueryPlan",
     "QueryPlanner",
     "QueryResult",
@@ -95,6 +112,7 @@ __all__ = [
     "Strategy",
     "SumOperator",
     "Variable",
+    "answer",
     "classify_variables",
     "commute",
     "commute_by_definition",
@@ -105,6 +123,7 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "render_ascii",
+    "solve",
     "sufficient_condition",
     "__version__",
 ]

@@ -38,8 +38,15 @@ The engine provides:
   evaluation's :class:`~repro.engine.statistics.HealthReport`;
 * :mod:`repro.engine.faults` — the deterministic, test-only
   fault-injection harness (:class:`~repro.engine.faults.FaultPlan`)
-  driving the chaos-parity suite.
+  driving the chaos-parity suite;
+* :mod:`repro.engine.api` — the stable one-call surface:
+  :func:`~repro.engine.api.solve` materialises a predicate's closure
+  from a program + database + config spec, so callers stop importing
+  driver internals (the query-answering counterpart is
+  :class:`repro.query.QueryEngine`).
 """
+
+from repro.engine.api import solve
 
 from repro.engine.statistics import (
     EvaluationStatistics,
@@ -79,5 +86,6 @@ __all__ = [
     "naive_closure",
     "seminaive_closure",
     "separable_evaluate",
+    "solve",
     "solve_linear_recursion",
 ]

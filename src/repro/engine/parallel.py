@@ -107,6 +107,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from array import array
 from collections import Counter
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -263,6 +264,13 @@ class EvalConfig:
                     f"Backend given twice: executor={self.executor!r} is a "
                     f"legacy backend name and backend={self.backend!r} is set"
                 )
+            warnings.warn(
+                f"EvalConfig(executor={self.executor!r}) is deprecated; "
+                f"use EvalConfig(backend={self.executor!r}) or "
+                f"EvalConfig.from_spec('rows-{self.executor}')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
             object.__setattr__(self, "backend", self.executor)
             object.__setattr__(self, "executor", "rows")
         if self.executor == "interned":
@@ -304,6 +312,60 @@ class EvalConfig:
             )
 
     # ------------------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str, **overrides: Any) -> "EvalConfig":
+        """Build a config from a compact spec string.
+
+        The canonical single-knob constructor the serving surface uses:
+        a spec is one or two dash-separated tokens — a *mode* (``rows``,
+        ``batch``, ``interned``) and/or a *backend* (``serial``,
+        ``threads``, ``processes``) in either order; omitted parts keep
+        their defaults.  Examples::
+
+            EvalConfig.from_spec("interned-processes")
+            EvalConfig.from_spec("batch-threads")
+            EvalConfig.from_spec("processes")        # rows executor
+            EvalConfig.from_spec("interned")
+            EvalConfig.from_spec("")                 # the default config
+
+        Keyword *overrides* are passed through to the constructor for
+        the long-tail knobs (``max_workers=...``, ``deadline=...``).
+        """
+        modes = {"rows": ("rows", False), "batch": ("batch", False),
+                 "interned": ("batch", True)}
+        executor: Optional[str] = None
+        intern: Optional[bool] = None
+        backend: Optional[str] = None
+        for token in filter(None, (part.strip() for part in spec.split("-"))):
+            if token in modes:
+                if executor is not None:
+                    raise ValueError(f"Mode given twice in spec {spec!r}")
+                executor, intern = modes[token]
+            elif token in BACKENDS:
+                if backend is not None:
+                    raise ValueError(f"Backend given twice in spec {spec!r}")
+                backend = token
+            else:
+                raise ValueError(
+                    f"Unknown token {token!r} in spec {spec!r}; expected a "
+                    f"mode ({', '.join(modes)}) and/or a backend "
+                    f"({', '.join(BACKENDS)}), dash-separated"
+                )
+        for name, value in (("executor", executor), ("backend", backend),
+                            ("intern", intern)):
+            if value is not None:
+                if name in overrides and overrides[name] != value:
+                    raise ValueError(
+                        f"{name} given twice: {value!r} from spec {spec!r} "
+                        f"and {overrides[name]!r} as a keyword"
+                    )
+                overrides[name] = value
+        return cls(**overrides)
+
+    def spec(self) -> str:
+        """The canonical spec string of this config (mode-backend)."""
+        return f"{self.mode()}-{self.backend}"
 
     def is_parallel(self) -> bool:
         """True if a worker pool is required."""

@@ -1,0 +1,380 @@
+"""The query serving facade: pick a plan, answer a :class:`Query`.
+
+:class:`QueryEngine` is the stable public entry point for *answering
+queries* as opposed to *materialising closures*.  It owns a
+:class:`~repro.storage.database.Database`, an
+:class:`~repro.engine.parallel.EvalConfig` and per-program caches, and
+routes each query through the cheapest applicable tier:
+
+``edb``
+    The predicate is a stored relation (no rules): filter it directly.
+``labels``
+    The recursion is the transitive-closure shape over a stored edge
+    relation and the query binds at least one position: answer from the
+    :class:`~repro.query.labels.ReachabilityLabels` index in O(label)
+    per lookup — no fixpoint at all.
+``magic``
+    The query's bound positions survive stabilisation: run the
+    magic-sets demand rewrite (:mod:`repro.query.magic`) through the
+    unchanged fixpoint drivers, computing only the demanded fraction.
+``closure``
+    Fall back to the full fixpoint (cached per predicate), then filter —
+    the reference semantics every other tier is asserted against.
+
+Every tier returns **bit-identical** answers; ``strategy=`` can force a
+tier (raising :class:`~repro.exceptions.NotApplicableError` when its
+preconditions fail), which is how the parity tests and the differential
+fuzzer cross-check them.
+
+The engine is immutable with respect to its database: ``Database`` is a
+frozen value, so the caches keyed on this engine can never go stale.
+Serving against updated facts means :meth:`QueryEngine.with_database`,
+which starts a sibling engine with fresh caches — the generation-style
+invalidation used by the database's own index caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Union
+
+from repro.datalog.atoms import Predicate
+from repro.datalog.programs import LinearRecursion, Program
+from repro.datalog.terms import Variable
+from repro.engine.parallel import EvalConfig
+from repro.engine.seminaive import solve_linear_recursion
+from repro.engine.statistics import EvaluationStatistics
+from repro.exceptions import NotApplicableError
+from repro.query.labels import ReachabilityLabels, build_labels
+from repro.query.magic import MagicProgram, magic_rewrite
+from repro.query.query import Query
+from repro.storage.database import Database
+from repro.storage.relation import Relation, Row
+
+#: The strategy tiers, cheapest first.
+STRATEGIES = ("edb", "labels", "magic", "closure")
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """The answers to one query, with the strategy that produced them.
+
+    ``relation`` holds exactly the matching tuples (already filtered by
+    the query's bound values and repeated variables).  For a ground
+    query, truthiness is membership: ``bool(engine.ask("path(a, b)?"))``.
+    """
+
+    query: Query
+    relation: Relation
+    #: Which tier produced the answer: one of :data:`STRATEGIES`.
+    strategy: str
+    statistics: Optional[EvaluationStatistics] = field(
+        default=None, compare=False, repr=False,
+    )
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The matching tuples."""
+        return self.relation.rows
+
+    def bindings(self) -> Iterator[Mapping[str, Any]]:
+        """One ``{variable name: value}`` mapping per answer."""
+        return self.query.bindings(sorted(self.relation.rows))
+
+    def __len__(self) -> int:
+        return len(self.relation.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.relation.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self.relation.rows))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"QueryAnswer({self.query}, {len(self.relation.rows)} rows, "
+            f"strategy={self.strategy})"
+        )
+
+
+def transitive_closure_edge(recursion: LinearRecursion) -> Optional[str]:
+    """The edge-relation name if *recursion* is the TC shape, else None.
+
+    Recognised: one recursive rule, left- or right-linear over a binary
+    edge predicate, one exit rule copying that predicate::
+
+        path(X, Y) :- edge(X, Z), path(Z, Y).   # or path(X, Z), edge(Z, Y)
+        path(X, Y) :- edge(X, Y).
+
+    with all head variables distinct.  For this shape the closure is
+    exactly proper (≥ 1 edge) reachability over ``edge``, which the
+    label index answers without any fixpoint.
+    """
+    if (recursion.arity != 2 or len(recursion.recursive_rules) != 1
+            or len(recursion.exit_rules) != 1):
+        return None
+
+    exit_rule = recursion.exit_rules[0]
+    if len(exit_rule.body) != 1:
+        return None
+    edge_atom = exit_rule.body[0]
+    if edge_atom.is_equality() or edge_atom.predicate.arity != 2:
+        return None
+    head_x, head_y = exit_rule.head.arguments
+    if (not isinstance(head_x, Variable) or not isinstance(head_y, Variable)
+            or head_x == head_y or edge_atom.arguments != (head_x, head_y)):
+        return None
+
+    rule = recursion.recursive_rules[0]
+    if len(rule.body) != 2:
+        return None
+    rule_x, rule_y = rule.head.arguments
+    if (not isinstance(rule_x, Variable) or not isinstance(rule_y, Variable)
+            or rule_x == rule_y):
+        return None
+    recursive_atom = rule.recursive_atoms()[0]
+    other = next(atom for atom in rule.body if atom is not recursive_atom)
+    if other.predicate != edge_atom.predicate:
+        return None
+    middle: Any
+    # Left-linear: edge(X, Z), path(Z, Y).
+    middle = other.arguments[1]
+    if (other.arguments[0] == rule_x and isinstance(middle, Variable)
+            and middle not in (rule_x, rule_y)
+            and recursive_atom.arguments == (middle, rule_y)):
+        return edge_atom.predicate.name
+    # Right-linear: path(X, Z), edge(Z, Y).
+    middle = other.arguments[0]
+    if (other.arguments[1] == rule_y and isinstance(middle, Variable)
+            and middle not in (rule_x, rule_y)
+            and recursive_atom.arguments == (rule_x, middle)):
+        return edge_atom.predicate.name
+    return None
+
+
+class QueryEngine:
+    """Answer queries against one program and one database.
+
+    The facade callers should use instead of importing driver
+    internals: construct once, then :meth:`ask` repeatedly.  All
+    expensive artefacts — full closures, magic rewrites, label
+    indexes — are cached on the engine and shared across queries.
+    """
+
+    def __init__(self, database: Database,
+                 program: Optional[Union[Program, str]] = None,
+                 config: Optional[EvalConfig] = None):
+        if isinstance(program, str):
+            from repro.datalog.parser import parse_program
+            program = parse_program(program)
+        self.database = database
+        self.program = program
+        self.config = config
+        self._idb: frozenset[Predicate] = (
+            program.idb_predicates if program is not None else frozenset()
+        )
+        self._closures: dict[Predicate, Relation] = {}
+        self._magic: dict[tuple[Predicate, tuple[int, ...]], MagicProgram] = {}
+        self._labels: dict[tuple[str, bool], ReachabilityLabels] = {}
+        self._recursions: dict[Predicate, LinearRecursion] = {}
+
+    def with_database(self, database: Database) -> "QueryEngine":
+        """A sibling engine over *database*, with fresh caches.
+
+        ``Database`` is immutable, so cache invalidation is by
+        replacement: new facts mean a new database means a new engine
+        generation.  The program, config, and magic rewrites carry over
+        (rewrites depend only on the rules, not the facts).
+        """
+        sibling = QueryEngine(database, self.program, self.config)
+        sibling._magic = self._magic  # rule-only artefact, database-independent
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Cached artefacts
+    # ------------------------------------------------------------------
+
+    def recursion_of(self, predicate: Predicate) -> LinearRecursion:
+        """The (cached) linear-recursion view of *predicate*'s rules."""
+        recursion = self._recursions.get(predicate)
+        if recursion is None:
+            if self.program is None:
+                raise NotApplicableError(
+                    f"No program given; {predicate} has no rules"
+                )
+            recursion = self.program.linear_recursion_of(predicate)
+            self._recursions[predicate] = recursion
+        return recursion
+
+    def closure(self, predicate: Predicate,
+                statistics: Optional[EvaluationStatistics] = None) -> Relation:
+        """The full fixpoint of *predicate* (cached per engine)."""
+        cached = self._closures.get(predicate)
+        if cached is None:
+            cached = solve_linear_recursion(
+                self.recursion_of(predicate), self.database,
+                statistics, config=self.config,
+            )
+            self._closures[predicate] = cached
+        return cached
+
+    def magic_program(self, predicate: Predicate,
+                      bound: tuple[int, ...]) -> MagicProgram:
+        """The (cached) demand rewrite of *predicate* for bound positions."""
+        key = (predicate, bound)
+        cached = self._magic.get(key)
+        if cached is None:
+            cached = magic_rewrite(
+                self.recursion_of(predicate), bound,
+                reserved_names=self.database.names(),
+            )
+            self._magic[key] = cached
+        return cached
+
+    def labels(self, edge_name: str, reverse: bool = False) -> ReachabilityLabels:
+        """The (cached) reachability-label index over *edge_name*."""
+        key = (edge_name, reverse)
+        cached = self._labels.get(key)
+        if cached is None:
+            cached = build_labels(self.database, edge_name, reverse=reverse)
+            self._labels[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(self, query: Union[Query, str]) -> str:
+        """The strategy :meth:`ask` would pick for *query* (no evaluation)."""
+        query = Query.parse(query) if isinstance(query, str) else query
+        if query.predicate not in self._idb:
+            return "edb"
+        recursion = self.recursion_of(query.predicate)
+        if self._labels_applicable(query, recursion):
+            return "labels"
+        if query.bound_positions:
+            try:
+                self.magic_program(query.predicate, query.bound_positions)
+                return "magic"
+            except NotApplicableError:
+                pass
+        return "closure"
+
+    def _labels_applicable(self, query: Query,
+                           recursion: LinearRecursion) -> bool:
+        if query.repeated_groups or not query.bound_positions:
+            return False
+        edge_name = transitive_closure_edge(recursion)
+        if edge_name is None:
+            return False
+        # The edge must be a stored EDB relation: if rules define it, the
+        # stored rows are not the whole graph.
+        if Predicate(edge_name, 2) in self._idb:
+            return False
+        return self.database.has_relation(edge_name)
+
+    # ------------------------------------------------------------------
+    # Answering
+    # ------------------------------------------------------------------
+
+    def ask(self, query: Union[Query, str],
+            strategy: str = "auto") -> QueryAnswer:
+        """Answer *query* via *strategy* (``auto`` picks the cheapest tier).
+
+        Forcing a tier (``strategy="magic"`` etc.) raises
+        :class:`~repro.exceptions.NotApplicableError` when its
+        preconditions fail — the parity harnesses use this to cross-check
+        tiers against each other.
+        """
+        query = Query.parse(query) if isinstance(query, str) else query
+        if strategy != "auto" and strategy not in STRATEGIES:
+            raise ValueError(
+                f"Unknown strategy {strategy!r}; expected 'auto' or one of "
+                f"{STRATEGIES}"
+            )
+
+        if strategy == "auto":
+            strategy = self.plan(query)
+        elif strategy == "edb":
+            if query.predicate in self._idb:
+                raise NotApplicableError(
+                    f"{query.predicate} is defined by rules, not stored"
+                )
+        elif query.predicate not in self._idb:
+            raise NotApplicableError(
+                f"{query.predicate} is a stored relation; only 'edb'/'auto' apply"
+            )
+
+        statistics = EvaluationStatistics()
+        if strategy == "edb":
+            stored = self.database.relation(query.name, query.arity)
+            return QueryAnswer(query, query.filter(stored), "edb", statistics)
+        if strategy == "labels":
+            return self._ask_labels(query, statistics)
+        if strategy == "magic":
+            return self._ask_magic(query, statistics)
+        relation = self.closure(query.predicate, statistics)
+        return QueryAnswer(query, query.filter(relation), "closure", statistics)
+
+    def _ask_labels(self, query: Query,
+                    statistics: EvaluationStatistics) -> QueryAnswer:
+        recursion = self.recursion_of(query.predicate)
+        if not self._labels_applicable(query, recursion):
+            raise NotApplicableError(
+                f"Label index not applicable to {query} (needs the "
+                f"transitive-closure shape over a stored edge relation and "
+                f"at least one bound position)"
+            )
+        edge_name = transitive_closure_edge(recursion)
+        assert edge_name is not None
+        name = query.name
+        rows: set[Row] = set()
+        if query.is_ground():
+            source, target = query.bound_values
+            if self.labels(edge_name).reaches(source, target):
+                rows.add((source, target))
+        elif query.bound_positions == (0,):
+            (source,) = query.bound_values
+            rows.update(self.labels(edge_name).pairs_from(source))
+        else:  # bound_positions == (1,): predecessors via the reversed graph
+            (target,) = query.bound_values
+            rows.update(
+                (source, target) for _, source
+                in self.labels(edge_name, reverse=True).pairs_from(target)
+            )
+        relation = Relation.from_canonical(name, 2, frozenset(rows))
+        return QueryAnswer(query, relation, "labels", statistics)
+
+    def _ask_magic(self, query: Query,
+                   statistics: EvaluationStatistics) -> QueryAnswer:
+        if not query.bound_positions:
+            raise NotApplicableError(
+                f"{query} binds nothing; the demand rewrite cannot restrict"
+            )
+        magic = self.magic_program(query.predicate, query.bound_positions)
+        bound_values = tuple(
+            query.atom.arguments[position].value  # type: ignore[union-attr]
+            for position in magic.bound_positions
+        )
+        demanded = magic.solve(
+            bound_values, self.database, statistics, config=self.config,
+        )
+        return QueryAnswer(query, query.filter(demanded), "magic", statistics)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        rules = len(self.program) if self.program is not None else 0
+        return (
+            f"QueryEngine({len(self.database)} relations, {rules} rules, "
+            f"{len(self._closures)} cached closures)"
+        )
+
+
+def answer(query: Union[Query, str], program: Union[Program, str],
+           database: Database,
+           config: Optional[EvalConfig] = None) -> QueryAnswer:
+    """One-shot convenience: build an engine, answer one query.
+
+    For repeated queries construct a :class:`QueryEngine` and reuse it —
+    that is what makes the caches pay.
+    """
+    return QueryEngine(database, program, config).ask(query)

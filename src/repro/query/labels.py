@@ -1,0 +1,319 @@
+"""Reachability labels: O(label) point lookups over interned columns.
+
+The third tier of the query stack: for the transitive-closure shape —
+by far the dominant serving workload — repeated point queries
+(``path(a, b)?``, ``path(a, X)?``) should not run *any* fixpoint, not
+even a demanded one.  :class:`ReachabilityLabels` precomputes, once per
+edge-relation generation, labels in the style of the XPath interval
+accelerators: every node gets a **pre/post interval** from a DFS
+spanning forest, so "``b`` is a tree descendant of ``a``" is answered
+by two range comparisons, exactly like the ancestor/descendant axes of
+the pre/post-plane accelerators.  Plain intervals are exact only on
+trees, so the index is built over the **SCC condensation** of the graph
+(making cyclic inputs acyclic for free) and backs the interval fast
+path with per-component **reachability bitsets** (Python ints) computed
+in one reverse-topological pass — covering non-tree DAG edges exactly.
+
+A point lookup is therefore O(label): two comparisons on the interval
+fast path, one bit test otherwise.  Successor enumeration walks the set
+bits of one bitset.  The input is the relation's canonical interned
+form — the same ``array('q')`` columns the packed fixpoint drivers run
+on — so building the index shares the database's domain and interned
+caches and costs one O(V + E) pass plus the bitset closure.
+
+Semantics: ``reaches(a, b)`` is *proper* reachability — a path of at
+least one edge — matching the transitive closure computed from the exit
+rule ``path(X, Y) :- edge(X, Y)``.  ``reaches(a, a)`` holds exactly
+when ``a`` lies on a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.storage.domain import Domain, InternedRelation
+
+
+class ReachabilityLabels:
+    """Interval + bitset reachability labels over one binary relation.
+
+    Build once per edge-relation generation (the
+    :class:`~repro.query.engine.QueryEngine` caches instances keyed by
+    the stored relation object, mirroring the database index caches);
+    query many times in O(label).
+    """
+
+    __slots__ = ("name", "node_count", "_domain", "_component_of",
+                 "_members", "_cyclic", "_reach", "_pre", "_post",
+                 "_node_ids", "_node_of_id")
+
+    def __init__(self, interned: InternedRelation, domain: Domain):
+        if interned.arity != 2:
+            raise ValueError(
+                f"Reachability labels require a binary relation; "
+                f"{interned.name} has arity {interned.arity}"
+            )
+        self.name = interned.name
+        self._domain = domain
+
+        source_column, target_column = interned.columns
+        #: Dense local numbering of the ids that actually occur, so the
+        #: label arrays are small even when the domain holds many other
+        #: values.
+        node_of_id: dict[int, int] = {}
+        nodes: list[int] = []
+
+        def local(ident: int) -> int:
+            node = node_of_id.get(ident)
+            if node is None:
+                node = len(nodes)
+                node_of_id[ident] = node
+                nodes.append(ident)
+            return node
+
+        edges: list[list[int]] = []
+        for j in range(interned.length):
+            source = local(source_column[j])
+            target = local(target_column[j])
+            while len(edges) < len(nodes):
+                edges.append([])
+            edges[source].append(target)
+        while len(edges) < len(nodes):
+            edges.append([])
+        self._node_ids = nodes
+        self._node_of_id = node_of_id
+        self.node_count = len(nodes)
+
+        component_of, members, cyclic, order = self._condense(edges)
+        self._component_of = component_of
+        self._members = members
+        self._cyclic = cyclic
+        self._reach = self._bitset_closure(edges, component_of, cyclic, order)
+        self._pre, self._post = self._intervals(edges, component_of, order)
+
+    # ------------------------------------------------------------------
+    # Construction passes
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _condense(edges: list[list[int]]) -> tuple[list[int], list[list[int]],
+                                                   list[bool], list[int]]:
+        """Iterative Tarjan SCC: component array, members, cyclicity, order.
+
+        The returned *order* lists components as Tarjan completes them —
+        every component precedes the components that can reach it, i.e.
+        reverse topological order of the condensation.
+        """
+        n = len(edges)
+        component_of = [-1] * n
+        index_of = [-1] * n
+        low = [0] * n
+        on_stack = [False] * n
+        stack: list[int] = []
+        members: list[list[int]] = []
+        cyclic: list[bool] = []
+        order: list[int] = []
+        counter = 0
+
+        for root in range(n):
+            if index_of[root] != -1:
+                continue
+            # Explicit DFS stack: (node, iterator position into edges).
+            work = [(root, 0)]
+            while work:
+                node, position = work.pop()
+                if position == 0:
+                    index_of[node] = low[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                for next_position in range(position, len(edges[node])):
+                    target = edges[node][next_position]
+                    if index_of[target] == -1:
+                        work.append((node, next_position + 1))
+                        work.append((target, 0))
+                        advanced = True
+                        break
+                    if on_stack[target]:
+                        low[node] = min(low[node], index_of[target])
+                if advanced:
+                    continue
+                if low[node] == index_of[node]:
+                    component = len(members)
+                    group: list[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component_of[member] = component
+                        group.append(member)
+                        if member == node:
+                            break
+                    members.append(group)
+                    cyclic.append(
+                        len(group) > 1
+                        or any(target == node for target in edges[node])
+                    )
+                    order.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return component_of, members, cyclic, order
+
+    @staticmethod
+    def _bitset_closure(edges: list[list[int]], component_of: list[int],
+                        cyclic: list[bool], order: list[int]) -> list[int]:
+        """Per-component proper-reachability bitsets, one reverse-topo pass.
+
+        ``reach[c]`` has bit ``d`` set iff some node of ``c`` reaches
+        some node of ``d`` via at least one edge; a cyclic component
+        reaches itself.
+        """
+        reach = [0] * len(order)
+        successors: list[set[int]] = [set() for _ in order]
+        for node, targets in enumerate(edges):
+            source = component_of[node]
+            for target in targets:
+                target_component = component_of[target]
+                if target_component != source:
+                    successors[source].add(target_component)
+        for component in order:  # successors complete before predecessors
+            mask = (1 << component) if cyclic[component] else 0
+            for target_component in successors[component]:
+                mask |= (1 << target_component) | reach[target_component]
+            reach[component] = mask
+        return reach
+
+    @staticmethod
+    def _intervals(edges: list[list[int]], component_of: list[int],
+                   order: list[int]) -> tuple[list[int], list[int]]:
+        """Pre/post numbering of a DFS spanning forest of the condensation.
+
+        ``pre[c] <= pre[d] and post[d] <= post[c]`` answers "``d`` is a
+        tree descendant of ``c``" with two comparisons — the XPath-
+        accelerator fast path; cross and forward edges fall back to the
+        bitsets.
+        """
+        count = len(order)
+        successors: list[list[int]] = [[] for _ in range(count)]
+        seen_pairs: set[tuple[int, int]] = set()
+        for node, targets in enumerate(edges):
+            source = component_of[node]
+            for target in targets:
+                target_component = component_of[target]
+                if target_component != source:
+                    pair = (source, target_component)
+                    if pair not in seen_pairs:
+                        seen_pairs.add(pair)
+                        successors[source].append(target_component)
+        pre = [-1] * count
+        post = [-1] * count
+        clock = 0
+        # Roots in reverse completion order: predecessors first, so every
+        # component is visited from the forest's topmost tree possible.
+        for root in reversed(order):
+            if pre[root] != -1:
+                continue
+            work: list[tuple[int, int]] = [(root, 0)]
+            pre[root] = clock
+            clock += 1
+            while work:
+                component, position = work.pop()
+                advanced = False
+                for next_position in range(position, len(successors[component])):
+                    target = successors[component][next_position]
+                    if pre[target] == -1:
+                        pre[target] = clock
+                        clock += 1
+                        work.append((component, next_position + 1))
+                        work.append((target, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    post[component] = clock
+                    clock += 1
+        return pre, post
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _component(self, value: Any) -> Optional[int]:
+        """The component of *value*, or None when it is not in the graph."""
+        if value not in self._domain:
+            return None
+        node = self._node_of_id.get(self._domain.intern(value))
+        if node is None:
+            return None
+        return self._component_of[node]
+
+    def reaches(self, source: Any, target: Any) -> bool:
+        """True iff a path of at least one edge leads *source* → *target*.
+
+        O(label): the pre/post interval test answers tree descendants
+        with two comparisons; everything else is one bit test.
+        """
+        source_component = self._component(source)
+        target_component = self._component(target)
+        if source_component is None or target_component is None:
+            return False
+        if source_component != target_component:
+            # Interval fast path: a proper tree descendant is reachable.
+            if (self._pre[source_component] <= self._pre[target_component]
+                    and self._post[target_component] <= self._post[source_component]):
+                return True
+        return bool(self._reach[source_component] >> target_component & 1)
+
+    def successor_values(self, source: Any) -> frozenset:
+        """Every value reachable from *source* via at least one edge."""
+        component = self._component(source)
+        if component is None:
+            return frozenset()
+        values = self._domain.values_view()
+        nodes = self._node_ids
+        result: list[Any] = []
+        mask = self._reach[component]
+        while mask:
+            low = mask & -mask
+            target_component = low.bit_length() - 1
+            mask ^= low
+            for member in self._members[target_component]:
+                result.append(values[nodes[member]])
+        return frozenset(result)
+
+    def pairs_from(self, source: Any) -> Iterator[tuple[Any, Any]]:
+        """The answer rows of ``path(source, X)?``."""
+        for target in self.successor_values(source):
+            yield (source, target)
+
+    def interval_of(self, value: Any) -> Optional[tuple[int, int]]:
+        """The (pre, post) interval of *value*'s component (None if absent)."""
+        component = self._component(value)
+        if component is None:
+            return None
+        return (self._pre[component], self._post[component])
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ReachabilityLabels({self.name}: {self.node_count} nodes, "
+            f"{len(self._members)} components)"
+        )
+
+
+def build_labels(database: Any, name: str,
+                 reverse: bool = False) -> ReachabilityLabels:
+    """Build labels over the stored binary relation *name* of *database*.
+
+    Uses the database's cached canonical interned form (sharing its
+    domain), so repeated builds after unrelated queries are cheap.  With
+    *reverse* the edge direction is flipped — the index then answers
+    predecessor queries (``path(X, b)?``) through the same lookups.
+    """
+    interned = database.interned_relation(name, 2)
+    if reverse:
+        interned = InternedRelation(
+            interned.name, 2,
+            (interned.columns[1], interned.columns[0]),
+            interned.length,
+        )
+    return ReachabilityLabels(interned, database.domain())

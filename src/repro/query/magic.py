@@ -1,0 +1,328 @@
+"""Magic-sets demand rewriting for linear recursions.
+
+A query ``path(a, X)?`` does not need the whole closure — only the
+fraction *demanded* by the bound constant ``a``.  This module performs
+the classical magic-sets transformation (the sideways-information-
+passing line of Bancilhon/Maier/Sagiv/Ullman, which runs through
+Naughton's bibliography) specialised to the single-predicate linear
+recursions this engine evaluates, and — crucially — produces programs of
+exactly that same shape, so the rewritten rules run through the
+**unchanged** compiled/vectorised/interned fixpoint drivers
+(:func:`repro.engine.seminaive.seminaive_closure` and friends) on every
+executor × backend combination.
+
+Shape of the rewrite
+--------------------
+
+For a linear recursion ``P = A P ∪ Q`` and a query binding the head
+positions ``B`` (after shrinking ``B`` to a *stable* bound set, see
+:func:`stable_bound_positions`):
+
+* a **magic predicate** ``m`` of arity ``|B|`` collects the demanded
+  bindings.  Its rules are derived one-per-recursive-rule: demand on a
+  rule's head propagates *sideways* through the rule's nonrecursive
+  atoms to demand on its recursive body atom::
+
+      p(X, Y) :- e(X, Z), p(Z, Y).      # original, query p(a, Y)?
+      m(Z)    :- m(X), e(X, Z).         # magic rule (B = {0})
+
+  The magic rules are themselves a single-predicate *linear* recursion
+  over ``m`` (each body holds exactly one ``m`` atom), seeded with the
+  query's bound values — so stage one is an ordinary
+  ``seminaive_closure`` run.
+
+* the **guarded program** adds ``m(head args at B)`` to every original
+  rule body, restricting derivations to demanded tuples::
+
+      p(X, Y) :- m(X), e(X, Z), p(Z, Y).
+      p(X, Y) :- m(X), e(X, Y).         # guarded exit rule
+
+  Stage two evaluates the guarded recursion with ``m`` stored as an
+  ordinary EDB relation — again an unchanged driver run, still linear
+  in ``p``.
+
+Soundness: the magic rules include *every* nonrecursive atom of their
+source rule (equality atoms only when fully bindable), so the computed
+magic set is a superset of the true demand; the guarded program then
+derives exactly the original ``p``-facts whose ``B``-projection is in
+the magic set.  Answers filtered by the query are therefore identical —
+bit for bit — to filtering the full closure, which the parity tests and
+the differential fuzzer assert across all executors and backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.programs import LinearRecursion
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine.parallel import EvalConfig
+from repro.engine.seminaive import evaluate_exit_rules, seminaive_closure
+from repro.engine.statistics import EvaluationStatistics
+from repro.exceptions import NotApplicableError, RuleStructureError
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+def _bindable_variables(rule: Rule, bound_positions: Iterable[int]) -> set[Variable]:
+    """Variables of *rule* bindable during sideways demand propagation.
+
+    Bindable are: head variables at bound positions, every variable of a
+    non-equality nonrecursive atom (EDB scans are finite and self-
+    binding), and — propagated to a fixpoint — variables equated to a
+    bindable variable or to a constant through equality atoms.
+    """
+    bindable: set[Variable] = set()
+    head = rule.head
+    for position in bound_positions:
+        term = head.arguments[position]
+        if isinstance(term, Variable):
+            bindable.add(term)
+    equalities: list[Atom] = []
+    for atom in rule.nonrecursive_atoms():
+        if atom.is_equality():
+            equalities.append(atom)
+        else:
+            bindable.update(atom.variables())
+    changed = True
+    while changed:
+        changed = False
+        for atom in equalities:
+            left, right = atom.arguments
+            left_known = isinstance(left, Constant) or left in bindable
+            right_known = isinstance(right, Constant) or right in bindable
+            if left_known and isinstance(right, Variable) and right not in bindable:
+                bindable.add(right)
+                changed = True
+            if right_known and isinstance(left, Variable) and left not in bindable:
+                bindable.add(left)
+                changed = True
+    return bindable
+
+
+def stable_bound_positions(recursion: LinearRecursion,
+                           bound: Iterable[int]) -> tuple[int, ...]:
+    """Shrink the query's bound positions to a recursion-stable subset.
+
+    A bound set ``B`` is *stable* when, for every recursive rule, each
+    position of the recursive body atom in ``B`` holds a constant or a
+    variable bindable by sideways propagation
+    (:func:`_bindable_variables`).  Stability guarantees every magic
+    rule is range-restricted and that one adorned version of the
+    predicate suffices — keeping the rewritten program in the
+    single-predicate linear shape the drivers evaluate.
+
+    Positions that cannot be kept bound are dropped (their constants are
+    enforced by the final answer filter instead); an empty result means
+    the demand rewrite cannot restrict anything and the caller should
+    fall back to full closure.
+    """
+    positions = set(bound)
+    changed = True
+    while changed and positions:
+        changed = False
+        for rule in recursion.recursive_rules:
+            recursive_atom = rule.recursive_atoms()[0]
+            bindable = _bindable_variables(rule, sorted(positions))
+            for position in sorted(positions):
+                term = recursive_atom.arguments[position]
+                if isinstance(term, Variable) and term not in bindable:
+                    positions.discard(position)
+                    changed = True
+    return tuple(sorted(positions))
+
+
+def _magic_name(predicate: Predicate, bound_positions: Sequence[int],
+                taken: Iterable[str]) -> str:
+    """A collision-free name for the magic predicate of one adornment."""
+    adornment = "".join(
+        "b" if position in bound_positions else "f"
+        for position in range(predicate.arity)
+    )
+    name = f"magic_{predicate.name}_{adornment}"
+    taken = set(taken)
+    while name in taken:
+        name = "_" + name
+    return name
+
+
+@dataclass(frozen=True)
+class MagicProgram:
+    """The demand rewrite of one linear recursion for one bound set.
+
+    The two stages are plain driver inputs: ``magic_rules`` is a linear
+    recursion over :attr:`magic_predicate` (seeded by
+    :meth:`magic_seed`), and the guarded rules are a linear recursion
+    over the original predicate with the magic relation as an extra EDB
+    input.  :meth:`solve` runs both stages through the standard drivers
+    under any :class:`~repro.engine.parallel.EvalConfig`.
+    """
+
+    predicate: Predicate
+    #: The stable bound head positions, ascending.
+    bound_positions: tuple[int, ...]
+    magic_predicate: Predicate
+    #: Demand-propagation rules: a linear recursion over the magic predicate.
+    magic_rules: tuple[Rule, ...]
+    #: Original recursive rules, guarded by the magic atom.
+    guarded_recursive: tuple[Rule, ...]
+    #: Original exit rules, guarded by the magic atom.
+    guarded_exit: tuple[Rule, ...]
+
+    def adornment(self) -> str:
+        """The rewritten adornment (after stabilisation)."""
+        return "".join(
+            "b" if position in self.bound_positions else "f"
+            for position in range(self.predicate.arity)
+        )
+
+    def magic_seed(self, bound_values: Sequence[Any]) -> Relation:
+        """The seed relation: one row holding the demanded binding.
+
+        *bound_values* are the query's constants at
+        :attr:`bound_positions`, in position order (the caller projects
+        them; :meth:`seed_from_query` does it from a full argument row).
+        """
+        if len(bound_values) != len(self.bound_positions):
+            raise ValueError(
+                f"Expected {len(self.bound_positions)} bound values, "
+                f"got {len(bound_values)}"
+            )
+        return Relation.of(
+            self.magic_predicate.name, self.magic_predicate.arity,
+            [tuple(bound_values)],
+        )
+
+    def demanded(self, magic: Relation, relation: Relation) -> Relation:
+        """Restrict *relation* to rows whose ``B``-projection is in *magic*."""
+        positions = self.bound_positions
+        rows = magic.rows
+        return Relation.from_canonical(
+            relation.name, relation.arity,
+            frozenset(
+                row for row in relation.rows
+                if tuple(row[position] for position in positions) in rows
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation (both stages through the unchanged drivers)
+    # ------------------------------------------------------------------
+
+    def magic_closure(self, bound_values: Sequence[Any], database: Database,
+                      statistics: Optional[EvaluationStatistics] = None,
+                      config: Optional[EvalConfig] = None) -> Relation:
+        """Stage one: the demand fixpoint (an ordinary semi-naive run)."""
+        return seminaive_closure(
+            self.magic_rules, self.magic_seed(bound_values), database,
+            statistics, config=config,
+        )
+
+    def solve(self, bound_values: Sequence[Any], database: Database,
+              statistics: Optional[EvaluationStatistics] = None,
+              initial: Optional[Relation] = None,
+              config: Optional[EvalConfig] = None) -> Relation:
+        """Evaluate the demanded fraction of the recursion.
+
+        Stage one computes the magic (demand) closure from the query's
+        *bound_values*; stage two evaluates the guarded recursion with
+        the magic relation stored as an EDB input.  When *initial* is
+        given it plays the role of the exit rules' result ``Q`` (the
+        closure-style API) and is restricted to demanded rows;
+        otherwise the guarded exit rules are evaluated.  Both stages
+        run under *config* through the standard drivers.
+
+        The result contains every ``p``-fact whose ``B``-projection is
+        demanded — a superset of the query's answers; the caller applies
+        the final :meth:`repro.query.query.Query.filter`.
+        """
+        statistics = statistics if statistics is not None else EvaluationStatistics()
+        magic = self.magic_closure(bound_values, database, statistics, config)
+        guarded_database = database.with_relation(magic)
+        if initial is not None:
+            start = self.demanded(magic, initial)
+        else:
+            recursion = LinearRecursion(
+                self.predicate, self.guarded_recursive, self.guarded_exit,
+            )
+            start = evaluate_exit_rules(
+                recursion, guarded_database, statistics, config=config,
+            )
+        return seminaive_closure(
+            self.guarded_recursive, start, guarded_database, statistics,
+            config=config,
+        )
+
+
+def magic_rewrite(recursion: LinearRecursion,
+                  bound: Iterable[int],
+                  reserved_names: Iterable[str] = ()) -> MagicProgram:
+    """Build the :class:`MagicProgram` of *recursion* for bound positions.
+
+    *bound* is the query's bound head positions; they are first shrunk
+    to a stable subset (:func:`stable_bound_positions`).  Raises
+    :class:`~repro.exceptions.NotApplicableError` when no position
+    survives — the demand rewrite cannot restrict anything and full
+    closure is the right plan.  *reserved_names* are relation names the
+    magic predicate must avoid (the caller passes the database's names;
+    program predicates are always avoided).
+    """
+    for rule in recursion.recursive_rules:
+        if not rule.is_linear_recursive():
+            raise RuleStructureError(
+                f"Magic rewrite requires linear recursive rules: {rule}"
+            )
+    bound_positions = stable_bound_positions(recursion, bound)
+    if not bound_positions:
+        raise NotApplicableError(
+            f"No stable bound positions for {recursion.predicate} "
+            f"(query bound {sorted(set(bound))}); use full closure"
+        )
+
+    taken = set(reserved_names)
+    for rule in (*recursion.recursive_rules, *recursion.exit_rules):
+        taken.add(rule.head.predicate.name)
+        for atom in rule.body:
+            taken.add(atom.predicate.name)
+    magic_predicate = Predicate(
+        _magic_name(recursion.predicate, bound_positions, taken),
+        len(bound_positions),
+    )
+
+    def magic_atom(source: Atom) -> Atom:
+        return Atom(
+            magic_predicate,
+            tuple(source.arguments[position] for position in bound_positions),
+        )
+
+    magic_rules = []
+    for rule in recursion.recursive_rules:
+        recursive_atom = rule.recursive_atoms()[0]
+        bindable = _bindable_variables(rule, bound_positions)
+        body: list[Atom] = [magic_atom(rule.head)]
+        for atom in rule.nonrecursive_atoms():
+            if atom.is_equality():
+                # An equality atom joins the demand propagation only
+                # when fully bindable; dropping it merely widens the
+                # magic set (still a superset of the true demand).
+                if all(variable in bindable for variable in atom.variables()):
+                    body.append(atom)
+            else:
+                body.append(atom)
+        magic_rules.append(Rule(magic_atom(recursive_atom), tuple(body)))
+
+    guarded_recursive = tuple(
+        Rule(rule.head, (magic_atom(rule.head), *rule.body))
+        for rule in recursion.recursive_rules
+    )
+    guarded_exit = tuple(
+        Rule(rule.head, (magic_atom(rule.head), *rule.body))
+        for rule in recursion.exit_rules
+    )
+    return MagicProgram(
+        recursion.predicate, bound_positions, magic_predicate,
+        tuple(magic_rules), guarded_recursive, guarded_exit,
+    )

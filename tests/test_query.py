@@ -1,0 +1,606 @@
+"""Tests for the query subsystem: Query, magic sets, labels, QueryEngine.
+
+The central invariant, asserted many ways: every answering tier (EDB
+filter, reachability labels, magic-sets demand rewrite, full closure)
+returns **bit-identical** answers, on every executor × backend
+combination.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Query, QueryEngine, answer, solve
+from repro.datalog.atoms import Predicate
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.programs import LinearRecursion
+from repro.datalog.terms import Constant, Variable
+from repro.engine.parallel import EvalConfig
+from repro.engine.seminaive import seminaive_closure
+from repro.exceptions import (
+    DatalogSyntaxError,
+    NotApplicableError,
+    RuleStructureError,
+    SchemaError,
+)
+from repro.query import (
+    MagicProgram,
+    QueryAnswer,
+    ReachabilityLabels,
+    build_labels,
+    magic_rewrite,
+    stable_bound_positions,
+    transitive_closure_edge,
+)
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads.graphs import (
+    cycle_edges,
+    layered_dag_edges,
+    random_graph_edges,
+    tree_edges,
+)
+from repro.workloads.rulegen import random_restricted_rule
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TC_LEFT = (
+    "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+    "path(X, Y) :- edge(X, Y)."
+)
+TC_RIGHT = (
+    "path(X, Y) :- path(X, Z), edge(Z, Y).\n"
+    "path(X, Y) :- edge(X, Y)."
+)
+
+#: Every executor × backend combination (the serial modes plus one
+#: parallel config per backend; interned-processes exercises the
+#: shared-memory packed path).
+ALL_CONFIGS = [
+    None,
+    EvalConfig.from_spec("rows"),
+    EvalConfig.from_spec("batch"),
+    EvalConfig.from_spec("interned"),
+    EvalConfig.from_spec("rows-threads"),
+    EvalConfig.from_spec("batch-threads"),
+    EvalConfig.from_spec("rows-processes"),
+    EvalConfig.from_spec("interned-processes"),
+]
+#: The cheap subset for property sweeps (no pool startup per example).
+SERIAL_CONFIGS = [None, EvalConfig.from_spec("batch"),
+                  EvalConfig.from_spec("interned")]
+
+
+def tc_engine(edges, program: str = TC_LEFT, config=None) -> QueryEngine:
+    database = Database.of(Relation.of("edge", 2, edges))
+    return QueryEngine(database, program, config=config)
+
+
+CYCLIC_EDGES = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "b"),
+                ("d", "e"), ("f", "f")]
+
+
+# ----------------------------------------------------------------------
+# Query: parsing, adornments, filtering
+# ----------------------------------------------------------------------
+
+
+class TestQuery:
+    def test_parse_trailing_question_mark(self):
+        query = Query.parse("path(a, X)?")
+        assert query.name == "path"
+        assert query.arity == 2
+        assert query.adornment == "bf"
+
+    @pytest.mark.parametrize("text", ["path(a, X)", "path(a, X).",
+                                      "  path(a, X)?  "])
+    def test_parse_terminator_optional(self, text):
+        assert Query.parse(text) == Query.parse("path(a, X)?")
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            Query.parse("  ?")
+
+    def test_adornment_and_positions(self):
+        query = Query.parse("p(a, X, 3, Y)?")
+        assert query.adornment == "bfbf"
+        assert query.bound_positions == (0, 2)
+        assert query.free_positions == (1, 3)
+        assert query.bound_values == ("a", 3)
+
+    def test_of_wraps_plain_values_and_none(self):
+        query = Query.of("p", 1, None, Variable("X"), Constant("c"))
+        assert query.adornment == "bffb"
+        assert query.bound_values == (1, "c")
+
+    def test_repeated_variable_groups(self):
+        query = Query.parse("p(X, Y, X)?")
+        assert query.repeated_groups == ((0, 2),)
+        assert query.matches((1, 2, 1))
+        assert not query.matches((1, 2, 3))
+
+    def test_ground_and_full(self):
+        assert Query.parse("p(a, b)?").is_ground()
+        assert not Query.parse("p(a, X)?").is_ground()
+        assert Query.parse("p(X, Y)?").is_full()
+        assert not Query.parse("p(X, X)?").is_full()
+
+    def test_filter_is_reference_semantics(self):
+        relation = Relation.of("p", 2, [(1, 1), (1, 2), (2, 2)])
+        assert Query.of("p", 1, None).filter(relation).rows == {(1, 1), (1, 2)}
+        assert Query.parse("p(X, X)?").filter(relation).rows == {(1, 1), (2, 2)}
+        assert Query.parse("p(X, Y)?").filter(relation) is relation
+
+    def test_bindings(self):
+        query = Query.parse("p(a, X, Y)?")
+        rows = [("a", 1, 2), ("a", 3, 4)]
+        assert list(query.bindings(rows)) == [{"X": 1, "Y": 2}, {"X": 3, "Y": 4}]
+
+    def test_str(self):
+        assert str(Query.parse("p(a, X)?")) == "p(a, X)?"
+
+
+# ----------------------------------------------------------------------
+# Magic rewrite: adornments, stabilisation, structure
+# ----------------------------------------------------------------------
+
+
+class TestMagicRewrite:
+    def recursion(self, text: str, name: str = "path") -> LinearRecursion:
+        program = parse_program(text)
+        (predicate,) = [p for p in program.idb_predicates if p.name == name]
+        return program.linear_recursion_of(predicate)
+
+    def test_tc_bound_first_structure(self):
+        magic = magic_rewrite(self.recursion(TC_LEFT), (0,))
+        assert magic.adornment() == "bf"
+        assert magic.magic_predicate.arity == 1
+        assert magic.magic_predicate.name == "magic_path_bf"
+        (rule,) = magic.magic_rules
+        # m(Z) :- m(X), edge(X, Z).
+        assert str(rule) == "magic_path_bf(Z) :- magic_path_bf(X), edge(X, Z)."
+        assert all(
+            rule.body[0].predicate == magic.magic_predicate
+            for rule in (*magic.guarded_recursive, *magic.guarded_exit)
+        )
+        # The guarded rules are still a valid single-predicate linear
+        # recursion — the shape the unchanged drivers require.
+        LinearRecursion(magic.predicate, magic.guarded_recursive,
+                        magic.guarded_exit)
+
+    def test_tc_ground_query_keeps_both_positions(self):
+        recursion = self.recursion(TC_LEFT)
+        assert stable_bound_positions(recursion, (0, 1)) == (0, 1)
+        assert magic_rewrite(recursion, (0, 1)).adornment() == "bb"
+
+    def test_unstable_position_dropped(self):
+        # The recursive atom's second position holds a variable no
+        # sideways pass can bind, so bb degrades to bf.
+        recursion = self.recursion(
+            "path(X, Y) :- edge(X, Z), loop(Y, Y), path(Z, W).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        assert stable_bound_positions(recursion, (0, 1)) == (0,)
+        assert magic_rewrite(recursion, (0, 1)).adornment() == "bf"
+
+    def test_nothing_stable_raises_not_applicable(self):
+        recursion = self.recursion(
+            "path(X, Y) :- path(Z, Y), edge(X, W).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        with pytest.raises(NotApplicableError):
+            magic_rewrite(recursion, (0,))
+
+    def test_constant_in_rule_head(self):
+        # Demand on a constant head position becomes a ground magic fact
+        # check; the rewrite must keep compiling and stay exact.
+        text = (
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+            "path(a, Y) :- special(Y).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        database = Database.of(
+            Relation.of("edge", 2, [("a", "b"), ("b", "c")]),
+            Relation.of("special", 1, [("z",)]),
+        )
+        engine = QueryEngine(database, text)
+        for text_query in ["path(a, X)?", "path(b, X)?", "path(a, z)?"]:
+            query = Query.parse(text_query)
+            reference = query.filter(engine.closure(query.predicate))
+            forced = engine.ask(query, strategy="magic")
+            assert forced.relation.rows == reference.rows
+
+    def test_magic_name_avoids_collisions(self):
+        recursion = self.recursion(TC_LEFT)
+        magic = magic_rewrite(recursion, (0,),
+                              reserved_names=("magic_path_bf",))
+        assert magic.magic_predicate.name == "_magic_path_bf"
+
+    def test_non_linear_program_rejected(self):
+        program = (
+            "path(X, Y) :- path(X, Z), path(Z, Y).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        engine = QueryEngine(
+            Database.of(Relation.of("edge", 2, [(1, 2)])), program,
+        )
+        with pytest.raises(RuleStructureError):
+            engine.ask("path(1, X)?")
+
+    def test_equality_atom_propagates_demand(self):
+        # X = Z carries the binding sideways even without an EDB atom
+        # touching Z directly.
+        text = (
+            "path(X, Y) :- edge(X, W), X = Z, path(Z, Y).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        engine = QueryEngine(
+            Database.of(Relation.of("edge", 2, CYCLIC_EDGES)), text,
+        )
+        query = Query.parse("path(a, X)?")
+        reference = query.filter(engine.closure(query.predicate))
+        assert engine.ask(query, strategy="magic").relation.rows == reference.rows
+
+    def test_seed_arity_checked(self):
+        magic = magic_rewrite(self.recursion(TC_LEFT), (0,))
+        with pytest.raises(ValueError):
+            magic.magic_seed(("a", "b"))
+
+
+# ----------------------------------------------------------------------
+# Reachability labels
+# ----------------------------------------------------------------------
+
+
+def brute_reach(edges):
+    """Reference proper reachability by naive closure."""
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+class TestReachabilityLabels:
+    def labels_of(self, edges, reverse=False):
+        database = Database.of(Relation.of("edge", 2, edges))
+        return build_labels(database, "edge", reverse=reverse)
+
+    def test_chain(self):
+        labels = self.labels_of([(i, i + 1) for i in range(5)])
+        assert labels.reaches(0, 5)
+        assert labels.reaches(2, 3)
+        assert not labels.reaches(3, 2)
+        assert not labels.reaches(0, 0)
+        assert labels.successor_values(2) == {3, 4, 5}
+
+    def test_tree_interval_fast_path(self):
+        labels = self.labels_of(tree_edges(3).rows)
+        # On a tree every positive answer is a strict interval containment.
+        root_interval = labels.interval_of(0)
+        for node in range(1, 7):
+            pre, post = labels.interval_of(node)
+            assert root_interval[0] <= pre and post <= root_interval[1]
+            assert labels.reaches(0, node)
+
+    def test_cycle_reaches_itself(self):
+        labels = self.labels_of(cycle_edges(4).rows)
+        for node in range(4):
+            assert labels.reaches(node, node)
+        assert labels.successor_values(0) == {0, 1, 2, 3}
+
+    def test_self_loop(self):
+        labels = self.labels_of([("f", "f"), ("a", "b")])
+        assert labels.reaches("f", "f")
+        assert not labels.reaches("a", "a")
+        assert not labels.reaches("b", "b")
+
+    def test_empty_relation(self):
+        labels = self.labels_of([])
+        assert not labels.reaches("a", "b")
+        assert labels.successor_values("a") == frozenset()
+        assert labels.node_count == 0
+
+    def test_unknown_values(self):
+        labels = self.labels_of([("a", "b")])
+        assert not labels.reaches("zzz", "a")
+        assert not labels.reaches("a", "zzz")
+        assert labels.interval_of("zzz") is None
+
+    def test_reverse_gives_predecessors(self):
+        labels = self.labels_of([(1, 2), (2, 3), (4, 3)], reverse=True)
+        assert labels.successor_values(3) == {1, 2, 4}
+        assert set(labels.pairs_from(3)) == {(3, 1), (3, 2), (3, 4)}
+
+    def test_arity_checked(self):
+        database = Database.of(Relation.of("e", 3, [(1, 2, 3)]))
+        with pytest.raises(ValueError):
+            ReachabilityLabels(database.interned_relation("e", 3),
+                               database.domain())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        edges = random_graph_edges(10, 18, rng=rng).rows
+        labels = self.labels_of(edges)
+        expected = brute_reach(edges)
+        nodes = {value for edge in edges for value in edge}
+        for a in nodes:
+            for b in nodes:
+                assert labels.reaches(a, b) == ((a, b) in expected), (a, b)
+            assert labels.successor_values(a) == {
+                b for (x, b) in expected if x == a
+            }
+
+
+# ----------------------------------------------------------------------
+# QueryEngine: planning, tiers, parity, caching
+# ----------------------------------------------------------------------
+
+
+class TestQueryEngine:
+    def test_plan_picks_cheapest_tier(self):
+        engine = tc_engine(CYCLIC_EDGES)
+        assert engine.plan("edge(a, X)?") == "edb"
+        assert engine.plan("path(a, X)?") == "labels"
+        assert engine.plan("path(X, Y)?") == "closure"
+        assert engine.plan("path(X, X)?") == "closure"
+
+    def test_plan_magic_when_labels_inapplicable(self):
+        # Two recursive rules break the TC shape; magic still applies.
+        program = (
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+            "path(X, Y) :- hop(X, Z), path(Z, Y).\n"
+            "path(X, Y) :- edge(X, Y)."
+        )
+        database = Database.of(
+            Relation.of("edge", 2, [("a", "b"), ("b", "c")]),
+            Relation.of("hop", 2, [("b", "d")]),
+        )
+        engine = QueryEngine(database, program)
+        assert engine.plan("path(a, X)?") == "magic"
+        query = Query.parse("path(a, X)?")
+        reference = query.filter(engine.closure(query.predicate))
+        assert engine.ask(query).relation.rows == reference.rows
+
+    @pytest.mark.parametrize("program", [TC_LEFT, TC_RIGHT])
+    @pytest.mark.parametrize("text", [
+        "path(a, X)?", "path(X, e)?", "path(a, e)?", "path(e, a)?",
+        "path(b, b)?", "path(f, f)?", "path(zzz, X)?",
+    ])
+    def test_all_tiers_bit_identical(self, program, text):
+        engine = tc_engine(CYCLIC_EDGES, program)
+        query = Query.parse(text)
+        reference = query.filter(engine.closure(query.predicate))
+        for strategy in ("labels", "magic", "closure", "auto"):
+            result = engine.ask(query, strategy=strategy)
+            assert result.relation.rows == reference.rows, (strategy, text)
+
+    def test_edb_tier(self):
+        engine = tc_engine(CYCLIC_EDGES)
+        result = engine.ask("edge(a, X)?")
+        assert result.strategy == "edb"
+        assert result.rows == {("a", "b")}
+        with pytest.raises(NotApplicableError):
+            engine.ask("edge(a, X)?", strategy="magic")
+        with pytest.raises(NotApplicableError):
+            engine.ask("path(a, X)?", strategy="edb")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            tc_engine(CYCLIC_EDGES).ask("path(a, X)?", strategy="warp")
+
+    def test_ground_answer_is_boolean(self):
+        engine = tc_engine(CYCLIC_EDGES)
+        assert engine.ask("path(a, e)?")
+        assert not engine.ask("path(e, a)?")
+
+    def test_answer_iteration_and_bindings(self):
+        engine = tc_engine([("a", "b"), ("b", "c")])
+        result = engine.ask("path(a, X)?")
+        assert list(result) == [("a", "b"), ("a", "c")]
+        assert len(result) == 2
+        assert list(result.bindings()) == [{"X": "b"}, {"X": "c"}]
+
+    def test_with_database_invalidates_caches(self):
+        engine = tc_engine([("a", "b")])
+        assert engine.ask("path(a, X)?").rows == {("a", "b")}
+        grown = engine.with_database(
+            Database.of(Relation.of("edge", 2, [("a", "b"), ("b", "c")]))
+        )
+        assert grown.ask("path(a, X)?").rows == {("a", "b"), ("a", "c")}
+        # The old engine's caches are untouched.
+        assert engine.ask("path(a, X)?").rows == {("a", "b")}
+
+    def test_labels_cached_per_engine(self):
+        engine = tc_engine(CYCLIC_EDGES)
+        assert engine.labels("edge") is engine.labels("edge")
+        engine.ask("path(a, X)?", strategy="labels")
+        engine.ask("path(X, a)?", strategy="labels")
+        assert set(engine._labels) == {("edge", False), ("edge", True)}
+
+    def test_no_program_edb_only(self):
+        engine = QueryEngine(Database.of(Relation.of("e", 2, [(1, 2)])))
+        assert engine.ask("e(1, X)?").rows == {(1, 2)}
+        with pytest.raises(NotApplicableError):
+            engine.recursion_of(Predicate("p", 2))
+
+    def test_one_shot_answer(self):
+        database = Database.of(Relation.of("edge", 2, [(1, 2), (2, 3)]))
+        result = answer("path(1, X)?", TC_LEFT, database)
+        assert result.rows == {(1, 2), (1, 3)}
+
+    def test_transitive_closure_edge_detection(self):
+        assert transitive_closure_edge(
+            parse_program(TC_LEFT).linear_recursion_of(Predicate("path", 2))
+        ) == "edge"
+        assert transitive_closure_edge(
+            parse_program(TC_RIGHT).linear_recursion_of(Predicate("path", 2))
+        ) == "edge"
+        other = parse_program(
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+            "path(X, Y) :- hop(X, Y)."
+        ).linear_recursion_of(Predicate("path", 2))
+        assert transitive_closure_edge(other) is None
+
+
+# ----------------------------------------------------------------------
+# Parity across every executor × backend
+# ----------------------------------------------------------------------
+
+
+class TestParityAcrossConfigs:
+    @pytest.mark.parametrize("config", ALL_CONFIGS,
+                             ids=lambda c: c.spec() if c else "default")
+    def test_magic_parity_on_every_config(self, config):
+        edges = layered_dag_edges(6, 4, rng=random.Random(3)).rows
+        engine = tc_engine(edges, config=config)
+        reference_engine = tc_engine(edges)
+        source = sorted(edges)[0][0]
+        for text in [f"path({source}, X)?", f"path(X, {source})?"]:
+            query = Query.parse(text)
+            reference = query.filter(
+                reference_engine.closure(query.predicate)
+            )
+            result = engine.ask(query, strategy="magic")
+            assert result.relation.rows == reference.rows, (config, text)
+
+
+# ----------------------------------------------------------------------
+# Property sweeps (hypothesis)
+# ----------------------------------------------------------------------
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=0, max_size=30
+)
+
+
+class TestPropertyParity:
+    @SETTINGS
+    @given(edges=edges_strategy, source=st.integers(0, 9),
+           target=st.integers(0, 9))
+    def test_tc_tiers_agree_on_random_graphs(self, edges, source, target):
+        engine = tc_engine(edges or [(0, 1)])
+        full = engine.closure(Predicate("path", 2))
+        for query in (Query.of("path", source, None),
+                      Query.of("path", None, target),
+                      Query.of("path", source, target)):
+            reference = query.filter(full)
+            for strategy in ("labels", "magic"):
+                result = engine.ask(query, strategy=strategy)
+                assert result.relation.rows == reference.rows, strategy
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_magic_parity_on_random_restricted_rules(self, seed):
+        """Demand-rewritten == full-closure-filtered on generated rules."""
+        rng = random.Random(seed)
+        arity = rng.choice((2, 3))
+        rules = tuple(
+            random_restricted_rule(arity, rng.randint(1, 2), rng,
+                                   predicate_prefix=prefix)
+            for prefix in ("q", "r")[: rng.randint(1, 2)]
+        )
+        recursion = LinearRecursion(Predicate("p", arity), rules, ())
+        domain = list(range(6))
+        database = Database.of(*[
+            Relation.of(name.name, 2, [
+                (rng.choice(domain), rng.choice(domain)) for _ in range(8)
+            ])
+            for rule in rules for name in
+            {atom.predicate for atom in rule.nonrecursive_atoms()
+             if not atom.is_equality()}
+        ])
+        initial = Relation.of("p", arity, [
+            tuple(rng.choice(domain) for _ in range(arity)) for _ in range(4)
+        ])
+        full = seminaive_closure(rules, initial, database)
+        bound_value = rng.choice(domain)
+        query = Query.of("p", bound_value, *[None] * (arity - 1))
+        reference = query.filter(full)
+        try:
+            magic = magic_rewrite(recursion, query.bound_positions,
+                                  reserved_names=database.names())
+        except NotApplicableError:
+            return  # nothing stable: full closure is the documented plan
+        for config in SERIAL_CONFIGS:
+            demanded = magic.solve(
+                (bound_value,), database, initial=initial, config=config,
+            )
+            assert query.filter(demanded).rows == reference.rows, config
+
+
+# ----------------------------------------------------------------------
+# The solve() surface and EvalConfig.from_spec
+# ----------------------------------------------------------------------
+
+
+class TestSolveApi:
+    DATABASE = Database.of(Relation.of("edge", 2, [(1, 2), (2, 3), (3, 4)]))
+
+    def test_solve_text_program(self):
+        closure = solve(TC_LEFT, self.DATABASE)
+        assert len(closure.rows) == 6
+
+    def test_solve_with_spec_config(self):
+        closure = solve(TC_LEFT, self.DATABASE, config="interned")
+        assert len(closure.rows) == 6
+
+    def test_solve_resolves_named_predicate(self):
+        program = TC_LEFT + "\nreach(X) :- edge(Y, X)."
+        with pytest.raises(RuleStructureError, match="2 predicates"):
+            solve(program, self.DATABASE)
+        assert len(solve(program, self.DATABASE, predicate="path").rows) == 6
+        with pytest.raises(RuleStructureError, match="No rules"):
+            solve(program, self.DATABASE, predicate="nope")
+
+    @pytest.mark.parametrize("spec,mode,backend", [
+        ("", "rows", "serial"),
+        ("batch", "batch", "serial"),
+        ("interned", "interned", "serial"),
+        ("threads", "rows", "threads"),
+        ("interned-processes", "interned", "processes"),
+        ("processes-batch", "batch", "processes"),
+    ])
+    def test_from_spec(self, spec, mode, backend):
+        config = EvalConfig.from_spec(spec)
+        assert config.mode() == mode
+        assert config.backend == backend
+        assert config.spec() == EvalConfig.from_spec(config.spec()).spec()
+
+    @pytest.mark.parametrize("spec", ["rows-batch", "threads-serial",
+                                      "warp", "rows--"])
+    def test_from_spec_rejects(self, spec):
+        if spec == "rows--":
+            # empty tokens are skipped, so this is just "rows"
+            assert EvalConfig.from_spec(spec).mode() == "rows"
+        else:
+            with pytest.raises(ValueError):
+                EvalConfig.from_spec(spec)
+
+    def test_from_spec_keyword_conflict(self):
+        with pytest.raises(ValueError, match="twice"):
+            EvalConfig.from_spec("threads", backend="processes")
+        assert EvalConfig.from_spec(
+            "threads", max_workers=2
+        ).max_workers == 2
+
+    def test_from_spec_emits_no_deprecation_warning(self):
+        import warnings
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            EvalConfig.from_spec("rows-threads")
+        assert not caught

@@ -353,7 +353,8 @@ class TestEvalConfigExecutor:
             EvalConfig(backend="gpu")
 
     def test_legacy_backend_as_executor_normalised(self):
-        config = EvalConfig(executor="threads", max_workers=2)
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            config = EvalConfig(executor="threads", max_workers=2)
         assert config.backend == "threads"
         assert config.executor == "rows"
         assert config.is_parallel()
