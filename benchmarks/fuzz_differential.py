@@ -47,6 +47,17 @@ the reference signature; the per-run
 degradations, segment churn) is aggregated and, with ``--health-file``,
 written out as a JSON artifact.
 
+With ``--ivm-seeds N``, the first ``N`` seeds additionally fuzz the
+incremental maintenance engine (:mod:`repro.ivm`): the generated
+program gains a synthetic ``p_seed`` base relation and exit rule (so
+the fuzzer's closure seeds become mutable EDB facts), one
+:class:`~repro.ivm.MaterializedProgram` per serial executor is stepped
+through a random schedule of insert/delete batches over every base
+relation, and after **every** batch the maintained closure, the
+derived derivation/duplicate counts and a random query answered
+through a closure-primed :class:`~repro.query.QueryEngine` must be
+bit-identical to a from-scratch recompute against the mutated EDB.
+
 All engines must agree on the result relation, the derivation count,
 the duplicate count and the iteration count (the Theorem 3.1
 accounting); any disagreement prints the offending seed and program and
@@ -66,6 +77,8 @@ Usage::
     python benchmarks/fuzz_differential.py --query-seeds 25
                                                            # + magic-vs-reference
                                                            # query parity
+    python benchmarks/fuzz_differential.py --ivm-seeds 10  # + maintained-vs-
+                                                           # recomputed parity
     python benchmarks/fuzz_differential.py --fault-seeds 5 \
         --health-file fuzz-health.json                     # + chaos sweep
     python benchmarks/fuzz_differential.py --failures-file fuzz-failures.txt
@@ -83,16 +96,21 @@ _SRC = pathlib.Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.datalog.atoms import Atom, Predicate  # noqa: E402
 from repro.datalog.parser import parse_rule  # noqa: E402
+from repro.datalog.programs import Program  # noqa: E402
 from repro.datalog.rules import Rule  # noqa: E402
+from repro.datalog.terms import Variable  # noqa: E402
 from repro.engine.faults import FaultPlan  # noqa: E402
 from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.reference import seminaive_closure_interpreted  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
 from repro.engine.statistics import EvaluationStatistics  # noqa: E402
 from repro.datalog.programs import LinearRecursion  # noqa: E402
+from repro.engine.api import solve  # noqa: E402
 from repro.exceptions import NotApplicableError  # noqa: E402
-from repro.query import Query, magic_rewrite  # noqa: E402
+from repro.ivm import MaterializedProgram  # noqa: E402
+from repro.query import Query, QueryEngine, magic_rewrite  # noqa: E402
 from repro.storage.database import Database  # noqa: E402
 from repro.storage.relation import Relation  # noqa: E402
 from repro.workloads.rulegen import (  # noqa: E402
@@ -225,6 +243,119 @@ def check_queries(rules: tuple[Rule, ...], database: Database,
     return mismatches
 
 
+#: Serial executor configs the IVM leg steps in lockstep; maintenance
+#: must be bit-identical to recompute on each of them.
+_IVM_CONFIGS: tuple[tuple[str, EvalConfig | None], ...] = (
+    ("rows", None),
+    ("batch", EvalConfig(executor="batch")),
+    ("interned", EvalConfig(executor="batch", intern=True)),
+)
+
+
+def check_ivm(rules: tuple[Rule, ...], database: Database,
+              initial: Relation, rng: random.Random,
+              max_iterations: int) -> list[str]:
+    """Maintained closures vs from-scratch recompute, batch by batch.
+
+    The fuzzer's programs seed their fixpoints from an explicit initial
+    relation rather than exit rules, so the program handed to the
+    maintenance engine gains a synthetic ``<p>_seed`` base relation
+    holding those rows plus the copying exit rule — which makes the
+    seeds themselves mutable EDB facts, and exercises the counting of
+    exit supports alongside the recursive ones.
+    """
+    head = rules[0].head.predicate
+    seed_name = head.name + "_seed"
+    variables = tuple(Variable(f"V{index}") for index in range(head.arity))
+    exit_rule = Rule(
+        Atom(head, variables),
+        (Atom(Predicate(seed_name, head.arity), variables),),
+    )
+    program = Program((*rules, exit_rule))
+    base = Database(dict(database.relations))
+    base._replace_relation_unchecked(
+        Relation.of(seed_name, head.arity, initial.rows))
+
+    try:
+        maintained = [
+            (label, MaterializedProgram(program, base, config,
+                                        max_iterations=max_iterations))
+            for label, config in _IVM_CONFIGS
+        ]
+    except Exception as error:  # noqa: BLE001 - report, don't crash the sweep
+        return [f"ivm cold start failed: {error!r}"]
+
+    mutable = sorted(base.relations)
+    domain = 7
+    mismatches: list[str] = []
+    for step in range(6):
+        inserts: dict[str, set] = {}
+        deletes: dict[str, set] = {}
+        for name in rng.sample(mutable, rng.randint(1, len(mutable))):
+            stored = maintained[0][1].working.relation(name)
+            arity = stored.arity
+            if stored.rows and rng.random() < 0.7:
+                deletes[name] = set(rng.sample(
+                    sorted(stored.rows),
+                    rng.randint(1, min(2, len(stored.rows)))))
+            inserts[name] = {
+                tuple(rng.randrange(domain) for _ in range(arity))
+                for _ in range(rng.randint(0, 2))
+            }
+        for label, materialized in maintained:
+            try:
+                materialized.apply(inserts=inserts, deletes=deletes)
+            except Exception as error:  # noqa: BLE001
+                mismatches.append(
+                    f"ivm step {step} [{label}]: apply raised {error!r}")
+                return mismatches
+
+        cold_stats = EvaluationStatistics()
+        snapshot = maintained[0][1].snapshot()
+        cold = solve(program, snapshot, head, statistics=cold_stats,
+                     config=None)
+        expected = (cold.rows, cold_stats.derivations, cold_stats.duplicates,
+                    cold_stats.initial_size, cold_stats.result_size)
+        for label, materialized in maintained:
+            live = materialized.closure(head)
+            stats = materialized.statistics(head)
+            got = (live.rows, stats.derivations, stats.duplicates,
+                   stats.initial_size, stats.result_size)
+            if got != expected:
+                mismatches.append(
+                    f"ivm step {step} [{label}]: maintained "
+                    f"(rows={len(got[0])}, d={got[1]}, dup={got[2]}, "
+                    f"init={got[3]}, size={got[4]}) != recomputed "
+                    f"(rows={len(expected[0])}, d={expected[1]}, "
+                    f"dup={expected[2]}, init={expected[3]}, "
+                    f"size={expected[4]})"
+                )
+        if mismatches:
+            return mismatches
+
+        # One random query per batch through a closure-primed engine —
+        # the snapshot path the serving layer publishes.
+        engine = QueryEngine(snapshot, program)
+        engine.prime_closure(head, maintained[0][1].closure(head))
+        bound = rng.sample(range(head.arity),
+                           rng.randint(0, head.arity))
+        row = rng.choice(sorted(cold.rows)) if cold.rows else None
+        query = Query.of(head.name, *[
+            (row[position] if row is not None and rng.random() < 0.8
+             else rng.randrange(domain)) if position in bound else None
+            for position in range(head.arity)
+        ])
+        answered = engine.ask(query).rows
+        expected_rows = query.filter(cold).rows
+        if answered != expected_rows:
+            mismatches.append(
+                f"ivm step {step} query {query}: {len(answered)} answers "
+                f"!= {len(expected_rows)} expected"
+            )
+            return mismatches
+    return mismatches
+
+
 #: The parallel sweep: every executor on both parallel backends, plus
 #: the interned × processes pair through the legacy pickled exchange
 #: (``shared_memory=False``) so both process wire formats stay covered.
@@ -271,6 +402,7 @@ def run_seed(seed: int, max_iterations: int,
              sweep_backends: bool = False,
              fault_sweep: bool = False,
              query_sweep: bool = False,
+             ivm_sweep: bool = False,
              health_sink: list | None = None) -> tuple[bool, str]:
     """Run one fuzz case; returns (ok, description)."""
     rng = random.Random(seed)
@@ -320,6 +452,12 @@ def run_seed(seed: int, max_iterations: int,
         if query_mismatches:
             return False, f"{description}\n    " + "; ".join(query_mismatches)
 
+    if ivm_sweep:
+        ivm_mismatches = check_ivm(rules, database, initial, rng,
+                                   max_iterations)
+        if ivm_mismatches:
+            return False, f"{description}\n    " + "; ".join(ivm_mismatches)
+
     reference = outcomes["interpreted"]
     mismatched = [label for label, outcome in outcomes.items()
                   if outcome != reference]
@@ -356,6 +494,14 @@ def main(argv=None) -> int:
                              "answers for random adornments match filtering "
                              "the reference closure, on every serial "
                              "executor (default 0: no query parity)")
+    parser.add_argument("--ivm-seeds", type=int, default=0,
+                        help="additionally step, on the first N seeds of the "
+                             "range, one maintained materialisation per "
+                             "serial executor through random insert/delete "
+                             "batches, asserting the maintained closure, "
+                             "derivation/duplicate counts and query answers "
+                             "bit-identical to a from-scratch recompute "
+                             "after every batch (default 0: no IVM parity)")
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
@@ -376,16 +522,19 @@ def main(argv=None) -> int:
         sweep = seed - args.base_seed < args.backend_seeds
         chaos = seed - args.base_seed < args.fault_seeds
         queries = seed - args.base_seed < args.query_seeds
+        ivm = seed - args.base_seed < args.ivm_seeds
         swept += sweep
         ok, description = run_seed(seed, args.max_iterations,
                                    sweep_backends=sweep,
                                    fault_sweep=chaos,
                                    query_sweep=queries,
+                                   ivm_sweep=ivm,
                                    health_sink=chaos_runs)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
             matrix = " [executor x backend matrix]" if sweep else ""
             matrix += " [query parity]" if queries else ""
+            matrix += " [ivm parity]" if ivm else ""
             print(f"seed={seed:5d} {status} {description}{matrix}")
         if not ok:
             failures.append((seed, description))
@@ -425,11 +574,16 @@ def main(argv=None) -> int:
         f"; executor x backend matrix on the first {swept}"
         if swept else ""
     )
+    ivm_note = (
+        f"; maintained-vs-recompute parity on the first "
+        f"{min(args.ivm_seeds, args.seeds)}"
+        if args.ivm_seeds else ""
+    )
     print(
         f"ok: {args.seeds} random programs agree across interpreted, "
         f"compiled, batch and interned executors "
         f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1}"
-        f"{matrix_note})"
+        f"{matrix_note}{ivm_note})"
     )
     return 0
 

@@ -28,6 +28,16 @@ Quickstart — answer queries (serving)::
     engine.ask("path(1, X)?").rows      # demand/label tiers, not full closure
     bool(engine.ask("path(1, 3)?"))     # ground membership
 
+Quickstart — live updates (incremental maintenance + async serving)::
+
+    from repro import LiveEngine
+
+    engine = await LiveEngine(program, database).start()
+    async with engine.transaction() as session:
+        session.insert("edge", (3, 4))
+        session.delete("edge", (1, 2))
+    engine.ask("path(2, X)?")           # maintained, not recomputed
+
 The strategy-analysis layer of the paper (commutativity,
 separability, redundancy) lives behind
 :class:`~repro.core.engine.RecursiveQueryEngine`::
@@ -67,6 +77,15 @@ from repro.core import (
 )
 from repro.engine import EvalConfig, EvaluationStatistics, solve
 from repro.query import Query, QueryAnswer, QueryEngine, answer
+from repro.ivm import ChangeSet, MaterializedProgram
+from repro.serve import (
+    LiveEngine,
+    ResultChange,
+    Session,
+    Snapshot,
+    Subscription,
+    subscribe,
+)
 from repro.exceptions import (
     AnalysisError,
     DatalogSyntaxError,
@@ -83,6 +102,7 @@ __all__ = [
     "AlphaGraph",
     "AnalysisError",
     "Atom",
+    "ChangeSet",
     "Constant",
     "Database",
     "DatalogSyntaxError",
@@ -91,6 +111,8 @@ __all__ = [
     "EvaluationError",
     "EvaluationStatistics",
     "LinearOperator",
+    "LiveEngine",
+    "MaterializedProgram",
     "NotApplicableError",
     "PositionEqualitySelection",
     "Predicate",
@@ -105,11 +127,15 @@ __all__ = [
     "RecursiveQueryEngine",
     "Relation",
     "ReproError",
+    "ResultChange",
     "Rule",
     "RuleStructureError",
     "SchemaError",
     "Selection",
+    "Session",
+    "Snapshot",
     "Strategy",
+    "Subscription",
     "SumOperator",
     "Variable",
     "answer",
@@ -124,6 +150,7 @@ __all__ = [
     "parse_rule",
     "render_ascii",
     "solve",
+    "subscribe",
     "sufficient_condition",
     "__version__",
 ]

@@ -254,6 +254,12 @@ class EvalConfig:
     #: (:class:`~repro.engine.faults.FaultPlan`); ``None`` — always, in
     #: production — injects nothing and costs nothing.
     fault_plan: Optional[FaultPlan] = None
+    #: Serving-layer knob (:mod:`repro.serve`): maintain materialised
+    #: closures incrementally under mutations (counting + DRed,
+    #: :mod:`repro.ivm`) instead of recomputing from scratch on every
+    #: commit.  Ignored by the one-shot fixpoint drivers — a single cold
+    #: evaluation has nothing to maintain.
+    maintain: bool = False
 
     def __post_init__(self) -> None:
         if self.executor in BACKENDS:
@@ -318,12 +324,14 @@ class EvalConfig:
         """Build a config from a compact spec string.
 
         The canonical single-knob constructor the serving surface uses:
-        a spec is one or two dash-separated tokens — a *mode* (``rows``,
-        ``batch``, ``interned``) and/or a *backend* (``serial``,
-        ``threads``, ``processes``) in either order; omitted parts keep
-        their defaults.  Examples::
+        a spec is dash-separated tokens — a *mode* (``rows``, ``batch``,
+        ``interned``), a *backend* (``serial``, ``threads``,
+        ``processes``) and/or the flag ``maintain`` (incremental view
+        maintenance in the serving layer) in any order; omitted parts
+        keep their defaults.  Examples::
 
             EvalConfig.from_spec("interned-processes")
+            EvalConfig.from_spec("interned-processes-maintain")
             EvalConfig.from_spec("batch-threads")
             EvalConfig.from_spec("processes")        # rows executor
             EvalConfig.from_spec("interned")
@@ -337,6 +345,7 @@ class EvalConfig:
         executor: Optional[str] = None
         intern: Optional[bool] = None
         backend: Optional[str] = None
+        maintain: Optional[bool] = None
         for token in filter(None, (part.strip() for part in spec.split("-"))):
             if token in modes:
                 if executor is not None:
@@ -346,14 +355,19 @@ class EvalConfig:
                 if backend is not None:
                     raise ValueError(f"Backend given twice in spec {spec!r}")
                 backend = token
+            elif token == "maintain":
+                if maintain is not None:
+                    raise ValueError(f"'maintain' given twice in spec {spec!r}")
+                maintain = True
             else:
                 raise ValueError(
                     f"Unknown token {token!r} in spec {spec!r}; expected a "
-                    f"mode ({', '.join(modes)}) and/or a backend "
-                    f"({', '.join(BACKENDS)}), dash-separated"
+                    f"mode ({', '.join(modes)}), a backend "
+                    f"({', '.join(BACKENDS)}) and/or 'maintain', "
+                    f"dash-separated"
                 )
         for name, value in (("executor", executor), ("backend", backend),
-                            ("intern", intern)):
+                            ("intern", intern), ("maintain", maintain)):
             if value is not None:
                 if name in overrides and overrides[name] != value:
                     raise ValueError(
@@ -365,7 +379,8 @@ class EvalConfig:
 
     def spec(self) -> str:
         """The canonical spec string of this config (mode-backend)."""
-        return f"{self.mode()}-{self.backend}"
+        base = f"{self.mode()}-{self.backend}"
+        return f"{base}-maintain" if self.maintain else base
 
     def is_parallel(self) -> bool:
         """True if a worker pool is required."""

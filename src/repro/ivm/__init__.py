@@ -1,0 +1,27 @@
+"""Incremental view maintenance for materialised linear recursions.
+
+Counting maintenance for the non-recursive part, DRed-style
+over-delete/re-derive (accelerated by the Theorem-3.1 support counts)
+for the recursion — see :mod:`repro.ivm.maintain` for the algorithm and
+:mod:`repro.ivm.delta` for the signed delta expansion it is built on.
+The asyncio serving surface over this lives in :mod:`repro.serve`.
+"""
+
+from repro.ivm.delta import DeltaRule, delta_expansions
+from repro.ivm.maintain import (
+    ChangeSet,
+    Delta,
+    MaintainedClosure,
+    MaterializedProgram,
+    stage_batch,
+)
+
+__all__ = [
+    "ChangeSet",
+    "Delta",
+    "DeltaRule",
+    "MaintainedClosure",
+    "MaterializedProgram",
+    "delta_expansions",
+    "stage_batch",
+]

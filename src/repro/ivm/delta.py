@@ -1,0 +1,100 @@
+"""Signed delta expansion: per-occurrence telescoped rule variants.
+
+Counting maintenance needs, for a rule body ``b_1, …, b_n`` over base
+relations, the *signed difference* of its instantiation multiset when
+some base relations change.  The standard telescoping identity::
+
+    ⋈ new_i  −  ⋈ old_i  =  Σ_i ( new_1 … new_{i-1}, Δ_i, old_{i+1} … old_n )
+
+turns that difference into one small join per base occurrence, each
+anchored on the occurrence's delta.  For deletions (``new = old − Δ``)
+the same right-hand side — post-state atoms before the delta, pre-state
+atoms after it — yields the *lost* instantiations, so a single variant
+shape serves both phases; only what the scratch database stores under
+"pre"/"post"/"delta" changes.
+
+A subtlety the engine's name-keyed overrides cannot express: the same
+relation may occur several times in one body, and the telescoping needs
+occurrence ``i`` at its delta while occurrences ``j < i`` read the
+post-state and ``j > i`` the pre-state.  The variants therefore *rename*
+every non-equality predicate with the :data:`PRE`/:data:`POST`/
+:data:`DELTA` suffixes and are evaluated against a scratch database
+that stores the right generation under each suffixed name (the
+recursive predicate always reads its pre-state snapshot; equality atoms
+are state-independent filters and pass through untouched).
+
+The variants are ordinary :class:`~repro.datalog.rules.Rule` values —
+stable across batches, so the plan cache compiles each exactly once —
+and run through the unchanged executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.atoms import Atom, Predicate
+from repro.datalog.rules import Rule
+
+#: Suffix for pre-state scratch relations (the state before this
+#: phase's mutations; also the recursive predicate's snapshot).
+PRE = "__ivm_pre"
+#: Suffix for post-state scratch relations (after this phase's
+#: mutations).
+POST = "__ivm_post"
+#: Suffix for the per-relation delta driving a variant (removed rows in
+#: the delete phase, added rows in the insert phase).
+DELTA = "__ivm_delta"
+
+
+def _suffixed(atom: Atom, suffix: str) -> Atom:
+    predicate = Predicate(atom.predicate.name + suffix, atom.predicate.arity)
+    return Atom(predicate, atom.arguments)
+
+
+@dataclass(frozen=True)
+class DeltaRule:
+    """One telescoping summand: a renamed rule variant plus its anchor.
+
+    ``delta_name`` is the base relation whose delta drives this
+    variant; when that delta is empty the variant contributes nothing
+    and is skipped without evaluation.
+    """
+
+    rule: Rule
+    delta_name: str
+
+
+def delta_expansions(rule: Rule, recursive_name: str) -> tuple[DeltaRule, ...]:
+    """The telescoped variants of *rule*, one per base-atom occurrence.
+
+    Base atoms are the non-equality body atoms whose predicate is not
+    *recursive_name*; the recursive atom (if any) always reads the
+    ``recursive_name + PRE`` snapshot — deltas *of the recursive
+    predicate itself* propagate through the fixpoint drivers with plain
+    overrides, not through these variants.  A rule with no base atoms
+    (equality-only or purely recursive bodies) expands to nothing.
+    """
+    atoms = rule.body
+    positions = [
+        index for index, atom in enumerate(atoms)
+        if not atom.is_equality() and atom.predicate.name != recursive_name
+    ]
+    variants = []
+    for anchor in positions:
+        body = []
+        for index, atom in enumerate(atoms):
+            if atom.is_equality():
+                body.append(atom)
+            elif atom.predicate.name == recursive_name:
+                body.append(_suffixed(atom, PRE))
+            elif index == anchor:
+                body.append(_suffixed(atom, DELTA))
+            elif index < anchor:
+                body.append(_suffixed(atom, POST))
+            else:
+                body.append(_suffixed(atom, PRE))
+        variants.append(
+            DeltaRule(Rule(rule.head, tuple(body)),
+                      atoms[anchor].predicate.name)
+        )
+    return tuple(variants)

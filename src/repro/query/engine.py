@@ -29,8 +29,13 @@ fuzzer cross-check them.
 The engine is immutable with respect to its database: ``Database`` is a
 frozen value, so the caches keyed on this engine can never go stale.
 Serving against updated facts means :meth:`QueryEngine.with_database`,
-which starts a sibling engine with fresh caches — the generation-style
-invalidation used by the database's own index caches.
+which starts a sibling engine — and invalidation is *per relation*:
+every cached closure and label index records the stored relation
+objects it was computed from, and a sibling keeps exactly the entries
+whose dependencies are still the same objects (the identity generation
+check ``Database.index`` uses).  Mutating ``edge`` therefore evicts the
+``edge`` labels and the closures that read ``edge``, while an engine
+serving an unrelated ``other_edge`` predicate keeps its warm caches.
 """
 
 from __future__ import annotations
@@ -53,6 +58,16 @@ from repro.storage.relation import Relation, Row
 
 #: The strategy tiers, cheapest first.
 STRATEGIES = ("edb", "labels", "magic", "closure")
+
+#: A cached artefact's recorded dependencies: the stored relation
+#: object (or ``None`` for an absent name) per relation name it read.
+_Deps = tuple[tuple[str, Optional[Relation]], ...]
+
+
+def _deps_valid(deps: _Deps, database: Database) -> bool:
+    """True while every recorded dependency is still the stored object."""
+    relations = database.relations
+    return all(relations.get(name) is relation for name, relation in deps)
 
 
 @dataclass(frozen=True)
@@ -163,31 +178,49 @@ class QueryEngine:
 
     def __init__(self, database: Database,
                  program: Optional[Union[Program, str]] = None,
-                 config: Optional[EvalConfig] = None):
+                 config: Union[EvalConfig, str, None] = None):
         if isinstance(program, str):
             from repro.datalog.parser import parse_program
             program = parse_program(program)
+        if isinstance(config, str):
+            config = EvalConfig.from_spec(config)
         self.database = database
         self.program = program
         self.config = config
         self._idb: frozenset[Predicate] = (
             program.idb_predicates if program is not None else frozenset()
         )
-        self._closures: dict[Predicate, Relation] = {}
+        #: Cached artefacts carry the stored relation objects they were
+        #: computed from (``(name, relation-or-None)`` pairs), so
+        #: validity is an identity generation check against the current
+        #: database — both across :meth:`with_database` siblings and
+        #: against in-place relation swaps on this engine's own
+        #: database.
+        self._closures: dict[Predicate, tuple[Relation, _Deps]] = {}
         self._magic: dict[tuple[Predicate, tuple[int, ...]], MagicProgram] = {}
-        self._labels: dict[tuple[str, bool], ReachabilityLabels] = {}
+        self._labels: dict[tuple[str, bool], tuple[ReachabilityLabels, _Deps]] = {}
         self._recursions: dict[Predicate, LinearRecursion] = {}
 
     def with_database(self, database: Database) -> "QueryEngine":
-        """A sibling engine over *database*, with fresh caches.
+        """A sibling engine over *database*, invalidated per relation.
 
-        ``Database`` is immutable, so cache invalidation is by
-        replacement: new facts mean a new database means a new engine
-        generation.  The program, config, and magic rewrites carry over
-        (rewrites depend only on the rules, not the facts).
+        The program, config, magic rewrites and recursion views carry
+        over wholesale (they depend only on the rules, not the facts).
+        Closures and label indexes carry over *per relation*: an entry
+        survives exactly when every stored relation it was computed
+        from is the same object in *database* — so updating ``edge``
+        keeps the warm closures and labels of predicates that never
+        read ``edge``.
         """
         sibling = QueryEngine(database, self.program, self.config)
         sibling._magic = self._magic  # rule-only artefact, database-independent
+        sibling._recursions = self._recursions  # likewise rule-only
+        for predicate, (closure, deps) in self._closures.items():
+            if _deps_valid(deps, database):
+                sibling._closures[predicate] = (closure, deps)
+        for label_key, (labels, deps) in self._labels.items():
+            if _deps_valid(deps, database):
+                sibling._labels[label_key] = (labels, deps)
         return sibling
 
     # ------------------------------------------------------------------
@@ -206,17 +239,61 @@ class QueryEngine:
             self._recursions[predicate] = recursion
         return recursion
 
+    def _closure_dependencies(self, predicate: Predicate) -> "_Deps":
+        """The stored relations *predicate*'s fixpoint reads.
+
+        Every non-equality body predicate of the recursion other than
+        the recursive predicate itself, paired with the relation object
+        currently stored under its name (``None`` when absent — an
+        absent name reads as the empty relation, which is a stable
+        state of its own).
+        """
+        recursion = self.recursion_of(predicate)
+        names = sorted({
+            atom.predicate.name
+            for rule in (*recursion.exit_rules, *recursion.recursive_rules)
+            for atom in rule.body
+            if not atom.is_equality() and atom.predicate.name != predicate.name
+        })
+        return tuple(
+            (name, self.database.relations.get(name)) for name in names
+        )
+
     def closure(self, predicate: Predicate,
                 statistics: Optional[EvaluationStatistics] = None) -> Relation:
-        """The full fixpoint of *predicate* (cached per engine)."""
-        cached = self._closures.get(predicate)
-        if cached is None:
-            cached = solve_linear_recursion(
-                self.recursion_of(predicate), self.database,
-                statistics, config=self.config,
-            )
-            self._closures[predicate] = cached
+        """The full fixpoint of *predicate* (cached per engine).
+
+        The cache entry is keyed to the stored relation objects the
+        fixpoint read; it is recomputed if any of them has been swapped
+        since (and carried across :meth:`with_database` siblings while
+        none of them has).
+        """
+        entry = self._closures.get(predicate)
+        if entry is not None and _deps_valid(entry[1], self.database):
+            return entry[0]
+        cached = solve_linear_recursion(
+            self.recursion_of(predicate), self.database,
+            statistics, config=self.config,
+        )
+        self._closures[predicate] = (cached, self._closure_dependencies(predicate))
         return cached
+
+    def prime_closure(self, predicate: Predicate, closure: Relation) -> None:
+        """Seed the closure cache with an externally maintained result.
+
+        The serving layer (:mod:`repro.serve`) computes closures
+        incrementally; priming lets a snapshot's engine answer
+        ``closure``-tier queries from the maintained result without
+        ever running the cold fixpoint.  The entry records the current
+        stored dependencies, so it invalidates exactly like a computed
+        one.
+        """
+        if closure.arity != predicate.arity:
+            raise NotApplicableError(
+                f"Cannot prime {predicate} with a relation of arity "
+                f"{closure.arity}"
+            )
+        self._closures[predicate] = (closure, self._closure_dependencies(predicate))
 
     def magic_program(self, predicate: Predicate,
                       bound: tuple[int, ...]) -> MagicProgram:
@@ -232,12 +309,20 @@ class QueryEngine:
         return cached
 
     def labels(self, edge_name: str, reverse: bool = False) -> ReachabilityLabels:
-        """The (cached) reachability-label index over *edge_name*."""
+        """The (cached) reachability-label index over *edge_name*.
+
+        Keyed to the stored edge relation object: any swap of
+        ``edge_name`` — growth *or* deletion — invalidates the index
+        (labels are not incrementally maintainable under deletes, so
+        correctness demands eviction, then a lazy rebuild).
+        """
         key = (edge_name, reverse)
-        cached = self._labels.get(key)
-        if cached is None:
-            cached = build_labels(self.database, edge_name, reverse=reverse)
-            self._labels[key] = cached
+        entry = self._labels.get(key)
+        if entry is not None and _deps_valid(entry[1], self.database):
+            return entry[0]
+        cached = build_labels(self.database, edge_name, reverse=reverse)
+        deps: _Deps = ((edge_name, self.database.relations.get(edge_name)),)
+        self._labels[key] = (cached, deps)
         return cached
 
     # ------------------------------------------------------------------

@@ -41,11 +41,19 @@ class ReachabilityLabels:
     :class:`~repro.query.engine.QueryEngine` caches instances keyed by
     the stored relation object, mirroring the database index caches);
     query many times in O(label).
+
+    Labels are strictly snapshot artefacts: intervals and SCC bitsets
+    cannot be incrementally maintained under edge *deletions* (a
+    removed edge can split components and shift every interval), so
+    the serving layer never patches an instance — mutating the edge
+    relation invalidates the cache entry per relation and the next
+    lookup rebuilds from the new generation.  ``edge_count`` records
+    the size of the generation this instance was built from.
     """
 
-    __slots__ = ("name", "node_count", "_domain", "_component_of",
-                 "_members", "_cyclic", "_reach", "_pre", "_post",
-                 "_node_ids", "_node_of_id")
+    __slots__ = ("name", "node_count", "edge_count", "_domain",
+                 "_component_of", "_members", "_cyclic", "_reach",
+                 "_pre", "_post", "_node_ids", "_node_of_id")
 
     def __init__(self, interned: InternedRelation, domain: Domain):
         if interned.arity != 2:
@@ -54,6 +62,7 @@ class ReachabilityLabels:
                 f"{interned.name} has arity {interned.arity}"
             )
         self.name = interned.name
+        self.edge_count = interned.length
         self._domain = domain
 
         source_column, target_column = interned.columns

@@ -1,0 +1,25 @@
+"""Async serving: transactions, snapshots, subscriptions.
+
+The long-lived front end over the incremental maintenance engine
+(:mod:`repro.ivm`): a :class:`LiveEngine` accepts transactional
+mutations through :class:`Session`, publishes immutable
+generation-tagged :class:`Snapshot` views, and pushes
+:class:`ResultChange` notifications to :class:`Subscription` holders.
+"""
+
+from repro.serve.engine import (
+    LiveEngine,
+    ResultChange,
+    Subscription,
+    subscribe,
+)
+from repro.serve.session import Session, Snapshot
+
+__all__ = [
+    "LiveEngine",
+    "ResultChange",
+    "Session",
+    "Snapshot",
+    "Subscription",
+    "subscribe",
+]

@@ -1,0 +1,167 @@
+"""Snapshots and transactional sessions for the live engine.
+
+:class:`Snapshot` is the read side of the serving protocol: an
+immutable, generation-tagged pairing of a database copy with a
+query engine primed from the maintained closures.  :class:`Session` is
+the write side: staged inserts/deletes committed atomically through
+the single writer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Union
+
+from repro.engine.statistics import EvaluationStatistics
+from repro.query.engine import QueryAnswer, QueryEngine
+from repro.query.query import Query
+from repro.storage.database import Database
+from repro.storage.relation import Relation, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.engine import LiveEngine
+
+
+class Snapshot:
+    """A consistent, immutable view of one committed generation.
+
+    The explicit object form of the identity generation checks
+    ``Database.index`` performs internally: the database copy shares
+    the immutable relation objects of its generation, the query engine
+    is primed with the maintained closures, and neither ever changes —
+    concurrent readers holding a snapshot keep getting the same
+    answers while the writer commits away.  Take a fresh snapshot
+    (``engine.snapshot()``) to observe later generations.
+    """
+
+    __slots__ = ("generation", "database", "engine", "_statistics")
+
+    def __init__(self, generation: int, database: Database,
+                 engine: QueryEngine,
+                 statistics: Mapping[str, EvaluationStatistics]):
+        self.generation = generation
+        self.database = database
+        self.engine = engine
+        self._statistics = dict(statistics)
+
+    def ask(self, query: Union[Query, str],
+            strategy: str = "auto") -> QueryAnswer:
+        """Answer *query* against this generation."""
+        return self.engine.ask(query, strategy=strategy)
+
+    def relation(self, name: str, arity: Optional[int] = None) -> Relation:
+        """The stored base relation *name* at this generation."""
+        return self.database.relation(name, arity)
+
+    def closure(self, predicate: str) -> Relation:
+        """The materialised closure of *predicate* at this generation."""
+        program = self.engine.program
+        if program is None:
+            raise ValueError("Snapshot has no program")
+        for candidate in program.idb_predicates:
+            if candidate.name == predicate:
+                return self.engine.closure(candidate)
+        raise ValueError(f"No rule-defined predicate named {predicate!r}")
+
+    def statistics(self, predicate: str) -> EvaluationStatistics:
+        """Theorem-3.1 counters of *predicate*'s closure (see
+        :meth:`repro.ivm.MaintainedClosure.statistics` for which fields
+        are maintained)."""
+        stats = self._statistics.get(predicate)
+        if stats is None:
+            raise ValueError(f"No maintained statistics for {predicate!r}")
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (f"Snapshot(generation={self.generation}, "
+                f"{len(self.database)} relations)")
+
+
+class Session:
+    """One write transaction against a :class:`~repro.serve.LiveEngine`.
+
+    Obtained from ``engine.transaction()``.  Stage mutations with
+    :meth:`insert`/:meth:`delete` (last call wins per row within the
+    transaction), then ``await session.commit()`` — or use the session
+    as an async context manager, which commits on clean exit and rolls
+    back if the block raises::
+
+        async with engine.transaction() as session:
+            session.insert("edge", ("a", "b"))
+            session.delete("edge", ("b", "c"))
+        # committed here; engine.snapshot() now serves the new generation
+
+    Sessions stage plain row sets; nothing touches the engine until
+    commit, which applies the whole batch atomically under the single
+    writer lock and publishes one new generation.
+    """
+
+    def __init__(self, engine: "LiveEngine"):
+        self._engine = engine
+        self._inserts: dict[str, set[Row]] = {}
+        self._deletes: dict[str, set[Row]] = {}
+        self._state = "open"
+
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, *rows: Iterable) -> "Session":
+        """Stage *rows* for insertion into base relation *name*."""
+        self._stage(self._inserts, self._deletes, name, rows)
+        return self
+
+    def delete(self, name: str, *rows: Iterable) -> "Session":
+        """Stage *rows* for deletion from base relation *name*."""
+        self._stage(self._deletes, self._inserts, name, rows)
+        return self
+
+    def _stage(self, target: dict[str, set[Row]], other: dict[str, set[Row]],
+               name: str, rows: Iterable[Iterable]) -> None:
+        if self._state != "open":
+            raise RuntimeError(f"Session is already {self._state}")
+        staged = target.setdefault(name, set())
+        undo = other.get(name)
+        for row in rows:
+            row = tuple(row)
+            staged.add(row)
+            if undo is not None:
+                undo.discard(row)
+
+    @property
+    def pending(self) -> int:
+        """Number of staged row mutations."""
+        return (sum(map(len, self._inserts.values()))
+                + sum(map(len, self._deletes.values())))
+
+    # ------------------------------------------------------------------
+
+    async def commit(self) -> Snapshot:
+        """Apply the staged batch; returns the newly published snapshot.
+
+        Validation failures (mutating a rule-defined predicate, arity
+        mismatches) raise before any state changes and leave the
+        session rolled back.
+        """
+        if self._state != "open":
+            raise RuntimeError(f"Session is already {self._state}")
+        self._state = "committed"
+        try:
+            return await self._engine._commit(self._inserts, self._deletes)
+        except Exception:
+            self._state = "rolled back"
+            raise
+
+    def rollback(self) -> None:
+        """Discard the staged batch."""
+        if self._state == "open":
+            self._state = "rolled back"
+            self._inserts.clear()
+            self._deletes.clear()
+
+    async def __aenter__(self) -> "Session":
+        return self
+
+    async def __aexit__(self, exc_type: object, exc: object,
+                        tb: object) -> None:
+        if exc_type is not None:
+            self.rollback()
+        elif self._state == "open":
+            await self.commit()

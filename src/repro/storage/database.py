@@ -9,6 +9,7 @@ logic-programming convention that unknown facts are false.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
@@ -19,7 +20,12 @@ from repro.datalog.terms import Constant
 from repro.exceptions import SchemaError
 from repro.storage.domain import Domain, IntIndex, InternedRelation
 from repro.storage.index import HashIndex
-from repro.storage.relation import Relation, Row, rows_added_since
+from repro.storage.relation import (
+    Relation,
+    Row,
+    rows_added_since,
+    rows_removed_since,
+)
 
 
 @dataclass(frozen=True)
@@ -164,15 +170,23 @@ class Database:
         with lock:
             index = cache.get(key)
             if not valid(index):
-                # Generation-aware extension: a caller that swapped in a
-                # *grown* generation of the same relation (the extension
-                # lineage of ``Relation.extended_with``) gets the cached
-                # index updated from the added rows alone; anything else
-                # is a rebuild.
+                # Generation-aware maintenance: a caller that swapped in
+                # a *grown* generation of the same relation (the
+                # extension lineage of ``Relation.extended_with``) gets
+                # the cached index updated from the added rows alone; a
+                # *shrunk* generation (a subset of the indexed rows, the
+                # maintenance engine's delete phase) gets the removed
+                # rows deleted from their buckets.  Anything else is a
+                # rebuild.
                 added = (None if index is None
                          else rows_added_since(stored, index.relation))
+                removed = (None if index is None or added is not None
+                           else rows_removed_since(stored, index.relation))
                 if added is not None:
                     index.extend(added, stored)  # type: ignore[union-attr]
+                elif removed is not None and (
+                        len(removed) * 4 <= len(stored.rows) + 8):
+                    index.shrink(removed, stored)  # type: ignore[union-attr]
                 else:
                     index = HashIndex(stored, positions)
                     cache[key] = index
@@ -235,7 +249,17 @@ class Database:
                 interned.extend_with(added, domain)
                 self._extend_int_indexes(name, arity, interned, start)
             else:
-                interned = InternedRelation.from_relation(stored, domain)
+                # Delete fast path: a swap that only shrank the stored
+                # rows (the IVM working database after a delete batch)
+                # filters the cached columns instead of re-interning
+                # every surviving value.  Positions shift, so the int
+                # indexes are dropped for rebuild either way.
+                removed = (None if entry is None
+                           else rows_removed_since(stored, entry[0]))
+                if removed is not None and entry is not None:
+                    interned = entry[1].without_rows(removed, domain)
+                else:
+                    interned = InternedRelation.from_relation(stored, domain)
                 self._drop_int_indexes(name, arity)
             cache[key] = (stored, interned)
         return interned
@@ -312,6 +336,47 @@ class Database:
     # ------------------------------------------------------------------
     # Update (functional)
     # ------------------------------------------------------------------
+
+    def replace_relation(self, relation: Relation) -> None:
+        """Swap *relation* in place under its name.  Deprecated.
+
+        In-place swapping mutates a database that readers may be
+        evaluating against concurrently; the serving layer replaces it
+        with transactional mutation through
+        :class:`repro.serve.Session`, which maintains materialised
+        results incrementally and publishes immutable snapshots.  The
+        index/interned caches self-heal via their generation checks, so
+        this remains *correct* for single-threaded use — but new code
+        should not reach for it.
+        """
+        warnings.warn(
+            "Database.replace_relation mutates a shared database in "
+            "place; use repro.serve.Session (engine.transaction()) for "
+            "mutations in serving paths, or Database.with_relation for "
+            "a functional copy",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._replace_relation_unchecked(relation)
+
+    def _replace_relation_unchecked(self, relation: Relation) -> None:
+        """In-place swap without the deprecation gate.
+
+        Reserved for owners of a *private* database — the IVM engine
+        mutates its working database through this and relies on the
+        generation checks in :meth:`index`/:meth:`interned_relation` to
+        extend caches incrementally (grown lineage) or rebuild them
+        (deletes).
+        """
+        if relation.name in self.relations and (
+            self.relations[relation.name].arity != relation.arity
+        ):
+            raise SchemaError(
+                f"Relation {relation.name!r} has arity "
+                f"{self.relations[relation.name].arity}, cannot swap in "
+                f"arity {relation.arity}"
+            )
+        self.relations[relation.name] = relation  # type: ignore[index]
 
     def with_relation(self, relation: Relation) -> "Database":
         """Return a database with *relation* added or replaced."""

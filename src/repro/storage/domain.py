@@ -223,6 +223,34 @@ class InternedRelation:
                 count += 1
         self.length += count
 
+    def without_rows(self, removed: Iterable[Row],
+                     domain: Domain) -> "InternedRelation":
+        """A new form with *removed* rows filtered out, ids preserved.
+
+        The delete-path counterpart of :meth:`extend_with`: when a
+        stored relation swap only shrank (the IVM working database
+        after a delete batch — see
+        ``repro.storage.relation.rows_removed_since``), the interned
+        form is rebuilt by filtering the existing columns.  No
+        surviving value is re-interned, surviving rows keep their
+        relative order, and the domain is untouched (it is append-only;
+        deleted values simply stop being referenced).
+        """
+        intern_row = domain.intern_row
+        removed_ids = {intern_row(row) for row in removed}
+        if self.arity == 0:
+            length = max(self.length - len(removed_ids), 0)
+            return InternedRelation(self.name, 0, (), length)
+        columns = self.columns
+        keep = [
+            j for j in range(self.length)
+            if tuple(column[j] for column in columns) not in removed_ids
+        ]
+        filtered = tuple(
+            array("q", [column[j] for j in keep]) for column in columns
+        )
+        return InternedRelation(self.name, self.arity, filtered, len(keep))
+
     def __len__(self) -> int:
         return self.length
 

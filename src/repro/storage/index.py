@@ -93,6 +93,34 @@ class HashIndex:
                 bucket.append(row)
         self.relation = relation
 
+    def shrink(self, removed: Iterable[Row], relation: Relation) -> None:
+        """Drop *removed* rows and re-point the index at *relation*.
+
+        The deletion counterpart of :meth:`extend`, for the maintenance
+        path where a relation loses a known set of rows
+        (:func:`repro.storage.relation.rows_removed_since`): the index
+        over the old generation is updated by deleting the removed rows
+        from their buckets instead of being rebuilt over the whole
+        relation.  The caller guarantees *removed* is exactly the
+        indexed generation's rows minus ``relation.rows``; like
+        :meth:`extend`, this mutates in place and must run under the
+        database's cache lock.
+        """
+        buckets = self._buckets
+        positions = self.positions
+        for row in removed:
+            key = tuple(row[p] for p in positions) if positions else ()
+            bucket = buckets.get(key)
+            if bucket is None:
+                continue
+            try:
+                bucket.remove(row)
+            except ValueError:
+                continue
+            if not bucket:
+                del buckets[key]
+        self.relation = relation
+
     @property
     def buckets(self) -> dict[tuple[Any, ...], list[Row]]:
         """The key → rows mapping itself (read-only by convention).

@@ -271,6 +271,25 @@ def rows_added_since(relation: Relation, base: Relation,
     return None
 
 
+def rows_removed_since(relation: Relation,
+                       base: Relation) -> Optional[frozenset[Row]]:
+    """The rows *base* lost if *relation* is a pure shrink of it, else None.
+
+    The delete-path counterpart of :func:`rows_added_since`: deletions
+    produce a fresh relation with no extension lineage, but a swap that
+    only *removed* rows is recognisable by a subset check — the caller
+    (e.g. ``Database.interned_relation``) can then filter its cached
+    artefact instead of rebuilding from scratch.  ``None`` means the
+    swap was not a pure shrink (renames, arity changes, mixed
+    add/remove) and a full rebuild is required.
+    """
+    if relation.name != base.name or relation.arity != base.arity:
+        return None
+    if len(relation.rows) > len(base.rows) or not relation.rows <= base.rows:
+        return None
+    return base.rows - relation.rows
+
+
 class RowSetBuilder:
     """A mutable accumulator of canonical rows for one relation.
 

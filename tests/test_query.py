@@ -431,6 +431,48 @@ class TestQueryEngine:
         engine.ask("path(X, a)?", strategy="labels")
         assert set(engine._labels) == {("edge", False), ("edge", True)}
 
+    def test_with_database_invalidates_per_relation(self):
+        """Mutating ``edge`` must not evict the ``other_edge`` caches."""
+        program = (
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+            "path(X, Y) :- edge(X, Y).\n"
+            "hop(X, Y) :- other_edge(X, Z), hop(Z, Y).\n"
+            "hop(X, Y) :- other_edge(X, Y)."
+        )
+        edge = Relation.of("edge", 2, [("a", "b")])
+        other = Relation.of("other_edge", 2, [("x", "y"), ("y", "z")])
+        engine = QueryEngine(Database.of(edge, other), program)
+        other_labels = engine.labels("other_edge")
+        edge_labels = engine.labels("edge")
+        hop = engine.closure(Predicate("hop", 2))
+        path = engine.closure(Predicate("path", 2))
+
+        grown = Relation.of("edge", 2, [("a", "b"), ("b", "c")])
+        sibling = engine.with_database(
+            engine.database.with_relation(grown))
+        # other_edge untouched: its labels and closure survive by identity.
+        assert sibling.labels("other_edge") is other_labels
+        assert sibling.closure(Predicate("hop", 2)) is hop
+        # edge mutated: its artefacts are rebuilt from the new generation.
+        assert sibling.labels("edge") is not edge_labels
+        assert sibling.labels("edge").edge_count == 2
+        assert sibling.closure(Predicate("path", 2)) is not path
+        assert sibling.closure(Predicate("path", 2)).rows == {
+            ("a", "b"), ("b", "c"), ("a", "c")}
+        # The original engine still serves its own generation.
+        assert engine.labels("edge") is edge_labels
+        assert engine.closure(Predicate("path", 2)) is path
+
+    def test_in_place_swap_invalidates_own_caches(self):
+        engine = tc_engine([("a", "b"), ("b", "c")])
+        before = engine.closure(Predicate("path", 2))
+        with pytest.warns(DeprecationWarning):
+            engine.database.replace_relation(
+                Relation.of("edge", 2, [("a", "b")]))
+        after = engine.closure(Predicate("path", 2))
+        assert after is not before
+        assert after.rows == {("a", "b")}
+
     def test_no_program_edb_only(self):
         engine = QueryEngine(Database.of(Relation.of("e", 2, [(1, 2)])))
         assert engine.ask("e(1, X)?").rows == {(1, 2)}
