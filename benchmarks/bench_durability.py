@@ -1,0 +1,250 @@
+"""Durability benchmark: WAL commit cost, checkpoint I/O, cold recovery.
+
+What durable serving costs on the layered-DAG transitive-closure
+workload (the ``bench_engine_micro`` shape), and what the mmap'd
+checkpoint buys back:
+
+* **commit latency** — mean seconds per single-edge delete/re-insert
+  delta through three write paths: the bare maintenance engine
+  (``commit_nowal_seconds``, no durability), a
+  :class:`~repro.durability.DurableCoordinator` with per-commit fsync
+  (``commit_fsync_seconds``, ``sync="always"``), and one with group
+  commit (``commit_batched_seconds``, ``sync="batch"``) — the
+  fsync-per-commit tax and how much batching recovers.
+* **checkpoint I/O** — writing the flat-file checkpoint of the interned
+  columns, domain and Theorem-3.1 counters
+  (``checkpoint_write_seconds``) and re-opening the directory from it
+  (``open_mmap_seconds``: mmap + column priming, no fixpoint, no
+  re-interning).  The in-script acceptance floor is machine-
+  independent: at the largest size the mmap'd open must beat the cold
+  build (fixpoint + counter derivation) by ``--min-open-speedup``
+  (default 2x; measured ratios run ~4-7x).
+* **cold recovery** — re-opening a directory whose WAL still carries
+  the whole update schedule past the checkpoint
+  (``recovery_seconds``), i.e. crash recovery cost as a function of
+  the replayed suffix (``recovered_records`` per entry).
+
+Every durable path is parity-checked against the bare engine before
+timings are recorded; any divergence fails the run.  Results are
+written to ``BENCH_durability.json``.
+
+Usage::
+
+    python benchmarks/bench_durability.py             # full sizes
+    python benchmarks/bench_durability.py --quick     # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.durability import DurableCoordinator  # noqa: E402
+from repro.ivm import MaterializedProgram  # noqa: E402
+from repro.storage.database import Database  # noqa: E402
+from repro.workloads.graphs import layered_dag_edges  # noqa: E402
+
+TC_PROGRAM = (
+    "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+    "path(X, Y) :- edge(X, Y)."
+)
+
+
+def _workload(size: int) -> Database:
+    """The ``bench_engine_micro`` DAG at *size* nodes."""
+    rng = random.Random(11)
+    return Database.of(
+        layered_dag_edges(size // 8, 8, fanout=2, name="edge", rng=rng)
+    )
+
+
+def _update_schedule(database: Database, count: int) -> list[tuple]:
+    rng = random.Random(23)
+    edges = sorted(database.relation("edge").rows)
+    if count <= len(edges):
+        return rng.sample(edges, count)
+    return [rng.choice(edges) for _ in range(count)]
+
+
+def _pump(apply, schedule: list[tuple]) -> float:
+    """Mean seconds per delete/re-insert delta through *apply*."""
+    start = time.perf_counter()
+    for edge in schedule:
+        apply(deletes={"edge": [edge]})
+        apply(inserts={"edge": [edge]})
+    return (time.perf_counter() - start) / (2 * len(schedule))
+
+
+def _fingerprint(state) -> tuple:
+    return (
+        state.generation,
+        state.working.relation("edge").rows,
+        state.closure("path").rows,
+        state.statistics("path").as_dict(),
+    )
+
+
+def bench_size(size: int, update_count: int, root: pathlib.Path) -> dict:
+    database = _workload(size)
+    schedule = _update_schedule(database, update_count)
+
+    def fresh() -> Database:
+        return Database(dict(database.relations))
+
+    # Cold build: the fixpoint plus counter derivation every durable
+    # open gets to skip.
+    start = time.perf_counter()
+    bare = MaterializedProgram(TC_PROGRAM, fresh())
+    build_seconds = time.perf_counter() - start
+    nowal_seconds = _pump(bare.apply, schedule)
+
+    timings: dict[str, float] = {}
+    for label, sync in (("fsync", "always"), ("batched", "batch")):
+        path = root / f"db-{size}-{label}"
+        coordinator = DurableCoordinator.open(
+            str(path), TC_PROGRAM, fresh(), sync=sync)
+        timings[f"commit_{label}_seconds"] = _pump(
+            coordinator.apply, schedule)
+        if _fingerprint(coordinator.state) != _fingerprint(bare):
+            coordinator.close()
+            raise SystemExit(
+                f"FAIL: durable [{label}] state diverged from the bare "
+                f"engine at size {size}")
+        if label == "fsync":
+            # Checkpoint I/O on the settled state, then the mmap'd
+            # re-open (manifest + checkpoint + empty WAL, no fixpoint).
+            start = time.perf_counter()
+            coordinator.checkpoint()
+            timings["checkpoint_write_seconds"] = (
+                time.perf_counter() - start)
+            coordinator.close()
+            start = time.perf_counter()
+            reopened = DurableCoordinator.open(str(path))
+            timings["open_mmap_seconds"] = time.perf_counter() - start
+            if (not reopened.recovery.clean
+                    or _fingerprint(reopened.state) != _fingerprint(bare)):
+                reopened.close()
+                raise SystemExit(
+                    f"FAIL: checkpoint round-trip diverged at size {size}")
+            reopened.close()
+        else:
+            coordinator.close()
+        shutil.rmtree(path)
+
+    # Cold recovery: the WAL carries the whole schedule past the
+    # creation checkpoint (close without folding it away).
+    path = root / f"db-{size}-recovery"
+    coordinator = DurableCoordinator.open(str(path), TC_PROGRAM, fresh())
+    for edge in schedule:
+        coordinator.apply(deletes={"edge": [edge]})
+        coordinator.apply(inserts={"edge": [edge]})
+    coordinator.close(checkpoint=False)
+    start = time.perf_counter()
+    recovered = DurableCoordinator.open(str(path))
+    recovery_seconds = time.perf_counter() - start
+    report = recovered.recovery
+    if (report.records_replayed != 2 * len(schedule)
+            or _fingerprint(recovered.state) != _fingerprint(bare)):
+        recovered.close()
+        raise SystemExit(
+            f"FAIL: cold recovery diverged at size {size} "
+            f"(replayed {report.records_replayed} of {2 * len(schedule)})")
+    recovered.close()
+    shutil.rmtree(path)
+
+    entry = {
+        "size": size,
+        "edges": len(database.relation("edge").rows),
+        "closure_size": len(bare.closure("path").rows),
+        "build_seconds": round(build_seconds, 6),
+        "commit_nowal_seconds": round(nowal_seconds, 6),
+        "commit_fsync_seconds": round(timings["commit_fsync_seconds"], 6),
+        "commit_batched_seconds": round(
+            timings["commit_batched_seconds"], 6),
+        "checkpoint_write_seconds": round(
+            timings["checkpoint_write_seconds"], 6),
+        "open_mmap_seconds": round(timings["open_mmap_seconds"], 6),
+        "open_speedup": round(
+            build_seconds / timings["open_mmap_seconds"], 1),
+        "recovery_seconds": round(recovery_seconds, 6),
+        "recovered_records": 2 * len(schedule),
+        "update_deltas": 2 * len(schedule),
+    }
+    print(
+        f"size={size:4d}  build={build_seconds:7.4f}s  "
+        f"nowal={nowal_seconds * 1e3:7.3f}ms  "
+        f"fsync={entry['commit_fsync_seconds'] * 1e3:7.3f}ms  "
+        f"batched={entry['commit_batched_seconds'] * 1e3:7.3f}ms  "
+        f"ckpt={entry['checkpoint_write_seconds'] * 1e3:7.3f}ms  "
+        f"open={entry['open_mmap_seconds'] * 1e3:7.3f}ms  "
+        f"open_speedup={entry['open_speedup']:6.1f}x  "
+        f"recovery={recovery_seconds * 1e3:8.3f}ms"
+    )
+    return entry
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke run: fewer sizes and deltas")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent.parent
+                        / "BENCH_durability.json")
+    parser.add_argument("--min-open-speedup", type=float, default=2.0,
+                        help="fail unless the mmap'd checkpoint open beats "
+                             "the cold build (fixpoint + re-interning) by "
+                             "this factor at the largest size; the ratio is "
+                             "machine-independent, so it is enforced in "
+                             "quick mode too")
+    args = parser.parse_args(argv)
+
+    # Quick mode keeps size 512: the acceptance criteria name cold
+    # recovery on the TC-512 layered DAG.
+    sizes = [128, 512] if args.quick else [128, 256, 512]
+    update_count = 8 if args.quick else 24
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="bench-durability-") as root:
+        for size in sizes:
+            results.append(bench_size(size, update_count,
+                                      pathlib.Path(root)))
+
+    report = {
+        "benchmark": "durability: WAL commit latency (no-WAL vs fsync vs "
+                     "group commit), checkpoint write / mmap open, cold "
+                     "recovery from the WAL suffix",
+        "workload": "transitive closure over a layered DAG "
+                    "(bench_engine_micro shape), exit-rule seeded",
+        "program": TC_PROGRAM,
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    headline = results[-1]
+    if headline["open_speedup"] < args.min_open_speedup:
+        print(
+            f"FAIL: mmap'd checkpoint open is only "
+            f"{headline['open_speedup']}x the cold build at size "
+            f"{headline['size']}, below the {args.min_open_speedup}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

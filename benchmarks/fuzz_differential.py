@@ -58,6 +58,17 @@ derived derivation/duplicate counts and a random query answered
 through a closure-primed :class:`~repro.query.QueryEngine` must be
 bit-identical to a from-scratch recompute against the mutated EDB.
 
+With ``--wal-seeds N``, the first ``N`` seeds additionally fuzz the
+durability layer (:mod:`repro.durability`): a
+:class:`~repro.durability.DurableCoordinator` over the same synthetic
+program commits a random batch schedule under a seed-derived
+:class:`~repro.engine.faults.CrashPlan` (torn WAL tails, checksum
+corruption, kills inside the checkpoint install protocol), the
+directory is re-opened, and the recovered closure, counters and base
+relations must be bit-identical to an uncrashed twin that committed
+exactly the durable prefix.  Recovery accounting joins the
+``--health-file`` artifact as ``durable-wal`` entries.
+
 All engines must agree on the result relation, the derivation count,
 the duplicate count and the iteration count (the Theorem 3.1
 accounting); any disagreement prints the offending seed and program and
@@ -91,6 +102,7 @@ import json
 import pathlib
 import random
 import sys
+import tempfile
 
 _SRC = pathlib.Path(__file__).parent.parent / "src"
 if str(_SRC) not in sys.path:
@@ -101,7 +113,8 @@ from repro.datalog.parser import parse_rule  # noqa: E402
 from repro.datalog.programs import Program  # noqa: E402
 from repro.datalog.rules import Rule  # noqa: E402
 from repro.datalog.terms import Variable  # noqa: E402
-from repro.engine.faults import FaultPlan  # noqa: E402
+from repro.durability import DurableCoordinator  # noqa: E402
+from repro.engine.faults import CrashPlan, FaultPlan, SimulatedCrash  # noqa: E402
 from repro.engine.parallel import EvalConfig  # noqa: E402
 from repro.engine.reference import seminaive_closure_interpreted  # noqa: E402
 from repro.engine.seminaive import seminaive_closure  # noqa: E402
@@ -265,16 +278,7 @@ def check_ivm(rules: tuple[Rule, ...], database: Database,
     exit supports alongside the recursive ones.
     """
     head = rules[0].head.predicate
-    seed_name = head.name + "_seed"
-    variables = tuple(Variable(f"V{index}") for index in range(head.arity))
-    exit_rule = Rule(
-        Atom(head, variables),
-        (Atom(Predicate(seed_name, head.arity), variables),),
-    )
-    program = Program((*rules, exit_rule))
-    base = Database(dict(database.relations))
-    base._replace_relation_unchecked(
-        Relation.of(seed_name, head.arity, initial.rows))
+    program, base = _synthetic_program(rules, database, initial)
 
     try:
         maintained = [
@@ -356,6 +360,153 @@ def check_ivm(rules: tuple[Rule, ...], database: Database,
     return mismatches
 
 
+def _synthetic_program(rules: tuple[Rule, ...], database: Database,
+                       initial: Relation) -> tuple[Program, Database]:
+    """The fuzzer's (rules, seed relation) as a maintainable program.
+
+    Same construction as :func:`check_ivm`: the explicit initial
+    relation becomes a ``<p>_seed`` base relation plus a copying exit
+    rule, so the whole EDB — seeds included — is mutable.
+    """
+    head = rules[0].head.predicate
+    seed_name = head.name + "_seed"
+    variables = tuple(Variable(f"V{index}") for index in range(head.arity))
+    exit_rule = Rule(
+        Atom(head, variables),
+        (Atom(Predicate(seed_name, head.arity), variables),),
+    )
+    program = Program((*rules, exit_rule))
+    base = Database(dict(database.relations))
+    base._replace_relation_unchecked(
+        Relation.of(seed_name, head.arity, initial.rows))
+    return program, base
+
+
+def check_wal(rules: tuple[Rule, ...], database: Database,
+              initial: Relation, rng: random.Random,
+              max_iterations: int, seed: int,
+              health_sink: list | None = None) -> list[str]:
+    """Crash-recovery parity: a durable engine under a planned crash.
+
+    Drives a :class:`~repro.durability.DurableCoordinator` through a
+    random batch schedule with a seed-derived
+    :class:`~repro.engine.faults.CrashPlan` (WAL tears, checksum
+    corruption, kills inside the checkpoint protocol).  After the crash
+    the directory is re-opened and the recovered state — closure rows,
+    Theorem-3.1 counters, base relations, generation — must be
+    bit-identical to an uncrashed twin that committed exactly the
+    durable prefix ``batches[:recovered_generation]``.
+    """
+    head = rules[0].head.predicate
+    program, base = _synthetic_program(rules, database, initial)
+    try:
+        twin = MaterializedProgram(program, Database(dict(base.relations)),
+                                   max_iterations=max_iterations)
+    except Exception as error:  # noqa: BLE001 - report, don't crash the sweep
+        return [f"wal cold start failed: {error!r}"]
+
+    # Pre-draw the whole batch schedule against the twin so the durable
+    # run replays the exact same mutations.
+    mutable = sorted(base.relations)
+    domain = 7
+    batches: list[tuple[dict, dict]] = []
+    for _ in range(6):
+        inserts: dict[str, set] = {}
+        deletes: dict[str, set] = {}
+        for name in rng.sample(mutable, rng.randint(1, len(mutable))):
+            stored = twin.working.relation(name)
+            if stored.rows and rng.random() < 0.7:
+                deletes[name] = set(rng.sample(
+                    sorted(stored.rows),
+                    rng.randint(1, min(2, len(stored.rows)))))
+            inserts[name] = {
+                tuple(rng.randrange(domain) for _ in range(stored.arity))
+                for _ in range(rng.randint(0, 2))
+            }
+        # Only schedule batches that change something: no-op batches
+        # are never logged, so keeping them would break the
+        # generation == batch-index alignment the parity check uses.
+        if twin.apply(inserts=inserts, deletes=deletes):
+            batches.append((inserts, deletes))
+
+    def fingerprint(state) -> tuple:
+        return (
+            state.generation,
+            {name: relation.rows
+             for name, relation in state.working.relations.items()},
+            state.closure(head).rows,
+            state.statistics(head).as_dict(),
+        )
+
+    plan = CrashPlan.from_seed(seed)
+    checkpoint_every = rng.choice((0, 2, 3))
+    sync = rng.choice(("always", "batch"))
+    mismatches: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="fuzz-wal-") as root:
+        path = str(pathlib.Path(root) / "db")
+        coordinator = None
+        crashed = False
+        try:
+            coordinator = DurableCoordinator.open(
+                path, program, Database(dict(base.relations)),
+                max_iterations=max_iterations, sync=sync,
+                checkpoint_every=checkpoint_every, crash_plan=plan,
+            )
+            for inserts, deletes in batches:
+                coordinator.apply(inserts=inserts, deletes=deletes)
+            coordinator.close()
+        except SimulatedCrash:
+            crashed = True
+            if coordinator is not None:
+                coordinator.abandon()
+        except Exception as error:  # noqa: BLE001
+            if coordinator is not None:
+                coordinator.abandon()
+            return [f"wal durable run raised {error!r} (plan={plan.events})"]
+
+        try:
+            recovered = DurableCoordinator.open(
+                path, program, Database(dict(base.relations)),
+                max_iterations=max_iterations,
+            )
+        except Exception as error:  # noqa: BLE001
+            return [f"wal recovery raised {error!r} (crashed={crashed}, "
+                    f"plan={plan.events})"]
+        try:
+            report = recovered.recovery
+            generation = report.recovered_generation
+            if not crashed and generation != len(batches):
+                mismatches.append(
+                    f"wal clean run recovered generation {generation} != "
+                    f"{len(batches)}")
+            replay_twin = MaterializedProgram(
+                program, Database(dict(base.relations)),
+                max_iterations=max_iterations)
+            for inserts, deletes in batches[:generation]:
+                replay_twin.apply(inserts=inserts, deletes=deletes)
+            if fingerprint(recovered.state) != fingerprint(replay_twin):
+                mismatches.append(
+                    f"wal recovered state at generation {generation} "
+                    f"diverges from the uncrashed twin "
+                    f"(crashed={crashed}, plan={plan.events}, "
+                    f"report={report.as_dict()})")
+            if health_sink is not None:
+                health_sink.append({
+                    "seed": seed, "engine": "durable-wal",
+                    "plan": [vars(event) for event in plan.events],
+                    "fired": [list(hit) for hit in plan.fired],
+                    "crashed": crashed,
+                    "checkpoint_every": checkpoint_every, "sync": sync,
+                    **{f"recovery_{key}": value
+                       for key, value in report.as_dict().items()
+                       if isinstance(value, int)},
+                    **recovered.health.as_dict(),
+                })
+        finally:
+            recovered.close()
+    return mismatches
+
+
 #: The parallel sweep: every executor on both parallel backends, plus
 #: the interned × processes pair through the legacy pickled exchange
 #: (``shared_memory=False``) so both process wire formats stay covered.
@@ -403,6 +554,7 @@ def run_seed(seed: int, max_iterations: int,
              fault_sweep: bool = False,
              query_sweep: bool = False,
              ivm_sweep: bool = False,
+             wal_sweep: bool = False,
              health_sink: list | None = None) -> tuple[bool, str]:
     """Run one fuzz case; returns (ok, description)."""
     rng = random.Random(seed)
@@ -458,6 +610,13 @@ def run_seed(seed: int, max_iterations: int,
         if ivm_mismatches:
             return False, f"{description}\n    " + "; ".join(ivm_mismatches)
 
+    if wal_sweep:
+        wal_mismatches = check_wal(rules, database, initial, rng,
+                                   max_iterations, seed,
+                                   health_sink=health_sink)
+        if wal_mismatches:
+            return False, f"{description}\n    " + "; ".join(wal_mismatches)
+
     reference = outcomes["interpreted"]
     mismatched = [label for label, outcome in outcomes.items()
                   if outcome != reference]
@@ -502,6 +661,15 @@ def main(argv=None) -> int:
                              "derivation/duplicate counts and query answers "
                              "bit-identical to a from-scratch recompute "
                              "after every batch (default 0: no IVM parity)")
+    parser.add_argument("--wal-seeds", type=int, default=0,
+                        help="additionally run, on the first N seeds of the "
+                             "range, a durable engine through random commit "
+                             "batches under a seed-derived crash plan (WAL "
+                             "tears, checksum corruption, checkpoint-protocol "
+                             "kills), re-open the directory, and assert the "
+                             "recovered state bit-identical to an uncrashed "
+                             "twin of the durable prefix (default 0: no "
+                             "crash-recovery parity)")
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--verbose", action="store_true",
                         help="print every generated program")
@@ -523,18 +691,21 @@ def main(argv=None) -> int:
         chaos = seed - args.base_seed < args.fault_seeds
         queries = seed - args.base_seed < args.query_seeds
         ivm = seed - args.base_seed < args.ivm_seeds
+        wal = seed - args.base_seed < args.wal_seeds
         swept += sweep
         ok, description = run_seed(seed, args.max_iterations,
                                    sweep_backends=sweep,
                                    fault_sweep=chaos,
                                    query_sweep=queries,
                                    ivm_sweep=ivm,
+                                   wal_sweep=wal,
                                    health_sink=chaos_runs)
         if args.verbose or not ok:
             status = "ok  " if ok else "FAIL"
             matrix = " [executor x backend matrix]" if sweep else ""
             matrix += " [query parity]" if queries else ""
             matrix += " [ivm parity]" if ivm else ""
+            matrix += " [wal crash-recovery parity]" if wal else ""
             print(f"seed={seed:5d} {status} {description}{matrix}")
         if not ok:
             failures.append((seed, description))
@@ -579,11 +750,16 @@ def main(argv=None) -> int:
         f"{min(args.ivm_seeds, args.seeds)}"
         if args.ivm_seeds else ""
     )
+    wal_note = (
+        f"; crash-recovery parity on the first "
+        f"{min(args.wal_seeds, args.seeds)}"
+        if args.wal_seeds else ""
+    )
     print(
         f"ok: {args.seeds} random programs agree across interpreted, "
         f"compiled, batch and interned executors "
         f"(seeds {args.base_seed}..{args.base_seed + args.seeds - 1}"
-        f"{matrix_note}{ivm_note})"
+        f"{matrix_note}{ivm_note}{wal_note})"
     )
     return 0
 

@@ -78,6 +78,13 @@ from repro.core import (
 from repro.engine import EvalConfig, EvaluationStatistics, solve
 from repro.query import Query, QueryAnswer, QueryEngine, answer
 from repro.ivm import ChangeSet, MaterializedProgram
+from repro.durability import (
+    Checkpoint,
+    DurableCoordinator,
+    DurableLog,
+    DurableStore,
+    RecoveryReport,
+)
 from repro.serve import (
     LiveEngine,
     ResultChange,
@@ -91,9 +98,12 @@ from repro.exceptions import (
     DatalogSyntaxError,
     EvaluationError,
     NotApplicableError,
+    OverloadError,
+    QueryTimeoutError,
     ReproError,
     RuleStructureError,
     SchemaError,
+    StorageError,
 )
 
 __version__ = "1.0.0"
@@ -103,9 +113,13 @@ __all__ = [
     "AnalysisError",
     "Atom",
     "ChangeSet",
+    "Checkpoint",
     "Constant",
     "Database",
     "DatalogSyntaxError",
+    "DurableCoordinator",
+    "DurableLog",
+    "DurableStore",
     "EqualitySelection",
     "EvalConfig",
     "EvaluationError",
@@ -114,6 +128,7 @@ __all__ = [
     "LiveEngine",
     "MaterializedProgram",
     "NotApplicableError",
+    "OverloadError",
     "PositionEqualitySelection",
     "Predicate",
     "Program",
@@ -123,6 +138,8 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "QueryResult",
+    "QueryTimeoutError",
+    "RecoveryReport",
     "RecursionAnalyzer",
     "RecursiveQueryEngine",
     "Relation",
@@ -134,6 +151,7 @@ __all__ = [
     "Selection",
     "Session",
     "Snapshot",
+    "StorageError",
     "Strategy",
     "Subscription",
     "SumOperator",

@@ -1,0 +1,40 @@
+"""Durability: write-ahead logging, mmap'd checkpoints, crash recovery.
+
+The serving-layer promise is that an acknowledged commit survives a
+crash and that startup is "open the database", not "re-run the
+fixpoint".  Three pieces deliver it:
+
+* :class:`DurableLog` (:mod:`repro.durability.wal`) — a checksummed,
+  length-prefixed, fsync'd log of committed batches, truncating torn
+  tails on open;
+* :class:`Checkpoint` (:mod:`repro.durability.checkpoint`) — the
+  interned database, domain table and Theorem-3.1 ``(T, q, supp)``
+  counters in a flat wire format, written atomically and mmap'd
+  read-only on open (zero-copy columns, copy-on-write on first
+  mutation);
+* :class:`DurableStore` / :class:`DurableCoordinator`
+  (:mod:`repro.durability.store`) — the locked database directory and
+  the commit protocol gluing the two together: stage → WAL append →
+  apply, periodic checkpoints folding the log away, and recovery that
+  replays only the WAL suffix past the checkpoint, every record
+  accounted for in a :class:`RecoveryReport`.
+"""
+
+from repro.durability.checkpoint import Checkpoint, write_checkpoint
+from repro.durability.store import (
+    DurableCoordinator,
+    DurableStore,
+    RecoveryReport,
+)
+from repro.durability.wal import DurableLog, WalRecord, WalScan
+
+__all__ = [
+    "Checkpoint",
+    "DurableCoordinator",
+    "DurableLog",
+    "DurableStore",
+    "RecoveryReport",
+    "WalRecord",
+    "WalScan",
+    "write_checkpoint",
+]

@@ -1,0 +1,366 @@
+"""Checkpoints: the interned database persisted flat, opened by mmap.
+
+A checkpoint freezes everything the engine needs to resume serving
+without re-running the cold fixpoint *or re-interning a single value*:
+
+* the :class:`~repro.storage.domain.Domain` table (the id → value
+  list, pickled in the meta block);
+* every base relation's canonical interned form — the ``array('q')``
+  columns — as flat little-endian int64 blobs;
+* per maintained predicate, the ``(T, q, supp)`` state of Theorem-3.1
+  counting IVM: closure rows as id columns, and the exit/recursive
+  support counters as id columns plus an aligned count column.
+
+File layout (all integers little-endian):
+
+========  =====  ====================================================
+offset    size   field
+========  =====  ====================================================
+0         8      magic ``b"RCKP0001"``
+8         8      meta length (``uint64``)
+16        8      blob base: absolute offset of the blob region
+24        4      CRC32 of the meta block (``uint32``)
+28        4      CRC32 of the blob region (``uint32``)
+32        m      meta block (pickled dict; see ``_build_meta``)
+blob_base n      column blobs, 8-byte aligned, offsets in the meta
+========  =====  ====================================================
+
+Checkpoints are written atomically — everything goes to ``path.tmp``,
+is fsync'd, and renamed into place — so a crash mid-write leaves the
+previous checkpoint untouched.  :class:`Checkpoint` opens the file
+**mmap'd read-only**: the meta block is unpickled (ids, program, the
+domain's value list) but the column blobs are never copied — base
+relations come up as :meth:`InternedRelation.from_buffers
+<repro.storage.domain.InternedRelation.from_buffers>` wrappers over
+``memoryview`` windows cast to ``'q'``, and the first mutation after
+open promotes them copy-on-write.  Startup cost is therefore
+unpickling the meta, not the data.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import zlib
+from array import array
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.datalog.programs import Program
+from repro.engine.faults import CrashPlan, SimulatedCrash
+from repro.exceptions import StorageError
+from repro.ivm.maintain import MaintainedState
+from repro.storage.database import Database
+from repro.storage.domain import Domain, InternedRelation
+from repro.storage.relation import Relation, Row
+
+#: First 8 bytes of every checkpoint file.
+CHECKPOINT_MAGIC = b"RCKP0001"
+
+#: Fixed header after the magic: meta length (u64), blob base (u64),
+#: meta CRC32 (u32), blob CRC32 (u32).
+_HEADER = struct.Struct("<QQII")
+
+_HEADER_SIZE = len(CHECKPOINT_MAGIC) + _HEADER.size
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def _column_bytes(column: Any) -> bytes:
+    """A column buffer as raw little-endian int64 bytes."""
+    if isinstance(column, array):
+        return column.tobytes()
+    if isinstance(column, memoryview):
+        return column.tobytes()
+    return array("q", column).tobytes()
+
+
+class _BlobWriter:
+    """Accumulates 8-aligned blobs, handing back (offset, size) slots."""
+
+    def __init__(self) -> None:
+        self.blobs: list[bytes] = []
+        self.size = 0
+
+    def add(self, data: bytes) -> tuple[int, int]:
+        if len(data) % 8:
+            raise StorageError(
+                f"Checkpoint blob of {len(data)} bytes is not 8-aligned"
+            )
+        slot = (self.size, len(data))
+        self.blobs.append(data)
+        self.size += len(data)
+        return slot
+
+
+def _interned_slots(interned: InternedRelation,
+                    blobs: _BlobWriter) -> dict[str, Any]:
+    return {
+        "length": interned.length,
+        "columns": [blobs.add(_column_bytes(column))
+                    for column in interned.columns],
+    }
+
+
+def _counter_slots(table: Mapping[Row, int], arity: int, domain: Domain,
+                   blobs: _BlobWriter) -> dict[str, Any]:
+    rows = list(table)
+    intern = domain.intern
+    columns = [
+        blobs.add(array("q", [intern(row[position]) for row in rows])
+                  .tobytes())
+        for position in range(arity)
+    ]
+    counts = blobs.add(array("q", [table[row] for row in rows]).tobytes())
+    return {"length": len(rows), "columns": columns, "counts": counts}
+
+
+def _row_slots(rows: Iterable[Row], arity: int, domain: Domain,
+               blobs: _BlobWriter) -> dict[str, Any]:
+    ordered = list(rows)
+    intern = domain.intern
+    columns = [
+        blobs.add(array("q", [intern(row[position]) for row in ordered])
+                  .tobytes())
+        for position in range(arity)
+    ]
+    return {"length": len(ordered), "columns": columns}
+
+
+def write_checkpoint(path: str, *, generation: int, program: Program,
+                     database: Database,
+                     states: Mapping[str, MaintainedState],
+                     crash_plan: Optional[CrashPlan] = None) -> int:
+    """Atomically persist a checkpoint; returns the bytes written.
+
+    *database* is the working database at the commit boundary of
+    *generation*; *states* maps each maintained predicate's name to its
+    ``(T, q, supp)`` state.  Every value is interned into the
+    database's domain before the domain table is snapshotted, so the
+    id space in the file is self-consistent.
+    """
+    database.intern_all()
+    domain = database.domain()
+    blobs = _BlobWriter()
+
+    relations = []
+    for name in sorted(database.relations):
+        stored = database.relations[name]
+        interned = database.interned_relation(name, stored.arity)
+        slots = _interned_slots(interned, blobs)
+        slots.update(name=name, arity=stored.arity)
+        relations.append(slots)
+
+    maintained = []
+    for name in sorted(states):
+        state = states[name]
+        arity = len(next(iter(state.rows), ())) if state.rows else None
+        if arity is None:
+            # Empty closure: take the arity from any counter row, else 0.
+            sample = next(iter(state.q), None) or next(iter(state.supp), None)
+            arity = len(sample) if sample is not None else 0
+        maintained.append({
+            "name": name,
+            "arity": arity,
+            "rows": _row_slots(state.rows, arity, domain, blobs),
+            "q": _counter_slots(state.q, arity, domain, blobs),
+            "supp": _counter_slots(state.supp, arity, domain, blobs),
+        })
+
+    # Snapshot the domain *after* interning the counter rows above, so
+    # every id referenced by any blob resolves.
+    meta = {
+        "version": 1,
+        "generation": generation,
+        "program": program,
+        "domain": domain.values_snapshot(),
+        "relations": relations,
+        "maintained": maintained,
+    }
+    meta_bytes = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    blob_base = _align8(_HEADER_SIZE + len(meta_bytes))
+    padding = b"\0" * (blob_base - _HEADER_SIZE - len(meta_bytes))
+    blob_bytes = b"".join(blobs.blobs)
+    header = CHECKPOINT_MAGIC + _HEADER.pack(
+        len(meta_bytes), blob_base,
+        zlib.crc32(meta_bytes), zlib.crc32(blob_bytes),
+    )
+
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as file:
+        file.write(header)
+        file.write(meta_bytes)
+        file.write(padding)
+        file.write(blob_bytes)
+        file.flush()
+        os.fsync(file.fileno())
+    if crash_plan is not None and crash_plan.draw("checkpoint_write") == "kill":
+        raise SimulatedCrash(
+            f"planned crash before checkpoint rename (generation "
+            f"{generation})"
+        )
+    os.replace(tmp, path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return blob_base + len(blob_bytes)
+
+
+class Checkpoint:
+    """A checkpoint file, opened mmap'd read-only.
+
+    Construction parses and checksums the header and meta block (and,
+    with ``verify=True``, the blob region).  :meth:`database` and
+    :meth:`states` decode views over the map — base-relation columns
+    stay zero-copy until first mutation.  Keep the checkpoint open as
+    long as anything may still read the borrowed columns;
+    :meth:`close` releases the map (tolerating still-exported buffers,
+    which the OS reclaims at process exit).
+    """
+
+    def __init__(self, path: str, verify: bool = True):
+        self.path = path
+        try:
+            self._file = open(path, "rb")
+        except OSError as error:
+            raise StorageError(
+                f"Cannot open checkpoint {path}: {error}"
+            ) from error
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+        except (ValueError, OSError) as error:
+            self._file.close()
+            raise StorageError(
+                f"Cannot map checkpoint {path}: {error}"
+            ) from error
+        self._closed = False
+        view = memoryview(self._mmap)
+        try:
+            if bytes(view[:8]) != CHECKPOINT_MAGIC:
+                raise StorageError(
+                    f"{path} is not a checkpoint (bad magic)"
+                )
+            if len(view) < _HEADER_SIZE:
+                raise StorageError(f"Checkpoint {path} is truncated")
+            meta_len, blob_base, meta_crc, blob_crc = _HEADER.unpack(
+                view[8:_HEADER_SIZE])
+            if _HEADER_SIZE + meta_len > len(view) or blob_base > len(view):
+                raise StorageError(f"Checkpoint {path} is truncated")
+            meta_bytes = bytes(view[_HEADER_SIZE:_HEADER_SIZE + meta_len])
+            if zlib.crc32(meta_bytes) != meta_crc:
+                raise StorageError(
+                    f"Checkpoint {path} meta block failed its checksum"
+                )
+            if verify and zlib.crc32(view[blob_base:]) != blob_crc:
+                raise StorageError(
+                    f"Checkpoint {path} blob region failed its checksum"
+                )
+            meta = pickle.loads(meta_bytes)
+            if meta.get("version") != 1:
+                raise StorageError(
+                    f"Checkpoint {path} has unsupported version "
+                    f"{meta.get('version')!r}"
+                )
+            self._meta = meta
+            self._blob_base = blob_base
+        except StorageError:
+            view.release()
+            self._release()
+            raise
+        finally:
+            if not self._closed:
+                view.release()
+        #: Generation of the commit boundary this checkpoint froze.
+        self.generation: int = meta["generation"]
+        #: The program whose closures the maintained states belong to.
+        self.program: Program = meta["program"]
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def _ids(self, slot: tuple[int, int]) -> memoryview:
+        offset, size = slot
+        base = self._blob_base + offset
+        return memoryview(self._mmap)[base:base + size].cast("q")
+
+    def _rows(self, slots: Mapping[str, Any], arity: int,
+              values: Sequence[Any]) -> list[Row]:
+        if arity == 0:
+            return [()] * slots["length"]
+        decode = values.__getitem__
+        return list(zip(*(
+            map(decode, self._ids(slot)) for slot in slots["columns"]
+        )))
+
+    def domain(self) -> Domain:
+        """A domain reproducing the checkpointed id assignment."""
+        return Domain(self._meta["domain"])
+
+    def database(self) -> Database:
+        """The base relations, storage-primed off the map.
+
+        Row sets are decoded (relations are row-set objects), but the
+        interned columns — what the interned/packed executors actually
+        scan — are zero-copy ``memoryview`` windows into the file, and
+        the rebuilt domain is seeded into the database so no value is
+        ever re-interned.
+        """
+        values = self._meta["domain"]
+        domain = self.domain()
+        relations: dict[str, Relation] = {}
+        interned: dict[str, InternedRelation] = {}
+        for slots in self._meta["relations"]:
+            name, arity = slots["name"], slots["arity"]
+            rows = self._rows(slots, arity, values)
+            relations[name] = Relation.from_canonical(
+                name, arity, frozenset(rows))
+            interned[name] = InternedRelation.from_buffers(
+                name, arity,
+                [self._ids(slot) for slot in slots["columns"]],
+                slots["length"],
+            )
+        database = Database(relations)
+        database.prime_storage(domain, interned)
+        return database
+
+    def states(self) -> dict[str, MaintainedState]:
+        """The per-predicate ``(T, q, supp)`` states."""
+        values = self._meta["domain"]
+        states: dict[str, MaintainedState] = {}
+        for slots in self._meta["maintained"]:
+            arity = slots["arity"]
+            rows = frozenset(self._rows(slots["rows"], arity, values))
+            counters = []
+            for key in ("q", "supp"):
+                table = slots[key]
+                table_rows = self._rows(table, arity, values)
+                counts = self._ids(table["counts"])
+                counters.append(dict(zip(table_rows, counts)))
+            states[slots["name"]] = MaintainedState(
+                rows=rows, q=counters[0], supp=counters[1])
+        return states
+
+    # ------------------------------------------------------------------
+
+    def _release(self) -> None:
+        self._closed = True
+        try:
+            self._mmap.close()
+        except BufferError:
+            # Zero-copy columns are still exported somewhere; leave the
+            # map to the OS (released at process exit).
+            pass
+        self._file.close()
+
+    def close(self) -> None:
+        """Release the map and file handle (idempotent)."""
+        if not self._closed:
+            self._release()

@@ -1,0 +1,281 @@
+"""The write-ahead log: checksummed, length-prefixed commit records.
+
+Every committed batch of base-relation mutations is appended to the log
+*before* it is applied to the in-memory state, so a crash at any point
+leaves the durable prefix replayable: reopen the store, load the last
+checkpoint, and re-apply the WAL suffix past it.  The format is
+deliberately minimal:
+
+========  =====  ====================================================
+offset    size   field
+========  =====  ====================================================
+0         8      file magic ``b"RWAL0001"``
+========  =====  ====================================================
+
+followed by zero or more records, each:
+
+========  =====  ====================================================
+offset    size   field
+========  =====  ====================================================
+0         4      payload length (``uint32`` LE)
+4         4      CRC32 over generation + payload (``uint32`` LE)
+8         8      generation tag (``uint64`` LE)
+16        n      payload (pickled netted batch)
+========  =====  ====================================================
+
+Records carry strictly increasing generation tags.  On open the log is
+scanned from the front; the first record that fails its frame (fewer
+bytes than the header or the declared payload — a *torn tail*) or its
+checksum (a *corrupt tail*) ends the valid prefix, and the file is
+truncated there.  Both are the expected residue of a crash mid-write,
+not errors; the truncation is reported through
+:class:`WalScan`/:class:`~repro.durability.RecoveryReport`.  A record
+whose generation does not continue the sequence is real corruption and
+raises :class:`~repro.exceptions.StorageError`.
+
+Group commit: the single writer appends under the serving layer's
+commit lock, so batching is a sync *policy*, not a queue — ``"always"``
+fsyncs every append (every acknowledged commit is durable),
+``"batch"`` fsyncs every ``sync_every`` appends and on
+flush/checkpoint/close (bounded loss window, much cheaper per commit),
+``"none"`` leaves flushing to the OS (benchmark yardstick only).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.engine.faults import CrashPlan, SimulatedCrash
+from repro.engine.statistics import HealthReport
+from repro.exceptions import StorageError
+
+#: First 8 bytes of every WAL file.
+WAL_MAGIC = b"RWAL0001"
+
+#: Record header: payload length (u32), crc32 (u32), generation (u64).
+_HEADER = struct.Struct("<IIQ")
+
+#: Sanity cap on a single record's payload; anything larger is treated
+#: as frame corruption (a torn length field can decode to garbage).
+MAX_PAYLOAD = 1 << 31
+
+#: Accepted ``DurableLog`` sync policies.
+SYNC_POLICIES = ("always", "batch", "none")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable commit: a generation tag plus its netted batch."""
+
+    generation: int
+    payload: Any
+
+
+@dataclass
+class WalScan:
+    """What opening a WAL found: the valid prefix and the damage.
+
+    ``records`` is every valid record in order.  ``truncated_records``
+    counts invalid tail records dropped (under single-writer crash
+    semantics at most the final record can be damaged, so this is 0 or
+    1) and ``truncated_bytes`` the bytes cut; ``torn_tail`` means the
+    tail failed its frame (partial write), ``corrupt_tail`` that a
+    complete record failed its checksum.
+    """
+
+    records: list[WalRecord] = field(default_factory=list)
+    truncated_records: int = 0
+    truncated_bytes: int = 0
+    torn_tail: bool = False
+    corrupt_tail: bool = False
+
+
+def _record_bytes(generation: int, payload: Any) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_PAYLOAD:
+        raise StorageError(
+            f"WAL payload of {len(body)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte record cap"
+        )
+    tag = struct.pack("<Q", generation)
+    crc = zlib.crc32(body, zlib.crc32(tag))
+    return _HEADER.pack(len(body), crc, generation) + body
+
+
+class DurableLog:
+    """An append-only, checksummed write-ahead log on one file.
+
+    Opening scans and truncates (see module docstring); the scan result
+    is on :attr:`scan`.  Appends go through :meth:`append`; the *sync*
+    policy decides when ``fsync`` runs.  The log is single-writer by
+    contract — the serving layer serialises commits above it.
+    """
+
+    def __init__(self, path: str, sync: str = "always", sync_every: int = 8,
+                 crash_plan: Optional[CrashPlan] = None,
+                 health: Optional[HealthReport] = None):
+        if sync not in SYNC_POLICIES:
+            raise StorageError(
+                f"Unknown WAL sync policy {sync!r}; expected one of "
+                f"{SYNC_POLICIES}"
+            )
+        if sync_every < 1:
+            raise StorageError("sync_every must be at least 1")
+        self.path = path
+        self.sync = sync
+        self.sync_every = sync_every
+        self.crash_plan = crash_plan
+        self.health = health if health is not None else HealthReport()
+        self._pending_syncs = 0
+        self._closed = False
+        fresh = not os.path.exists(path)
+        self._file = open(path, "a+b" if fresh else "r+b")
+        if fresh:
+            self._file.write(WAL_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.scan = WalScan()
+            self.last_generation = 0
+        else:
+            self.scan = self._scan_and_truncate()
+            self.last_generation = (
+                self.scan.records[-1].generation if self.scan.records else 0
+            )
+
+    # ------------------------------------------------------------------
+    # Open-time scan
+    # ------------------------------------------------------------------
+
+    def _scan_and_truncate(self) -> WalScan:
+        file = self._file
+        file.seek(0, os.SEEK_END)
+        size = file.tell()
+        file.seek(0)
+        magic = file.read(len(WAL_MAGIC))
+        if magic != WAL_MAGIC:
+            raise StorageError(
+                f"{self.path} is not a WAL file (bad magic {magic!r})"
+            )
+        scan = WalScan()
+        offset = len(WAL_MAGIC)
+        previous = 0
+        while offset < size:
+            remaining = size - offset
+            if remaining < _HEADER.size:
+                scan.torn_tail = True
+                break
+            header = file.read(_HEADER.size)
+            length, crc, generation = _HEADER.unpack(header)
+            if length > MAX_PAYLOAD or remaining < _HEADER.size + length:
+                scan.torn_tail = True
+                break
+            body = file.read(length)
+            if zlib.crc32(body, zlib.crc32(header[8:16])) != crc:
+                scan.corrupt_tail = True
+                break
+            if generation <= previous:
+                raise StorageError(
+                    f"WAL {self.path} generations are not increasing "
+                    f"({generation} after {previous}) — the log is "
+                    f"corrupted beyond tail damage"
+                )
+            previous = generation
+            scan.records.append(WalRecord(generation, pickle.loads(body)))
+            offset += _HEADER.size + length
+        if offset < size:
+            # Tail damage: cut the file back to the valid prefix.  A
+            # single-writer log can only ever have its *final* record
+            # damaged, so this drops exactly one in-flight commit.
+            scan.truncated_records = 1
+            scan.truncated_bytes = size - offset
+            file.truncate(offset)
+            file.flush()
+            os.fsync(file.fileno())
+            self.health.wal_records_truncated += scan.truncated_records
+        file.seek(0, os.SEEK_END)
+        return scan
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+
+    def append(self, generation: int, payload: Any) -> None:
+        """Durably append one commit record (per the sync policy).
+
+        Must be called *before* the batch is applied to in-memory
+        state, with the generation the commit will carry; generations
+        must continue the sequence the log already holds.
+        """
+        if self._closed:
+            raise StorageError("WAL is closed")
+        if generation <= self.last_generation:
+            raise StorageError(
+                f"WAL append at generation {generation} does not advance "
+                f"past {self.last_generation}"
+            )
+        directive = (self.crash_plan.draw("wal_append")
+                     if self.crash_plan is not None else None)
+        if directive == "kill":
+            raise SimulatedCrash(
+                f"planned crash before WAL append {generation}")
+        record = _record_bytes(generation, payload)
+        if directive == "torn":
+            self._file.write(record[:max(1, len(record) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise SimulatedCrash(
+                f"planned crash mid-append (torn record {generation})")
+        if directive == "corrupt":
+            damaged = bytearray(record)
+            damaged[4] ^= 0xFF  # flip a checksum byte
+            self._file.write(bytes(damaged))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            raise SimulatedCrash(
+                f"planned crash after corrupt append (record {generation})")
+        self._file.write(record)
+        self._file.flush()
+        self.last_generation = generation
+        self.health.wal_records_appended += 1
+        if self.crash_plan is not None and (
+                self.crash_plan.draw("wal_sync") == "kill"):
+            raise SimulatedCrash(
+                f"planned crash before WAL fsync (record {generation})")
+        if self.sync == "always":
+            os.fsync(self._file.fileno())
+        elif self.sync == "batch":
+            self._pending_syncs += 1
+            if self._pending_syncs >= self.sync_every:
+                os.fsync(self._file.fileno())
+                self._pending_syncs = 0
+
+    def flush(self) -> None:
+        """Force pending appends to disk (a group-commit boundary)."""
+        if self._closed:
+            return
+        self._file.flush()
+        if self.sync != "none" or self._pending_syncs:
+            os.fsync(self._file.fileno())
+        self._pending_syncs = 0
+
+    @property
+    def records(self) -> list[WalRecord]:
+        """The valid records found at open time."""
+        return self.scan.records
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+            if self.sync != "none":
+                os.fsync(self._file.fileno())
+        finally:
+            self._file.close()

@@ -260,6 +260,13 @@ class EvalConfig:
     #: commit.  Ignored by the one-shot fixpoint drivers — a single cold
     #: evaluation has nothing to maintain.
     maintain: bool = False
+    #: Serving-layer knob (:mod:`repro.serve`): persist commits through
+    #: the write-ahead log and checkpoints of :mod:`repro.durability`.
+    #: Implies maintained closures (durable recovery restores the
+    #: Theorem-3.1 ``(T, q, supp)`` state, which only the maintaining
+    #: engine carries); the serving layer requires a storage path
+    #: alongside this flag.  Ignored by the one-shot fixpoint drivers.
+    durable: bool = False
 
     def __post_init__(self) -> None:
         if self.executor in BACKENDS:
@@ -316,6 +323,12 @@ class EvalConfig:
                 f"Unknown on_failure {self.on_failure!r}; expected "
                 "'degrade' or 'raise'"
             )
+        if self.durable and not self.maintain:
+            raise ValueError(
+                "durable=True requires maintain=True: durable recovery "
+                "restores the maintained (T, q, supp) state, which the "
+                "recompute-per-commit baseline does not carry"
+            )
 
     # ------------------------------------------------------------------
 
@@ -346,6 +359,7 @@ class EvalConfig:
         intern: Optional[bool] = None
         backend: Optional[str] = None
         maintain: Optional[bool] = None
+        durable: Optional[bool] = None
         for token in filter(None, (part.strip() for part in spec.split("-"))):
             if token in modes:
                 if executor is not None:
@@ -359,15 +373,25 @@ class EvalConfig:
                 if maintain is not None:
                     raise ValueError(f"'maintain' given twice in spec {spec!r}")
                 maintain = True
+            elif token == "durable":
+                if durable is not None:
+                    raise ValueError(f"'durable' given twice in spec {spec!r}")
+                durable = True
+                # Durable serving recovers maintained (T, q, supp)
+                # state, so the flag implies maintenance unless the
+                # caller explicitly contradicts it (rejected below).
+                if maintain is None:
+                    maintain = True
             else:
                 raise ValueError(
                     f"Unknown token {token!r} in spec {spec!r}; expected a "
                     f"mode ({', '.join(modes)}), a backend "
-                    f"({', '.join(BACKENDS)}) and/or 'maintain', "
-                    f"dash-separated"
+                    f"({', '.join(BACKENDS)}), 'maintain' and/or "
+                    f"'durable', dash-separated"
                 )
         for name, value in (("executor", executor), ("backend", backend),
-                            ("intern", intern), ("maintain", maintain)):
+                            ("intern", intern), ("maintain", maintain),
+                            ("durable", durable)):
             if value is not None:
                 if name in overrides and overrides[name] != value:
                     raise ValueError(
@@ -380,6 +404,8 @@ class EvalConfig:
     def spec(self) -> str:
         """The canonical spec string of this config (mode-backend)."""
         base = f"{self.mode()}-{self.backend}"
+        if self.durable:
+            return f"{base}-durable"
         return f"{base}-maintain" if self.maintain else base
 
     def is_parallel(self) -> bool:

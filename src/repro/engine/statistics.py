@@ -51,6 +51,22 @@ class HealthReport:
     faults_injected: int = 0
     #: Degradation steps taken, e.g. ``["processes->threads"]``.
     degradations: list[str] = field(default_factory=list)
+    #: Committed batches appended to the write-ahead log
+    #: (:class:`repro.durability.DurableLog`).
+    wal_records_appended: int = 0
+    #: WAL records replayed during crash recovery (records past the
+    #: checkpoint generation at open).  Zero after a clean shutdown.
+    wal_records_replayed: int = 0
+    #: Torn/corrupt WAL tail records truncated during recovery.
+    wal_records_truncated: int = 0
+    #: Checkpoints written (startup, periodic, and close-time).
+    checkpoints_written: int = 0
+    #: Commits rejected by the bounded commit queue
+    #: (:class:`repro.exceptions.OverloadError`).
+    commits_shed: int = 0
+    #: Queries abandoned past their serving deadline
+    #: (:class:`repro.exceptions.QueryTimeoutError`).
+    query_timeouts: int = 0
 
     def merge(self, other: "HealthReport") -> None:
         """Accumulate another report into this one."""
@@ -61,13 +77,27 @@ class HealthReport:
         self.segments_recycled += other.segments_recycled
         self.faults_injected += other.faults_injected
         self.degradations.extend(other.degradations)
+        self.wal_records_appended += other.wal_records_appended
+        self.wal_records_replayed += other.wal_records_replayed
+        self.wal_records_truncated += other.wal_records_truncated
+        self.checkpoints_written += other.checkpoints_written
+        self.commits_shed += other.commits_shed
+        self.query_timeouts += other.query_timeouts
         if other.backend:
             self.backend = other.backend
 
     def recovery_actions(self) -> int:
-        """Total recovery actions taken (0 for a clean run)."""
+        """Total recovery actions taken (0 for a clean run).
+
+        WAL replays and tail truncations count — they only happen when
+        a previous process stopped without a clean close.  Ordinary
+        durable operation (appends, checkpoints) and guardrail shedding
+        (``commits_shed``/``query_timeouts``) do not: those are normal
+        behaviour under load, not recovery.
+        """
         return (self.task_retries + self.task_timeouts + self.pool_rebuilds
                 + self.iteration_retries + self.segments_recycled
+                + self.wal_records_replayed + self.wal_records_truncated
                 + len(self.degradations))
 
     def as_dict(self) -> dict[str, object]:
@@ -81,6 +111,12 @@ class HealthReport:
             "segments_recycled": self.segments_recycled,
             "faults_injected": self.faults_injected,
             "degradations": list(self.degradations),
+            "wal_records_appended": self.wal_records_appended,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_records_truncated": self.wal_records_truncated,
+            "checkpoints_written": self.checkpoints_written,
+            "commits_shed": self.commits_shed,
+            "query_timeouts": self.query_timeouts,
             "recovery_actions": self.recovery_actions(),
         }
 

@@ -52,3 +52,36 @@ class NotApplicableError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised when a structural analysis cannot be completed."""
+
+
+class StorageError(ReproError):
+    """Raised when the durable store cannot be opened or is inconsistent.
+
+    Examples: opening a database directory another live engine holds
+    locked, a manifest that references a missing checkpoint file, or a
+    checkpoint whose metadata fails its checksum.  Torn or corrupt WAL
+    *tails* are not errors — they are the expected residue of a crash
+    and are truncated during recovery (see
+    :class:`repro.durability.RecoveryReport`).
+    """
+
+
+class OverloadError(ReproError):
+    """Raised when the serving layer sheds load instead of queueing it.
+
+    The live engine bounds its commit queue
+    (``LiveEngine(max_pending_commits=...)``); a writer arriving while
+    the queue is full is rejected with this error immediately rather
+    than waiting unboundedly.  Nothing was staged or logged: the caller
+    can back off and retry.
+    """
+
+
+class QueryTimeoutError(ReproError):
+    """Raised when a query exceeds its serving deadline.
+
+    Deadlines are enforced by :meth:`repro.serve.LiveEngine.ask_async`
+    (per-call ``timeout=`` or the engine-wide ``query_timeout``).  The
+    abandoned query's worker thread finishes in the background; its
+    result is discarded.
+    """

@@ -104,6 +104,22 @@ class ChangeSet:
         return frozenset(self.relations) | frozenset(self.predicates)
 
 
+@dataclass(frozen=True)
+class MaintainedState:
+    """The portable ``(T, q, supp)`` state of one maintained closure.
+
+    Everything a :class:`MaintainedClosure` needs to resume without the
+    cold fixpoint: the closure rows, the exit-support and
+    recursive-support counters.  This is what checkpoints persist
+    (:mod:`repro.durability.checkpoint`) and what recovery feeds back
+    through :meth:`MaintainedClosure.from_state`.
+    """
+
+    rows: frozenset[Row]
+    q: Mapping[Row, int]
+    supp: Mapping[Row, int]
+
+
 def stage_batch(relations: Mapping[str, Relation], idb_names: frozenset[str],
                 inserts: Mapping[str, Iterable[Row]],
                 deletes: Mapping[str, Iterable[Row]]
@@ -161,6 +177,39 @@ class MaintainedClosure:
     def __init__(self, recursion: LinearRecursion, working: Database,
                  config: Optional[EvalConfig] = None,
                  max_iterations: int = 100_000):
+        self._setup(recursion, working, config, max_iterations)
+        self._initialise()
+
+    @classmethod
+    def from_state(cls, recursion: LinearRecursion, working: Database,
+                   state: MaintainedState,
+                   config: Optional[EvalConfig] = None,
+                   max_iterations: int = 100_000) -> "MaintainedClosure":
+        """Resume from a checkpointed ``(T, q, supp)`` state.
+
+        Skips the cold fixpoint entirely — the recovery path's whole
+        point.  The state is trusted as-checkpointed (checkpoints are
+        checksummed); the crash-injection parity suite asserts that a
+        resumed closure is bit-identical to a cold rebuild.
+        """
+        closure = cls.__new__(cls)
+        closure._setup(recursion, working, config, max_iterations)
+        closure.q = dict(state.q)
+        closure.supp = dict(state.supp)
+        closure.closure = Relation.from_canonical(
+            recursion.predicate.name, recursion.predicate.arity,
+            frozenset(state.rows),
+        )
+        return closure
+
+    def state(self) -> MaintainedState:
+        """A portable snapshot of the ``(T, q, supp)`` state."""
+        return MaintainedState(rows=self.closure.rows, q=dict(self.q),
+                               supp=dict(self.supp))
+
+    def _setup(self, recursion: LinearRecursion, working: Database,
+               config: Optional[EvalConfig],
+               max_iterations: int) -> None:
         self.recursion = recursion
         self.predicate = recursion.predicate
         self.working = working
@@ -199,7 +248,6 @@ class MaintainedClosure:
         self.q: dict[Row, int] = {}
         self.supp: dict[Row, int] = {}
         self.closure = Relation.empty(name, self.predicate.arity)
-        self._initialise()
 
     # ------------------------------------------------------------------
     # Cold start
@@ -595,6 +643,46 @@ class MaterializedProgram:
                 config, max_iterations,
             )
 
+    @classmethod
+    def from_state(cls, program: Union[Program, str], database: Database,
+                   states: Mapping[str, MaintainedState],
+                   generation: int = 0,
+                   config: Optional[EvalConfig] = None,
+                   max_iterations: int = 100_000) -> "MaterializedProgram":
+        """Resume from checkpointed per-predicate states.
+
+        *database* is adopted **as-is** as the working database — the
+        checkpoint loader has already primed its interned storage, and
+        copying the relation mapping into a fresh
+        :class:`~repro.storage.database.Database` would throw those
+        mmap-backed caches away.  Every IDB predicate must have a state
+        in *states*; the cold fixpoint never runs.
+        """
+        if isinstance(program, str):
+            from repro.datalog.parser import parse_program
+            program = parse_program(program)
+        materialized = cls.__new__(cls)
+        materialized.program = program
+        materialized.config = config
+        materialized.generation = generation
+        materialized._idb_names = frozenset(
+            predicate.name for predicate in program.idb_predicates
+        )
+        materialized.working = database
+        materialized.closures = {}
+        for predicate in sorted(program.idb_predicates):
+            state = states.get(predicate.name)
+            if state is None:
+                raise SchemaError(
+                    f"No checkpointed state for maintained predicate "
+                    f"{predicate.name!r}"
+                )
+            materialized.closures[predicate] = MaintainedClosure.from_state(
+                program.linear_recursion_of(predicate), materialized.working,
+                state, config, max_iterations,
+            )
+        return materialized
+
     # ------------------------------------------------------------------
 
     def closure(self, predicate: Union[Predicate, str]) -> Relation:
@@ -694,3 +782,14 @@ class MaterializedProgram:
                ) -> dict[str, tuple[frozenset[Row], frozenset[Row]]]:
         return stage_batch(self.working.relations, self._idb_names,
                            inserts, deletes)
+
+    def stage(self, inserts: Optional[Mapping[str, Iterable[Row]]] = None,
+              deletes: Optional[Mapping[str, Iterable[Row]]] = None
+              ) -> dict[str, tuple[frozenset[Row], frozenset[Row]]]:
+        """Validate and net a batch without applying it: name → (removed, added).
+
+        The durable commit path stages first so the WAL records exactly
+        the netted batch (and skips logging no-ops), then applies; a
+        batch that fails validation is never logged.
+        """
+        return self._stage(inserts or {}, deletes or {})

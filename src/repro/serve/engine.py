@@ -19,19 +19,44 @@ answer and the net row delta.
 token) selects the recompute-per-commit baseline: same API, same
 answers, but every commit re-runs the cold fixpoints — the honest
 yardstick the IVM benchmarks and differential fuzzer compare against.
+
+Durability and guardrails
+-------------------------
+
+With a storage ``path`` (or the ``durable`` config token) the engine
+runs on a :class:`~repro.durability.DurableCoordinator`: every commit
+is appended to the write-ahead log before it is applied, checkpoints
+fold the log away periodically and on :meth:`LiveEngine.close`, and
+:meth:`LiveEngine.open` recovers a crashed or cleanly-closed database
+by mmap'ing the checkpoint and replaying the WAL suffix — the
+:class:`~repro.durability.RecoveryReport` is on
+:attr:`LiveEngine.recovery`.
+
+Serving guardrails protect the event loop under load:
+:meth:`LiveEngine.ask_async` enforces a per-query deadline
+(:class:`~repro.exceptions.QueryTimeoutError`), and commits beyond
+``max_pending_commits`` waiting on the single-writer lock are shed
+with :class:`~repro.exceptions.OverloadError` before anything is
+staged or logged.  Both guardrails and the WAL/recovery counters fold
+into the :class:`~repro.engine.statistics.HealthReport` on
+:attr:`LiveEngine.health`.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+import atexit
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional, Union
 
 from repro.datalog.atoms import Predicate
 from repro.datalog.programs import Program
+from repro.durability.store import DurableCoordinator
+from repro.engine.faults import CrashPlan
 from repro.engine.parallel import EvalConfig
 from repro.engine.seminaive import solve_linear_recursion
-from repro.engine.statistics import EvaluationStatistics
+from repro.engine.statistics import EvaluationStatistics, HealthReport
+from repro.exceptions import OverloadError, QueryTimeoutError
 from repro.ivm.maintain import ChangeSet, Delta, MaterializedProgram, stage_batch
 from repro.query.engine import QueryAnswer, QueryEngine
 from repro.query.query import Query
@@ -220,39 +245,102 @@ class LiveEngine:
     recompute-per-commit baseline.
     """
 
-    def __init__(self, program: Union[Program, str], database: Database,
+    def __init__(self, program: Union[Program, str, None], database: Optional[Database],
                  config: Union[EvalConfig, str, None] = None,
-                 max_iterations: int = 100_000):
+                 max_iterations: int = 100_000, *,
+                 path: Optional[str] = None,
+                 checkpoint_every: int = 0,
+                 sync: str = "always",
+                 max_pending_commits: int = 64,
+                 query_timeout: Optional[float] = None,
+                 crash_plan: Optional[CrashPlan] = None):
         if isinstance(program, str):
             from repro.datalog.parser import parse_program
             program = parse_program(program)
         if isinstance(config, str):
             config = EvalConfig.from_spec(config)
         if config is None:
-            config = EvalConfig(maintain=True)
+            config = EvalConfig(maintain=True, durable=path is not None)
+        elif path is not None and not config.durable:
+            # A storage path makes the engine durable; the replace
+            # re-validates (durable still requires maintain).
+            config = replace(config, durable=True)
+        if config.durable and path is None:
+            raise ValueError(
+                "durable serving requires a storage path: pass "
+                "path='<directory>' (created if missing) to LiveEngine, "
+                "or drop 'durable' from the config"
+            )
+        if program is None and path is None:
+            raise ValueError(
+                "LiveEngine needs a program (and database), or a durable "
+                "path= holding a recoverable one"
+            )
+        if max_pending_commits < 0:
+            raise ValueError("max_pending_commits must be >= 0 (0 = unbounded)")
         self.program = program
         self.config = config
         self.max_iterations = max_iterations
+        self.path = path
+        self.checkpoint_every = checkpoint_every
+        self.sync = sync
+        self.max_pending_commits = max_pending_commits
+        self.query_timeout = query_timeout
+        self.crash_plan = crash_plan
+        #: WAL/recovery/guardrail counters for this engine's lifetime.
+        self.health = HealthReport()
         self._initial = database
-        self._state: Union[MaterializedProgram, _RecomputeState, None] = None
+        self._state: Union[MaterializedProgram, _RecomputeState,
+                           DurableCoordinator, None] = None
         self._snapshot: Optional[Snapshot] = None
         self._lock: Optional[asyncio.Lock] = None
         self._subscriptions: list[Subscription] = []
+        self._pending_commits = 0
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     async def start(self) -> "LiveEngine":
-        """Run the cold build off-loop and publish generation 0."""
+        """Run the cold build (or recovery) off-loop and publish."""
         if self._state is not None:
             return self
         self._lock = asyncio.Lock()
         self._state = await asyncio.to_thread(self._build_state)
+        if self.program is None:
+            # Opened from storage: the program was recovered from the
+            # checkpoint.
+            self.program = self._state.program
+        if self.config.durable:
+            atexit.register(self._atexit_close)
         self._publish()
         return self
 
-    def _build_state(self) -> Union[MaterializedProgram, _RecomputeState]:
+    @classmethod
+    async def open(cls, path: str,
+                   config: Union[EvalConfig, str, None] = None,
+                   **kwargs: object) -> "LiveEngine":
+        """Open (recovering) the durable database at *path* and start.
+
+        The program, relations, interned storage and maintained
+        counters all come from the directory's checkpoint + WAL;
+        ``engine.recovery`` reports what recovery did.  Accepts the
+        same keyword arguments as the constructor.
+        """
+        engine = cls(None, None, config, path=path, **kwargs)  # type: ignore[arg-type]
+        return await engine.start()
+
+    def _build_state(self) -> Union[MaterializedProgram, _RecomputeState,
+                                    DurableCoordinator]:
+        if self.config.durable:
+            assert self.path is not None
+            return DurableCoordinator.open(
+                self.path, self.program, self._initial,
+                config=self.config, max_iterations=self.max_iterations,
+                sync=self.sync, checkpoint_every=self.checkpoint_every,
+                crash_plan=self.crash_plan, health=self.health,
+            )
         if self.config.maintain:
             return MaterializedProgram(self.program, self._initial,
                                        self.config, self.max_iterations)
@@ -273,6 +361,20 @@ class LiveEngine:
         """Whether commits maintain incrementally (vs recompute)."""
         return self.config.maintain
 
+    @property
+    def durable(self) -> bool:
+        """Whether commits are WAL-logged and checkpointed."""
+        return self.config.durable
+
+    @property
+    def recovery(self):
+        """The :class:`~repro.durability.RecoveryReport` of the last
+        open (``None`` for non-durable engines)."""
+        state = self._state
+        if isinstance(state, DurableCoordinator):
+            return state.recovery
+        return None
+
     def _require_snapshot(self) -> Snapshot:
         if self._snapshot is None:
             raise RuntimeError(
@@ -292,6 +394,33 @@ class LiveEngine:
             strategy: str = "auto") -> QueryAnswer:
         """Answer *query* against the current snapshot."""
         return self._require_snapshot().ask(query, strategy=strategy)
+
+    async def ask_async(self, query: Union[Query, str],
+                        strategy: str = "auto",
+                        timeout: Optional[float] = None) -> QueryAnswer:
+        """Answer *query* off-loop, under the serving deadline.
+
+        The query runs in a worker thread against the snapshot current
+        at call time, so slow queries never stall the event loop.
+        *timeout* (falling back to the engine's ``query_timeout``;
+        ``None`` means no deadline) bounds the wait: past it the caller
+        gets :class:`~repro.exceptions.QueryTimeoutError`, the timeout
+        is counted on :attr:`health`, and the abandoned thread's result
+        is discarded.
+        """
+        snapshot = self._require_snapshot()
+        deadline = timeout if timeout is not None else self.query_timeout
+        work = asyncio.to_thread(snapshot.ask, query, strategy=strategy)
+        if deadline is None:
+            return await work
+        try:
+            return await asyncio.wait_for(work, deadline)
+        except asyncio.TimeoutError:
+            self.health.query_timeouts += 1
+            raise QueryTimeoutError(
+                f"Query {query} exceeded its {deadline}s serving deadline "
+                f"(generation {snapshot.generation})"
+            ) from None
 
     def subscribe(self, query: Union[Query, str]) -> Subscription:
         """Push notifications whenever *query*'s answer changes.
@@ -323,14 +452,32 @@ class LiveEngine:
             raise RuntimeError(
                 "LiveEngine is not started; await engine.start() first"
             )
-        async with self._lock:  # single writer
-            change = await asyncio.to_thread(state.apply, inserts, deletes)
-            if not change:
-                return self._require_snapshot()
-            self._publish(change)
-            snapshot = self._require_snapshot()
-            self._notify(change, snapshot)
-            return snapshot
+        if self._closed:
+            raise RuntimeError("LiveEngine is closed")
+        if (self.max_pending_commits
+                and self._pending_commits >= self.max_pending_commits):
+            # Overload shedding: the bounded commit queue is full, so
+            # this commit is rejected *before* anything is staged or
+            # logged — the caller's session stays rollback-able and the
+            # WAL never sees the batch.
+            self.health.commits_shed += 1
+            raise OverloadError(
+                f"Commit shed: {self._pending_commits} commits already "
+                f"waiting (max_pending_commits={self.max_pending_commits}); "
+                f"retry later or raise the bound"
+            )
+        self._pending_commits += 1
+        try:
+            async with self._lock:  # single writer
+                change = await asyncio.to_thread(state.apply, inserts, deletes)
+                if not change:
+                    return self._require_snapshot()
+                self._publish(change)
+                snapshot = self._require_snapshot()
+                self._notify(change, snapshot)
+                return snapshot
+        finally:
+            self._pending_commits -= 1
 
     def _publish(self, change: Optional[ChangeSet] = None) -> None:
         """Swap in the new generation's snapshot.
@@ -356,6 +503,61 @@ class LiveEngine:
             statistics[predicate.name] = maintained.statistics()
         self._snapshot = Snapshot(state.generation, database, engine,
                                   statistics)
+
+    # ------------------------------------------------------------------
+    # Durability lifecycle
+    # ------------------------------------------------------------------
+
+    async def checkpoint(self) -> None:
+        """Persist the current state now (durable engines only).
+
+        Runs under the commit lock so the checkpoint freezes a commit
+        boundary, never a half-applied batch.
+        """
+        state = self._state
+        if not isinstance(state, DurableCoordinator):
+            raise RuntimeError(
+                "checkpoint() requires a durable engine (pass path=)"
+            )
+        assert self._lock is not None
+        async with self._lock:
+            await asyncio.to_thread(state.checkpoint)
+
+    async def close(self) -> None:
+        """Flush, checkpoint and release durable storage (idempotent).
+
+        Closes every live subscription, writes a close-time checkpoint
+        (durable engines), flushes and closes the WAL, releases the
+        mmap'd checkpoint and the directory lock.  Safe to call twice;
+        also wired as an ``atexit`` backstop (without the checkpoint —
+        the WAL already holds every commit) so an abandoned engine
+        never leaves the directory locked, the log unflushed, or stale
+        files behind.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self._atexit_close)
+        for subscription in list(self._subscriptions):
+            subscription.close()
+        state = self._state
+        if isinstance(state, DurableCoordinator):
+            if self._lock is not None:
+                async with self._lock:
+                    await asyncio.to_thread(state.close)
+            else:  # pragma: no cover - closed before started
+                state.close()
+
+    def _atexit_close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        state = self._state
+        if isinstance(state, DurableCoordinator):
+            try:
+                state.close(checkpoint=False)
+            except Exception:  # pragma: no cover - interpreter exit
+                pass
 
     def _notify(self, change: ChangeSet, snapshot: Snapshot) -> None:
         if not self._subscriptions:

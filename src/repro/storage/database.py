@@ -303,6 +303,40 @@ class Database:
         for key in [key for key in cache if key[0] == name and key[1] == arity]:
             del cache[key]
 
+    def prime_storage(self, domain: Domain,
+                      interned: Mapping[str, InternedRelation]) -> None:
+        """Adopt a recovered domain and pre-built interned forms.
+
+        The checkpoint loader (:mod:`repro.durability.checkpoint`)
+        rebuilds the value interner and the canonical interned columns
+        straight off the mmap'd file; seeding them here makes "open the
+        database" skip re-interning entirely — the interned executor's
+        first probe finds warm columns, and ids stay identical to the
+        checkpointed run.  Must be called before anything else touches
+        :meth:`domain` (a database that already interned values has an
+        id space the checkpoint's ids would clash with), and each
+        interned form must describe the stored relation of its name.
+        """
+        lock: threading.Lock = self._index_lock  # type: ignore[attr-defined]
+        with lock:
+            if self._domain is not None:  # type: ignore[attr-defined]
+                raise SchemaError(
+                    "prime_storage() must run before the database interns "
+                    "anything; this database already has a live domain"
+                )
+            object.__setattr__(self, "_domain", domain)
+            cache: dict[tuple[str, int], tuple[Relation, InternedRelation]] = (
+                self._interned_cache  # type: ignore[attr-defined]
+            )
+            for name, form in interned.items():
+                stored = self.relations.get(name)
+                if stored is None or len(stored.rows) != form.length:
+                    raise SchemaError(
+                        f"Interned form of {name!r} does not match the "
+                        f"stored relation"
+                    )
+                cache[(name, form.arity)] = (stored, form)
+
     def intern_all(self) -> None:
         """Intern every stored relation into the database's domain.
 

@@ -181,6 +181,47 @@ class InternedRelation:
         return cls(relation.name, relation.arity, columns, len(rows))
 
     @classmethod
+    def from_buffers(cls, name: str, arity: int,
+                     columns: Sequence[Any],
+                     length: int) -> "InternedRelation":
+        """Wrap externally-owned int64 column buffers, zero-copy.
+
+        The checkpoint loader (:mod:`repro.durability.checkpoint`) hands
+        ``memoryview`` windows cast to ``'q'`` over an mmap'd file; the
+        executor reads them exactly like ``array('q')`` columns (len,
+        indexing, iteration), so opening a database never copies or
+        re-interns column data.  The first mutation promotes the columns
+        to private arrays (:meth:`materialise`), leaving the mapped file
+        untouched.
+        """
+        columns = tuple(columns)
+        for column in columns:
+            if len(column) != length:
+                raise ValueError(
+                    f"Column buffer of {len(column)} ids does not match "
+                    f"length {length}"
+                )
+        return cls(name, arity, columns, length)
+
+    def materialise(self) -> None:
+        """Replace borrowed column buffers with private ``array('q')``\\ s.
+
+        Copy-on-write promotion for relations opened off an mmap'd
+        checkpoint: reading never copies, but the append path
+        (:meth:`extend_with`) needs mutable arrays, so the first append
+        after open pays one memcpy per column and drops the reference
+        into the mapped file.  A no-op for relations already backed by
+        arrays.
+        """
+        if self.arity and not all(
+            isinstance(column, array) for column in self.columns
+        ):
+            self.columns = tuple(
+                column if isinstance(column, array) else array("q", column)
+                for column in self.columns
+            )
+
+    @classmethod
     def from_flat(cls, name: str, arity: int, flat: array,
                   length: Optional[int] = None) -> "InternedRelation":
         """Rebuild from a row-major flat id buffer (the wire format).
@@ -210,6 +251,7 @@ class InternedRelation:
 
     def extend_with(self, rows: Iterable[Row], domain: Domain) -> None:
         """Append *rows* (interning their values) to every column."""
+        self.materialise()
         intern = domain.intern
         count = 0
         if self.arity == 0:

@@ -16,6 +16,8 @@ from repro import (
     Database,
     EvalConfig,
     LiveEngine,
+    OverloadError,
+    QueryTimeoutError,
     Relation,
     Session,
     Snapshot,
@@ -293,3 +295,133 @@ class TestBaselineParity:
             assert isinstance(engine.transaction(), Session)
 
         run(scenario())
+
+
+class TestServingEdgeCases:
+    def test_rollback_after_staging_deletes_of_missing_rows(self):
+        async def scenario():
+            engine = await started()
+            try:
+                async with engine.transaction() as session:
+                    session.delete("edge", ("never", "inserted"))
+                    session.insert("edge", ("c", "d"))
+                    raise ValueError("abort the transaction")
+            except ValueError:
+                pass
+            # The block raised, so nothing was committed: the staged
+            # delete of a row that never existed (and the insert) are
+            # both discarded without touching the engine.
+            assert engine.generation == 0
+            assert session.pending == 0
+            with pytest.raises(RuntimeError, match="rolled back"):
+                session.insert("edge", ("d", "e"))
+            # The engine stays healthy for the next writer.
+            async with engine.transaction() as session:
+                session.insert("edge", ("c", "d"))
+            assert engine.generation == 1
+
+        run(scenario())
+
+    def test_committed_delete_of_missing_row_is_a_noop(self):
+        async def scenario():
+            engine = await started()
+            async with engine.transaction() as session:
+                session.delete("edge", ("never", "inserted"))
+            # Nothing changed, so no generation was published.
+            assert engine.generation == 0
+            assert engine.snapshot().relation("edge").rows == {
+                ("a", "b"), ("b", "c")}
+
+        run(scenario())
+
+    def test_subscriber_cancelled_mid_commit(self):
+        async def scenario():
+            engine = await started()
+            subscription = engine.subscribe("path(a, X)?")
+            reader = asyncio.create_task(subscription.__anext__())
+            await asyncio.sleep(0)  # park the reader on the queue
+            reader.cancel()
+            async with engine.transaction() as session:
+                session.insert("edge", ("c", "d"))
+            with pytest.raises(asyncio.CancelledError):
+                await reader
+            # The cancelled reader neither blocked the commit nor lost
+            # the change: it is still queued for the next consumer.
+            assert engine.generation == 1
+            assert subscription.pending == 1
+            change = await asyncio.wait_for(subscription.__anext__(), 5)
+            assert change.added == {("a", "d")}
+            subscription.close()
+            assert [change async for change in subscription] == []
+            # Closing after a cancelled read leaves the engine clean:
+            # later commits push nothing to the detached subscriber.
+            async with engine.transaction() as session:
+                session.insert("edge", ("d", "e"))
+            assert subscription.pending == 0
+
+        run(scenario())
+
+    def test_close_cancels_open_subscriptions(self):
+        async def scenario():
+            engine = await started()
+            subscription = engine.subscribe("path(a, X)?")
+            await engine.close()
+            await engine.close()  # idempotent
+            with pytest.raises(StopAsyncIteration):
+                await subscription.__anext__()
+            with pytest.raises(RuntimeError, match="closed"):
+                async with engine.transaction() as session:
+                    session.insert("edge", ("c", "d"))
+
+        run(scenario())
+
+
+class TestGuardrails:
+    def test_overload_sheds_before_staging(self):
+        async def scenario():
+            engine = await LiveEngine(TC, tc_db(("a", "b")),
+                                      max_pending_commits=1).start()
+            await engine._lock.acquire()  # stall the writer
+            first = asyncio.create_task(
+                engine._commit({"edge": {("b", "c")}}, {}))
+            await asyncio.sleep(0)  # first commit now waits on the lock
+            with pytest.raises(OverloadError, match="retry later"):
+                async with engine.transaction() as session:
+                    session.insert("edge", ("c", "d"))
+            assert engine.health.commits_shed == 1
+            # Shedding rejected the batch before staging: releasing the
+            # lock lands only the first commit.
+            engine._lock.release()
+            await first
+            assert engine.generation == 1
+            assert engine.snapshot().relation("edge").rows == {
+                ("a", "b"), ("b", "c")}
+
+        run(scenario())
+
+    def test_query_timeout_counted_on_health(self, monkeypatch):
+        import time
+
+        original = Snapshot.ask
+
+        def slow_ask(self, query, strategy="auto"):
+            time.sleep(0.25)
+            return original(self, query, strategy=strategy)
+
+        monkeypatch.setattr(Snapshot, "ask", slow_ask)
+
+        async def scenario():
+            engine = await LiveEngine(TC, tc_db(("a", "b")),
+                                      query_timeout=0.01).start()
+            with pytest.raises(QueryTimeoutError, match="serving deadline"):
+                await engine.ask_async("path(a, X)?")
+            assert engine.health.query_timeouts == 1
+            # A generous per-call deadline overrides the engine default.
+            answer = await engine.ask_async("path(a, X)?", timeout=30)
+            assert answer.rows == {("a", "b")}
+
+        run(scenario())
+
+    def test_negative_pending_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_pending_commits"):
+            LiveEngine(TC, tc_db(("a", "b")), max_pending_commits=-1)
