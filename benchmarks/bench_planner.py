@@ -1,32 +1,174 @@
-"""E-PLAN: end-to-end engine — planner analysis cost and strategy payoff."""
+"""Planner shootout: greedy vs costed vs adaptive join ordering.
 
-from repro.core.engine import RecursiveQueryEngine
-from repro.core.planner import QueryPlanner
-from repro.datalog.atoms import Predicate
-from repro.experiments.planner_experiment import run_planner_comparison
-from repro.workloads import scenarios
+Three families, one result entry each (distinct ``size`` keys for the
+regression gate):
+
+* **tc** — layered-DAG transitive closure (the ``bench_engine_micro``
+  shape).  No skew: all three planners should pick equivalent orders
+  and the series should track each other.  This is the no-regression
+  guard: cost-based planning must not slow the common case down.
+* **skewed_filter** — ``repro.workloads.rulegen.skewed_filter_program``:
+  padding rows make the selective relation *larger*, so greedy's size
+  tie-break scans the high-fanout relation first.  The cost model's
+  matches-per-probe estimate flips the order from cold EDB statistics
+  alone — ``costed`` (and ``adaptive``) probe far fewer rows.
+* **hub_drift** — ``rulegen.hub_drift_program``: cold statistics
+  mislead greedy *and* costed (the hub relation looks selective until
+  the fixpoint reaches its hot region).  Only ``adaptive`` — re-costing
+  with fanouts measured on the live frontier after the delta/total
+  trajectory drifts — swaps plans mid-fixpoint and wins.
+
+Every family asserts **parity** in-script: all three modes must produce
+the identical result relation, derivation/duplicate counts and
+iteration count (join order is a performance choice, never a semantic
+one; the planner swaps plans only at iteration boundaries).  The
+``rows_probed`` ratios are counter-based and machine-independent, so
+the shootout floors are enforced in ``--quick`` mode too:
+``skewed_filter`` requires costed *and* adaptive to beat greedy;
+``hub_drift`` requires adaptive to beat both cold planners with at
+least one recorded replan.
+
+Results are written to ``BENCH_planner.json``.
+
+Usage::
+
+    python benchmarks/bench_planner.py             # full sizes
+    python benchmarks/bench_planner.py --quick     # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datalog.parser import parse_rule  # noqa: E402
+from repro.engine.parallel import PLANNERS, EvalConfig  # noqa: E402
+from repro.engine.plan import clear_plan_cache  # noqa: E402
+from repro.engine.seminaive import seminaive_closure  # noqa: E402
+from repro.engine.statistics import EvaluationStatistics  # noqa: E402
+from repro.planner import planner_catalog  # noqa: E402
+from repro.storage.database import Database  # noqa: E402
+from repro.storage.relation import Relation  # noqa: E402
+from repro.workloads.graphs import layered_dag_edges  # noqa: E402
+from repro.workloads.rulegen import (  # noqa: E402
+    hub_drift_program,
+    skewed_filter_program,
+)
+
+TC_RULE = parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y).")
 
 
-def test_planner_analysis_cost(benchmark):
-    program = scenarios.two_sided_transitive_closure_program()
-    recursion = program.linear_recursion_of(Predicate("path", 2))
-    plan = benchmark(lambda: QueryPlanner().plan(recursion))
-    benchmark.extra_info["strategy"] = plan.strategy.value
-    assert plan.strategy.value == "decomposed"
+def tc_workload(size: int):
+    """Layered-DAG TC: rules, database, identity initial."""
+    rng = random.Random(11)
+    edges = layered_dag_edges(size // 8, 8, fanout=2, name="edge", rng=rng)
+    nodes = sorted({node for row in edges.rows for node in row})
+    initial = Relation.of("path", 2, [(n, n) for n in nodes])
+    return (TC_RULE,), Database.of(edges), initial
 
 
-def test_end_to_end_comparison(benchmark):
-    result = benchmark(lambda: run_planner_comparison(size=18))
-    strategies = {row["case"]: row["strategy"] for row in result.rows}
-    benchmark.extra_info.update(strategies)
-    assert all(row["answers_equal"] for row in result.rows)
+def run_family(name, workload, size, repeats):
+    """Race the three planner modes on one workload; assert parity."""
+    rules, database, initial = workload
+    entry: dict[str, object] = {"size": size, "family": name}
+    signatures = {}
+    for mode in PLANNERS:
+        best = float("inf")
+        for _ in range(repeats):
+            planner_catalog().clear()
+            clear_plan_cache()
+            stats = EvaluationStatistics()
+            start = time.perf_counter()
+            result = seminaive_closure(rules, initial, database, stats,
+                                       config=EvalConfig(planner=mode))
+            best = min(best, time.perf_counter() - start)
+        signatures[mode] = (
+            frozenset(result.rows), stats.derivations, stats.duplicates,
+            stats.iterations,
+        )
+        entry[f"{mode}_seconds"] = round(best, 6)
+        entry[f"{mode}_rows_probed"] = stats.joins.rows_probed
+        entry[f"{mode}_replans"] = len(stats.planner.replans)
+    entry["closure_size"] = len(signatures["greedy"][0])
+    entry["parity"] = all(signatures[mode] == signatures["greedy"]
+                          for mode in PLANNERS)
+    greedy, costed, adaptive = (entry["greedy_rows_probed"],
+                                entry["costed_rows_probed"],
+                                entry["adaptive_rows_probed"])
+    entry["costed_probe_ratio"] = round(greedy / max(1, costed), 2)
+    entry["adaptive_probe_ratio"] = round(
+        min(greedy, costed) / max(1, adaptive), 2)
+    print(f"{name:14s} size={size:4d}  "
+          f"probes greedy={greedy} costed={costed} adaptive={adaptive}  "
+          f"replans={entry['adaptive_replans']}  "
+          f"parity={'ok' if entry['parity'] else 'FAIL'}")
+    return entry
 
 
-def test_engine_query_cost(benchmark):
-    from repro.experiments.planner_experiment import _two_sided_database
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke run: smaller tc size, single repeat")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent.parent
+                        / "BENCH_planner.json")
+    args = parser.parse_args(argv)
 
-    engine = RecursiveQueryEngine()
-    program = scenarios.two_sided_transitive_closure_program()
-    database = _two_sided_database(24, seed=3)
-    result = benchmark(lambda: engine.query(program, "path", database))
-    benchmark.extra_info["answer"] = len(result.relation)
+    repeats = 1 if args.quick else 3
+    tc_size = 128 if args.quick else 256
+    # Distinct `size` keys per family: the regression gate matches
+    # entries across reports by size alone.
+    results = [
+        run_family("tc", tc_workload(tc_size), tc_size, repeats),
+        run_family("skewed_filter", skewed_filter_program(chain=40), 40,
+                   repeats),
+        run_family("hub_drift", hub_drift_program(chain=48), 48, repeats),
+    ]
+
+    report = {
+        "benchmark": "planner shootout: greedy vs costed vs adaptive "
+                     "join ordering (seconds, rows probed, replans)",
+        "workloads": "layered-DAG TC (no skew), skewed_filter (cold "
+                     "statistics suffice), hub_drift (only the live "
+                     "frontier reveals the skew)",
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    by_family = {entry["family"]: entry for entry in results}
+    for entry in results:
+        if not entry["parity"]:
+            failures.append(
+                f"{entry['family']}: planner modes disagree on results or "
+                f"Theorem-3.1 counts")
+    skewed = by_family["skewed_filter"]
+    if skewed["costed_rows_probed"] >= skewed["greedy_rows_probed"]:
+        failures.append("skewed_filter: costed did not beat greedy")
+    if skewed["adaptive_rows_probed"] >= skewed["greedy_rows_probed"]:
+        failures.append("skewed_filter: adaptive did not beat greedy")
+    hub = by_family["hub_drift"]
+    if hub["adaptive_rows_probed"] >= min(hub["greedy_rows_probed"],
+                                          hub["costed_rows_probed"]):
+        failures.append("hub_drift: adaptive did not beat the cold planners")
+    if hub["adaptive_replans"] < 1:
+        failures.append("hub_drift: no mid-fixpoint replan happened")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

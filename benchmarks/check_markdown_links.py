@@ -1,0 +1,122 @@
+"""Markdown link checker: dead relative links and anchors fail CI.
+
+Scans the given markdown files for inline links ``[text](target)`` and
+checks, stdlib-only:
+
+* **relative file links** — the target must exist on disk, resolved
+  against the linking file's directory (absolute URLs — ``http(s)``,
+  ``mailto`` — are skipped; this gate is about repo-internal drift);
+* **anchors** — ``file.md#section`` (and bare ``#section`` within the
+  same file) must match a heading in the target file, using GitHub's
+  slug rules: lowercase, punctuation stripped, spaces and dots to
+  hyphens, ``-1``/``-2``… suffixes for duplicate headings.
+
+Links inside fenced code blocks are ignored.  Exit status 1 when any
+link is dead, listing every failure.
+
+Usage::
+
+    python benchmarks/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import urllib.parse
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_fenced(text: str) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading (ASCII subset)."""
+    # Inline code/emphasis markers and links render before slugging.
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").replace("*", "").replace("_", " ")
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in (" ", "-"):
+            slug.append("-")
+        # Everything else (punctuation) is dropped.
+    return "".join(slug)
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    slugs: dict[str, int] = {}
+    result = set()
+    for line in _strip_fenced(path.read_text()):
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        result.add(slug if count == 0 else f"{slug}-{count}")
+    return result
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    text = "\n".join(_strip_fenced(path.read_text()))
+    for target in LINK.findall(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("<"):
+            continue
+        target = urllib.parse.unquote(target)
+        location, _, anchor = target.partition("#")
+        if location:
+            resolved = (path.parent / location).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: dead link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue
+            if github_slug(anchor) not in heading_slugs(resolved):
+                problems.append(f"{path}: dead anchor -> {target}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=pathlib.Path)
+    args = parser.parse_args(argv)
+
+    problems = []
+    checked = 0
+    for path in args.files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'all links ok' if not problems else f'{len(problems)} dead'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,7 +75,8 @@ from repro.core import (
     is_separable,
     sufficient_condition,
 )
-from repro.engine import EvalConfig, EvaluationStatistics, solve
+from repro.engine import EvalConfig, EvaluationStatistics, PlannerReport, solve
+from repro.planner import explain_program, plan_program, planner_catalog
 from repro.query import Query, QueryAnswer, QueryEngine, answer
 from repro.ivm import ChangeSet, MaterializedProgram
 from repro.durability import (
@@ -129,6 +130,7 @@ __all__ = [
     "MaterializedProgram",
     "NotApplicableError",
     "OverloadError",
+    "PlannerReport",
     "PositionEqualitySelection",
     "Predicate",
     "Program",
@@ -161,11 +163,14 @@ __all__ = [
     "commute",
     "commute_by_definition",
     "commute_polynomial",
+    "explain_program",
     "find_redundant_predicates",
     "is_separable",
     "parse_atom",
     "parse_program",
     "parse_rule",
+    "plan_program",
+    "planner_catalog",
     "render_ascii",
     "solve",
     "subscribe",

@@ -39,6 +39,11 @@ The engine provides:
 * :mod:`repro.engine.faults` — the deterministic, test-only
   fault-injection harness (:class:`~repro.engine.faults.FaultPlan`)
   driving the chaos-parity suite;
+* join orders come from :mod:`repro.planner` — greedy (the compile-time
+  heuristic of :mod:`repro.engine.plan`), cost-based, or adaptive with
+  mid-fixpoint re-planning — selected by ``EvalConfig(planner=...)``;
+  every evaluation leaves a
+  :class:`~repro.engine.statistics.PlannerReport` on its statistics;
 * :mod:`repro.engine.api` — the stable one-call surface:
   :func:`~repro.engine.api.solve` materialises a predicate's closure
   from a program + database + config spec, so callers stop importing
@@ -52,8 +57,11 @@ from repro.engine.statistics import (
     EvaluationStatistics,
     HealthReport,
     JoinCounters,
+    PlannerReport,
+    ReplanEvent,
+    RulePlanInfo,
 )
-from repro.engine.plan import CompiledRule, compile_rule
+from repro.engine.plan import CompiledRule, compile_rule, greedy_body_order
 from repro.engine.parallel import EvalConfig, ParallelEvaluator
 from repro.engine.faults import FaultEvent, FaultPlan
 from repro.engine.supervision import IterationFailure, Supervisor
@@ -76,6 +84,9 @@ __all__ = [
     "IterationFailure",
     "JoinCounters",
     "ParallelEvaluator",
+    "PlannerReport",
+    "ReplanEvent",
+    "RulePlanInfo",
     "Supervisor",
     "build_derivation_graph",
     "compile_rule",
@@ -83,6 +94,7 @@ __all__ = [
     "evaluate_rule",
     "execute_batch",
     "execute_interned",
+    "greedy_body_order",
     "naive_closure",
     "seminaive_closure",
     "separable_evaluate",

@@ -17,9 +17,9 @@ from repro.engine.parallel import (
     ParallelEvaluator,
     record_collapsed_productions,
 )
-from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.exceptions import EvaluationError
+from repro.planner.program import plan_program
 from repro.storage.database import Database
 from repro.storage.relation import Relation, RowSetBuilder
 
@@ -57,7 +57,11 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
                 f"Rule head {rule.head.predicate} does not match the arity "
                 f"{initial.arity} of relation {predicate_name}"
             )
-    plans = [compile_rule(rule, database) for rule in rules]
+    # Join orders come from the configured planner (greedy, costed or
+    # adaptive — see :mod:`repro.planner`); the session's hook watches
+    # the new-rows/total ratio and may re-plan at iteration boundaries.
+    session = plan_program(rules, database, config, statistics, initial)
+    plans = session.plans
 
     # The evaluator's supervisor logs every recovery action (retries,
     # pool rebuilds, degradations) onto this evaluation's health report.
@@ -72,10 +76,14 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
             # repartition the grown total across workers per iteration.
             for _ in range(max_iterations):
                 statistics.iterations += 1
-                if packed.step_naive(statistics) == 0:
+                fresh = packed.step_naive(statistics)
+                if fresh == 0:
                     total = packed.freeze()
                     statistics.result_size = len(total)
+                    session.finish(statistics)
                     return total
+                session.after_iteration(evaluator, packed, fresh,
+                                        packed.total_size())
             raise EvaluationError(
                 f"Naive evaluation did not converge within "
                 f"{max_iterations} iterations"
@@ -90,8 +98,11 @@ def naive_closure(rules: Iterable[Rule], initial: Relation, database: Database,
             new_rows = builder.add_all_new(produced)
             if not new_rows:
                 statistics.result_size = len(total)
+                session.finish(statistics)
                 return total
             total = builder.freeze()
+            session.after_iteration(evaluator, None, len(new_rows),
+                                    len(builder), delta_rows=new_rows)
     raise EvaluationError(
         f"Naive evaluation did not converge within {max_iterations} iterations"
     )

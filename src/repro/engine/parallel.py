@@ -163,6 +163,10 @@ EXECUTORS = ("rows", "batch")
 #: The scheduling backends accepted by :class:`EvalConfig`.
 BACKENDS = ("serial", "threads", "processes")
 
+#: The join-order planners accepted by :class:`EvalConfig`
+#: (:mod:`repro.planner`).
+PLANNERS = ("greedy", "costed", "adaptive")
+
 
 @dataclass(frozen=True)
 class EvalConfig:
@@ -267,6 +271,17 @@ class EvalConfig:
     #: engine carries); the serving layer requires a storage path
     #: alongside this flag.  Ignored by the one-shot fixpoint drivers.
     durable: bool = False
+    #: Join-order planner (:mod:`repro.planner`): ``"greedy"`` compiles
+    #: the PR-1 heuristic order, ``"costed"`` runs the cost model over
+    #: EDB cardinalities (seeded cold, refined warm from the planner
+    #: catalog), ``"adaptive"`` additionally re-plans mid-fixpoint when
+    #: the delta/total cardinality ratio drifts (see ``replan_ratio``).
+    #: All three produce bit-identical results and Theorem-3.1 counts.
+    planner: str = "greedy"
+    #: Adaptive drift trigger: re-cost the program when the delta/total
+    #: ratio moves by this factor (either direction) since the current
+    #: plan was costed.  Must exceed 1; ignored outside adaptive mode.
+    replan_ratio: float = 4.0
 
     def __post_init__(self) -> None:
         if self.executor in BACKENDS:
@@ -323,6 +338,12 @@ class EvalConfig:
                 f"Unknown on_failure {self.on_failure!r}; expected "
                 "'degrade' or 'raise'"
             )
+        if self.planner not in PLANNERS:
+            raise ValueError(
+                f"Unknown planner {self.planner!r}; expected one of {PLANNERS}"
+            )
+        if self.replan_ratio <= 1:
+            raise ValueError("replan_ratio must be greater than 1")
         if self.durable and not self.maintain:
             raise ValueError(
                 "durable=True requires maintain=True: durable recovery "
@@ -339,13 +360,16 @@ class EvalConfig:
         The canonical single-knob constructor the serving surface uses:
         a spec is dash-separated tokens — a *mode* (``rows``, ``batch``,
         ``interned``), a *backend* (``serial``, ``threads``,
-        ``processes``) and/or the flag ``maintain`` (incremental view
+        ``processes``), a *planner* (``greedy``, ``costed``,
+        ``adaptive``) and/or the flag ``maintain`` (incremental view
         maintenance in the serving layer) in any order; omitted parts
         keep their defaults.  Examples::
 
             EvalConfig.from_spec("interned-processes")
             EvalConfig.from_spec("interned-processes-maintain")
             EvalConfig.from_spec("batch-threads")
+            EvalConfig.from_spec("interned-costed")
+            EvalConfig.from_spec("processes-adaptive")
             EvalConfig.from_spec("processes")        # rows executor
             EvalConfig.from_spec("interned")
             EvalConfig.from_spec("")                 # the default config
@@ -360,6 +384,7 @@ class EvalConfig:
         backend: Optional[str] = None
         maintain: Optional[bool] = None
         durable: Optional[bool] = None
+        planner: Optional[str] = None
         for token in filter(None, (part.strip() for part in spec.split("-"))):
             if token in modes:
                 if executor is not None:
@@ -369,6 +394,10 @@ class EvalConfig:
                 if backend is not None:
                     raise ValueError(f"Backend given twice in spec {spec!r}")
                 backend = token
+            elif token in PLANNERS:
+                if planner is not None:
+                    raise ValueError(f"Planner given twice in spec {spec!r}")
+                planner = token
             elif token == "maintain":
                 if maintain is not None:
                     raise ValueError(f"'maintain' given twice in spec {spec!r}")
@@ -386,12 +415,13 @@ class EvalConfig:
                 raise ValueError(
                     f"Unknown token {token!r} in spec {spec!r}; expected a "
                     f"mode ({', '.join(modes)}), a backend "
-                    f"({', '.join(BACKENDS)}), 'maintain' and/or "
+                    f"({', '.join(BACKENDS)}), a planner "
+                    f"({', '.join(PLANNERS)}), 'maintain' and/or "
                     f"'durable', dash-separated"
                 )
         for name, value in (("executor", executor), ("backend", backend),
                             ("intern", intern), ("maintain", maintain),
-                            ("durable", durable)):
+                            ("durable", durable), ("planner", planner)):
             if value is not None:
                 if name in overrides and overrides[name] != value:
                     raise ValueError(
@@ -402,8 +432,10 @@ class EvalConfig:
         return cls(**overrides)
 
     def spec(self) -> str:
-        """The canonical spec string of this config (mode-backend)."""
+        """The canonical spec string of this config (mode-backend[-...])."""
         base = f"{self.mode()}-{self.backend}"
+        if self.planner != "greedy":
+            base = f"{base}-{self.planner}"
         if self.durable:
             return f"{base}-durable"
         return f"{base}-maintain" if self.maintain else base
@@ -610,16 +642,51 @@ def _pack_relation(relation: Relation,
     return relation.arity, interned.length, interned.to_flat()
 
 
+def _plan_orders(plans: Sequence[CompiledRule]) -> Optional[tuple]:
+    """The per-plan forced orders to ship to workers (``None`` = all greedy)."""
+    if any(plan.forced for plan in plans):
+        return tuple(plan.order if plan.forced else None for plan in plans)
+    return None
+
+
 _WORKER_DATABASE: Optional[Database] = None
+_WORKER_RULES: tuple = ()
 _WORKER_PLANS: list[CompiledRule] = []
+#: The forced join orders the worker's plans were compiled with
+#: (``None`` everywhere the greedy order applies); every task carries
+#: the parent's current orders, so an adaptive mid-fixpoint replan
+#: propagates to the anonymous pool workers on their next task.
+_WORKER_ORDERS: Optional[tuple] = None
 #: Values the worker's domain was seeded with at pool start-up; a task's
 #: domain tail replays ids ``base..`` in order, so once the domain has
 #: caught up the replay can be skipped by a bare length check.
 _WORKER_DOMAIN_BASE = 0
 
 
+def _worker_sync_orders(orders: Optional[tuple]) -> None:
+    """Recompile the worker's plans when the parent's orders changed.
+
+    *orders* is ``None`` (all greedy) or a per-plan tuple of
+    order-or-``None``.  A change recompiles every plan (the compile
+    cache makes unchanged rules free) and drops the grouped packed
+    specialisations, which are derived from the plans.
+    """
+    global _WORKER_PLANS, _WORKER_ORDERS
+    if orders == _WORKER_ORDERS:
+        return
+    assert _WORKER_DATABASE is not None, "worker used before initialization"
+    per_plan = orders if orders is not None else (None,) * len(_WORKER_RULES)
+    _WORKER_PLANS = [
+        compile_rule(rule, _WORKER_DATABASE, order=order)
+        for rule, order in zip(_WORKER_RULES, per_plan)
+    ]
+    _WORKER_PACKED_FAST.clear()
+    _WORKER_ORDERS = orders
+
+
 def _process_worker_init(database: Database, rules: tuple,
-                         domain_values: Optional[list] = None) -> None:
+                         domain_values: Optional[list] = None,
+                         orders: Optional[tuple] = None) -> None:
     """Process-pool initializer: receive the EDB and compile plans once.
 
     The database arrives pickled (relations only — caches are not part of
@@ -628,10 +695,15 @@ def _process_worker_init(database: Database, rules: tuple,
     execution *domain_values* replays the parent's id assignment, so the
     worker's domain is bit-compatible with the parent's and flat id
     buffers can cross the process boundary in either direction.
+    *orders* ships the planner's forced join orders (``None`` under the
+    greedy planner), so worker plans match the parent's exactly.
     """
-    global _WORKER_DATABASE, _WORKER_PLANS, _WORKER_DOMAIN_BASE
+    global _WORKER_DATABASE, _WORKER_RULES, _WORKER_PLANS
+    global _WORKER_ORDERS, _WORKER_DOMAIN_BASE
     _WORKER_DATABASE = database
-    _WORKER_PLANS = [compile_rule(rule, database) for rule in rules]
+    _WORKER_RULES = tuple(rules)
+    _WORKER_ORDERS = object()  # sentinel: force the sync below
+    _worker_sync_orders(orders)
     _WORKER_DOMAIN_BASE = 0
     if domain_values is not None:
         database.domain().seed(domain_values)
@@ -641,7 +713,8 @@ def _process_worker_init(database: Database, rules: tuple,
 def _process_worker_run(plan_indices: tuple[int, ...],
                         overrides: Mapping[str, Relation],
                         mode: str,
-                        fault: Optional[tuple[str, float]] = None
+                        fault: Optional[tuple[str, float]] = None,
+                        orders: Optional[tuple] = None
                         ) -> tuple[list[tuple[Row, int]], JoinCounters]:
     """Process-pool task body: execute the task's pre-compiled plans.
 
@@ -651,6 +724,7 @@ def _process_worker_run(plan_indices: tuple[int, ...],
     later cannot silently go missing from one backend.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    _worker_sync_orders(orders)
     apply_worker_fault(fault, in_process_worker=True)
     counters = JoinCounters()
     pairs: list[tuple[Row, int]] = []
@@ -665,7 +739,8 @@ def _process_worker_run(plan_indices: tuple[int, ...],
 def _process_worker_run_interned(plan_indices: tuple[int, ...],
                                  packed: Mapping[str, tuple[int, int, array]],
                                  domain_tail: list,
-                                 fault: Optional[tuple[str, float]] = None
+                                 fault: Optional[tuple[str, float]] = None,
+                                 orders: Optional[tuple] = None
                                  ) -> tuple[list[tuple[int, array, array]], JoinCounters]:
     """Interned process task: flat id buffers in, flat id buffers out.
 
@@ -679,6 +754,7 @@ def _process_worker_run_interned(plan_indices: tuple[int, ...],
     relation's novel values), keeping the id spaces aligned.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    _worker_sync_orders(orders)
     apply_worker_fault(fault, in_process_worker=True)
     database = _WORKER_DATABASE
     domain = database.domain()
@@ -850,7 +926,8 @@ def _process_worker_run_packed(plan_indices: tuple[int, ...],
                                result_name: str, result_capacity: int,
                                domain_tail: list,
                                fault: Optional[tuple[str, float]] = None,
-                               checksum: Optional[int] = None
+                               checksum: Optional[int] = None,
+                               orders: Optional[tuple] = None
                                ) -> tuple[int, int, JoinCounters,
                                           Optional[array], int]:
     """Packed process task: shared-memory ids in, shared-memory ids out.
@@ -872,6 +949,7 @@ def _process_worker_run_packed(plan_indices: tuple[int, ...],
     instead of deriving from garbage ids.
     """
     assert _WORKER_DATABASE is not None, "worker used before initialization"
+    _worker_sync_orders(orders)
     apply_worker_fault(fault, in_process_worker=True)
     database = _WORKER_DATABASE
     domain = database.domain()
@@ -936,6 +1014,11 @@ class ParallelEvaluator:
                  config: Optional[EvalConfig] = None,
                  health: Optional[HealthReport] = None):
         self.plans = list(plans)
+        #: Per-plan forced join orders to ship to process workers
+        #: (``None`` when every plan is greedy — the common case, in
+        #: which worker compilation needs no hints at all).  Kept in
+        #: sync by :meth:`replace_plans`.
+        self.plan_orders = _plan_orders(self.plans)
         self.database = database
         self.config = config if config is not None else SERIAL_CONFIG
         #: Recovery-action log, usually the driver's
@@ -1007,7 +1090,8 @@ class ParallelEvaluator:
             self._pool = ProcessPoolExecutor(
                 max_workers=config.resolved_workers(),
                 initializer=_process_worker_init,
-                initargs=(self.database, rules, domain_values),
+                initargs=(self.database, rules, domain_values,
+                          self.plan_orders),
             )
         else:
             self._pool = None
@@ -1072,6 +1156,25 @@ class ParallelEvaluator:
         if self._segment_ring is None:
             self._segment_ring = SegmentRing(slots)
         return self._segment_ring
+
+    def replace_plans(self, new_plans: Sequence[CompiledRule]) -> None:
+        """Swap in re-planned rules (adaptive planner, iteration boundary).
+
+        The plan list is updated *in place* so holders of the list
+        object (the packed closure) observe the swap; ``plan_orders``
+        follows, and the next task shipped to each process worker
+        carries the new orders (:func:`_worker_sync_orders`), so no pool
+        rebuild is needed.  Callers on the packed path must also call
+        :meth:`PackedClosure.refresh_plans` to rebuild plan-derived
+        state.
+        """
+        if len(new_plans) != len(self.plans):
+            raise ValueError(
+                f"replace_plans got {len(new_plans)} plans for "
+                f"{len(self.plans)} rules"
+            )
+        self.plans[:] = list(new_plans)
+        self.plan_orders = _plan_orders(self.plans)
 
     # ------------------------------------------------------------------
 
@@ -1161,7 +1264,8 @@ class ParallelEvaluator:
                 def submit():
                     fault = supervisor.draw_task_fault(index)
                     return pool.submit(_process_worker_run, task.plan_indices,
-                                       task.overrides, mode, fault)
+                                       task.overrides, mode, fault,
+                                       self.plan_orders)
                 return submit
         submits = [make_submit(index, task)
                    for index, task in enumerate(tasks)]
@@ -1229,7 +1333,7 @@ class ParallelEvaluator:
                 tail = domain.values_snapshot(self._domain_base)
                 return pool.submit(
                     _process_worker_run_interned, task.plan_indices, packed,
-                    tail, fault,
+                    tail, fault, self.plan_orders,
                 )
             return submit
 
@@ -1382,6 +1486,56 @@ class PackedClosure:
     def total_size(self) -> int:
         """Rows accumulated so far (including the initial relation)."""
         return len(self.known)
+
+    def sample_delta(self, limit: int) -> list[Row]:
+        """A deterministic sample of the delta, decoded to value rows.
+
+        The adaptive planner's frontier sample: the smallest *limit*
+        packed values (sorting makes the sample identical on every
+        backend) decoded through the domain.  The decoded rows probe the
+        database's value-space indexes in
+        :func:`repro.planner.adaptive.measure_fanouts`.
+        """
+        picked = sorted(self._delta_packed)[:limit]
+        values = self.domain.values_view()
+        base = self.base_k
+        arity = self.arity
+        rows: list[Row] = []
+        for packed in picked:
+            ids = [0] * arity
+            for i in range(arity - 1, -1, -1):
+                packed, ids[i] = divmod(packed, base)
+            rows.append(tuple(values[ident] for ident in ids))
+        return rows
+
+    def refresh_plans(self) -> None:
+        """Rebuild plan-derived state after an adaptive plan swap.
+
+        ``self.plans`` is the evaluator's own list, already updated in
+        place by :meth:`ParallelEvaluator.replace_plans`; everything
+        derived from it — grouped specialisations and their persistent
+        groups, the splittable partition — is recomputed here.  The
+        packing base, domain, accumulated rows and delta are untouched:
+        a plan swap changes how the next iteration runs, never what has
+        been derived.
+        """
+        base = self.base_k
+        self._fast = [
+            select_packed_specialization(plan, self.name, self.arity, base)
+            for plan in self.plans
+        ]
+        self._fast_groups = [None] * len(self.plans)
+        self._splittable = tuple(
+            plan.scan_relation_names().count(self.name) == 1
+            for plan in self.plans
+        )
+        self._any_splittable = any(self._splittable)
+        self._split_plans = tuple(
+            i for i, ok in enumerate(self._splittable) if ok
+        )
+        self._solo_plans = tuple(
+            i for i, ok in enumerate(self._splittable) if not ok
+        )
 
     def _parallel_ready(self, n_rows: int) -> bool:
         """Whether this iteration's rows are worth farming out."""
@@ -1624,7 +1778,7 @@ class PackedClosure:
                     _process_worker_run_packed, plan_indices, self.name,
                     self.arity, self.base_k, delta_name, self._packed_wire,
                     start, stop, segment.name, segment.capacity, tail,
-                    fault, checksum,
+                    fault, checksum, self.evaluator.plan_orders,
                 )
             return submit
 

@@ -26,6 +26,7 @@ from repro.engine.plan import compile_rule
 from repro.engine.statistics import EvaluationStatistics
 from repro.engine.vectorized import execute_batch, execute_interned
 from repro.exceptions import EvaluationError
+from repro.planner.program import plan_program
 from repro.storage.database import Database
 from repro.storage.relation import Relation, RowSetBuilder
 
@@ -70,7 +71,12 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
                 f"Rule head {rule.head.predicate} does not match the arity "
                 f"{initial.arity} of relation {predicate_name}"
             )
-    plans = [compile_rule(rule, database) for rule in rules]
+    # The planner chooses each rule's join order: greedy compile (the
+    # default), cost-based (cold EDB estimates or warm catalog), or
+    # adaptive, which re-plans at iteration boundaries via the session's
+    # ``after_iteration`` hook (a no-op in the other modes).
+    session = plan_program(rules, database, config, statistics, initial)
+    plans = session.plans
 
     iterations = 0
     # The evaluator's supervisor logs every recovery action (retries,
@@ -89,6 +95,9 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
                 iterations += 1
                 statistics.iterations += 1
                 packed.step_seminaive(statistics)
+                session.after_iteration(evaluator, packed,
+                                        packed.delta_size(),
+                                        packed.total_size())
             if iterations >= max_iterations and packed.delta_size():
                 raise EvaluationError(
                     f"Semi-naive evaluation did not converge within "
@@ -96,6 +105,7 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
                 )
             total = packed.freeze()
             statistics.result_size = len(total)
+            session.finish(statistics)
             return total
         builder = RowSetBuilder(predicate_name, initial.arity, initial.rows)
         delta = initial
@@ -107,12 +117,15 @@ def seminaive_closure(rules: Iterable[Rule], initial: Relation, database: Databa
             record_collapsed_productions(pairs, builder, produced, statistics)
             new_rows = builder.add_all_new(produced)
             delta = Relation.from_canonical(predicate_name, initial.arity, new_rows)
+            session.after_iteration(evaluator, None, len(delta),
+                                    len(builder), delta_rows=delta.rows)
     if iterations >= max_iterations and delta.rows:
         raise EvaluationError(
             f"Semi-naive evaluation did not converge within {max_iterations} iterations"
         )
     total = builder.freeze()
     statistics.result_size = len(total)
+    session.finish(statistics)
     return total
 
 

@@ -1,0 +1,203 @@
+"""Mid-fixpoint re-planning driven by delta/total cardinality drift.
+
+The adaptive planner starts from the costed plan (cold or warm) and
+watches the fixpoint run.  At every iteration boundary the driver hands
+it the delta and total sizes; when the delta/total ratio drifts past
+``EvalConfig.replan_ratio`` (in either direction) relative to the ratio
+the current plan was costed at, the controller re-costs the program:
+
+* the recursive predicate is re-sized to the *current* delta;
+* each EDB atom's matches-per-probe is *measured* against the live
+  frontier — a deterministic sample of the delta's rows is probed
+  through the database's own hash indexes, replacing the cold
+  uniformity assumption with observed fanouts;
+* if the re-costed order differs for any rule, new plans are compiled
+  (:func:`repro.engine.plan.compile_rule` with a forced order) and
+  swapped into the evaluator *between* iterations.
+
+Swapping at the iteration boundary is what keeps Theorem-3.1 accounting
+bit-identical: derivations and duplicates are computed per iteration
+from the merged emission multiset, which is join-order independent, so
+a closure that changes orders mid-run derives exactly what a fixed-order
+run derives.  Every input to the replan decision (sizes, sorted samples,
+index bucket lengths) is deterministic and identical across executors
+and backends, so replans fire at the same iterations everywhere and
+within-mode counter parity holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine.plan import compile_rule
+from repro.engine.statistics import PlannerReport, ReplanEvent
+from repro.planner.cost import ProfileSource
+from repro.planner.search import costed_body_order
+from repro.storage.database import Database
+from repro.storage.relation import Row
+
+#: Frontier rows sampled per replan check (deterministic: sorted prefix).
+SAMPLE_LIMIT = 128
+
+#: Upper bound on drift-triggered re-costings per evaluation; a bound,
+#: not a knob — each check is cheap, but a pathological workload should
+#: not be able to spend its fixpoint planning.
+MAX_REPLAN_CHECKS = 8
+
+
+def measure_fanouts(rule: Rule, lead_index: int, database: Database,
+                    sample: Sequence[Row]) -> dict[int, float]:
+    """Observed matches-per-probe of each EDB atom over the frontier.
+
+    For every non-lead scan atom whose key positions are determined by
+    the lead (recursive) atom's variables, probe the database index with
+    keys drawn from the *sample* of delta rows and average the bucket
+    sizes.  This is the same quantity the engine's ``rows_probed``
+    counter accumulates, measured ahead of time on a sample.
+    """
+    body = rule.body
+    lead_atom = body[lead_index]
+    var_position: dict[Variable, int] = {}
+    for position, term in enumerate(lead_atom.arguments):
+        if isinstance(term, Variable) and term not in var_position:
+            var_position[term] = position
+    measured: dict[int, float] = {}
+    for index, atom in enumerate(body):
+        if index == lead_index or atom.is_equality():
+            continue
+        name = atom.predicate.name
+        if not database.has_relation(name):
+            continue
+        key_positions: list[int] = []
+        key_sources: list[tuple[bool, Any]] = []
+        for position, term in enumerate(atom.arguments):
+            if isinstance(term, Constant):
+                key_positions.append(position)
+                key_sources.append((True, term.value))
+            elif term in var_position:
+                key_positions.append(position)
+                key_sources.append((False, var_position[term]))
+            # A fresh variable is a post-probe bind, not a key position.
+        if not key_positions:
+            continue
+        index_view = database.index(name, atom.predicate.arity,
+                                    tuple(key_positions))
+        total = 0
+        for row in sample:
+            key = tuple(value if is_const else row[value]
+                        for is_const, value in key_sources)
+            total += len(index_view.lookup(key))
+        measured[index] = total / len(sample)
+    return measured
+
+
+class AdaptiveController:
+    """Drift watcher + re-planner for one adaptive evaluation."""
+
+    def __init__(self, rules: Sequence[Rule], database: Database,
+                 config: Any, report: PlannerReport, predicate_name: str):
+        self.rules = tuple(rules)
+        self.database = database
+        self.report = report
+        self.predicate_name = predicate_name
+        self.replan_ratio = float(getattr(config, "replan_ratio", 4.0))
+        self.orders: list[tuple[int, ...]] = [
+            tuple(info.order) for info in report.rules
+        ]
+        self._planned_ratio: Optional[float] = None
+        self._iteration = 0
+
+    # ------------------------------------------------------------------
+
+    def after_iteration(self, evaluator: Any, packed: Any,
+                        delta_size: int, total_size: int,
+                        delta_rows: Optional[Any] = None) -> None:
+        """Driver hook, called once per completed fixpoint iteration.
+
+        *evaluator* is the live :class:`~repro.engine.parallel.ParallelEvaluator`
+        (plans are swapped through it), *packed* the
+        :class:`~repro.engine.parallel.PackedClosure` when the closure
+        runs in packed-id space (``None`` on the value-space path, which
+        passes the delta's rows as *delta_rows* instead).
+        """
+        self._iteration += 1
+        self.report.record_iteration(delta_size, total_size)
+        if delta_size == 0 or total_size == 0:
+            return
+        ratio = delta_size / total_size
+        if self._planned_ratio is None:
+            self._planned_ratio = ratio
+            return
+        drift = max(ratio, self._planned_ratio) / min(ratio,
+                                                      self._planned_ratio)
+        if drift < self.replan_ratio:
+            return
+        self._planned_ratio = ratio
+        if self.report.replan_checks >= MAX_REPLAN_CHECKS:
+            return
+        self.report.replan_checks += 1
+        sample = self._sample(packed, delta_rows)
+        if not sample:
+            return
+        self._replan(evaluator, packed, delta_size, ratio, sample)
+
+    # ------------------------------------------------------------------
+
+    def _sample(self, packed: Any,
+                delta_rows: Optional[Any]) -> list[Row]:
+        """A deterministic frontier sample (sorted prefix of the delta)."""
+        if packed is not None:
+            return packed.sample_delta(SAMPLE_LIMIT)
+        if not delta_rows:
+            return []
+        return sorted(delta_rows, key=repr)[:SAMPLE_LIMIT]
+
+    def _replan(self, evaluator: Any, packed: Any, delta_size: int,
+                ratio: float, sample: Sequence[Row]) -> None:
+        profiles = ProfileSource(self.database,
+                                 hints={self.predicate_name: delta_size})
+        new_orders: list[tuple[int, ...]] = []
+        estimates = []
+        for rule_index, rule in enumerate(self.rules):
+            lead = self._lead_index(rule)
+            measured: Optional[Mapping[int, float]] = None
+            if lead is not None:
+                measured = measure_fanouts(rule, lead, self.database, sample)
+            order, estimate, _ = costed_body_order(
+                rule, profiles, lead_name=self.predicate_name,
+                measured=measured,
+            )
+            new_orders.append(order)
+            estimates.append(estimate)
+        if new_orders == self.orders:
+            return
+        new_plans = [
+            compile_rule(rule, self.database, order=order)
+            for rule, order in zip(self.rules, new_orders)
+        ]
+        for rule_index, (old, new) in enumerate(zip(self.orders, new_orders)):
+            if old == new:
+                continue
+            self.report.replans.append(ReplanEvent(
+                iteration=self._iteration, rule_index=rule_index,
+                old_order=old, new_order=new, delta_ratio=ratio,
+            ))
+            info = self.report.rules[rule_index]
+            info.order = new
+            info.source = "replan"
+            info.estimated_cost = estimates[rule_index].cost
+            info.estimated_rows = estimates[rule_index].rows
+        self.orders = new_orders
+        evaluator.replace_plans(new_plans)
+        if packed is not None:
+            packed.refresh_plans()
+
+    def _lead_index(self, rule: Rule) -> Optional[int]:
+        matches = [
+            index for index, atom in enumerate(rule.body)
+            if not atom.is_equality()
+            and atom.predicate.name == self.predicate_name
+        ]
+        return matches[0] if len(matches) == 1 else None

@@ -1,0 +1,72 @@
+"""The warm-statistics catalog: prior runs feeding later plans.
+
+The cost model's cold estimates come from EDB cardinalities under a
+uniformity assumption.  Real runs measure the truth: at the end of every
+costed or adaptive evaluation the driver records the executed order and
+its *measured* cost — rows probed per derivation, straight off the
+engine's :class:`~repro.engine.statistics.JoinCounters`.  A later run
+over the same rule starts from the best measured order instead of
+re-estimating cold ("seeded cold, refined warm").
+
+The catalog is intentionally process-local, in-memory state keyed by the
+(immutable) rule value.  Warm refinement makes planning *run-order
+dependent by design* — the second run of a rule may pick a different
+order than the first.  Parity tests and benchmarks that compare runs
+therefore call :func:`planner_catalog`\\ ``().clear()`` between legs;
+the drivers never consult the catalog in greedy mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datalog.rules import Rule
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured (rule, order) outcome."""
+
+    order: tuple[int, ...]
+    #: Rows probed per derivation over the whole run — lower is better.
+    measured_cost: float
+    runs: int = 1
+
+
+class StatisticsCatalog:
+    """Best measured join order per rule, across runs of this process."""
+
+    def __init__(self) -> None:
+        self._best: dict[Rule, Observation] = {}
+
+    def observe(self, rule: Rule, order: tuple[int, ...],
+                measured_cost: float) -> None:
+        """Record a run's executed order and its measured cost."""
+        current = self._best.get(rule)
+        if current is not None and current.order == order:
+            self._best[rule] = Observation(order, min(current.measured_cost,
+                                                      measured_cost),
+                                           current.runs + 1)
+        elif current is None or measured_cost < current.measured_cost:
+            self._best[rule] = Observation(tuple(order), measured_cost)
+
+    def suggest(self, rule: Rule) -> Optional[Observation]:
+        """The best measured observation for *rule*, if any."""
+        return self._best.get(rule)
+
+    def clear(self) -> None:
+        """Forget every observation (tests, benchmarks, parity runs)."""
+        self._best.clear()
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+#: The process-wide catalog the drivers feed and consult.
+CATALOG = StatisticsCatalog()
+
+
+def planner_catalog() -> StatisticsCatalog:
+    """The process-wide :class:`StatisticsCatalog`."""
+    return CATALOG

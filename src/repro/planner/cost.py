@@ -1,0 +1,150 @@
+"""The cost model: cardinality estimates for candidate join orders.
+
+The model is the classical ``C_out``-style estimator specialised to the
+engine's index-nested-loop plans.  For a body executed in a given order,
+let ``r_0 = 1`` and, at each scan step ``k`` over relation ``R`` probed
+with bound positions ``B``::
+
+    m_k = |R| * prod_{p in B} 1 / d_p(R)        (matches per probe)
+    r_k = r_{k-1} * m_k                         (bindings after step k)
+    cost(order) = sum_k ( r_{k-1} + r_{k-1} * m_k )
+
+where ``d_p(R)`` is the number of distinct values in column ``p`` of
+``R``.  The ``r_{k-1}`` term charges the probe itself (one index lookup
+per outstanding binding), the ``r_{k-1} * m_k`` term the candidate rows
+examined — the quantity the engine's
+:class:`~repro.engine.statistics.JoinCounters` record as ``rows_probed``.
+Equality atoms are free: they filter or bind in place without touching
+an index.
+
+Cold estimates come from :class:`RelationProfile` — per-relation sizes
+and per-column distinct counts computed from the EDB (and, for the
+recursive predicate, a size hint for the current delta with every column
+assumed distinct, the standard optimistic seed).  The adaptive planner
+(:mod:`repro.planner.adaptive`) later substitutes *measured* per-atom
+fanouts sampled from the live frontier, which is what corrects the
+uniformity assumption mid-fixpoint.
+
+Everything here is deterministic: profiles are exact counts, estimates
+are pure float arithmetic over them, so the same database and rules
+always produce the same plan on every executor and backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Cardinality profile of one relation: size and per-column distincts."""
+
+    size: int
+    distinct: tuple[int, ...]
+
+    @classmethod
+    def of(cls, relation: Relation) -> "RelationProfile":
+        """Exact profile of a stored relation (one pass over its rows)."""
+        arity = relation.arity
+        seen: list[set] = [set() for _ in range(arity)]
+        for row in relation.rows:
+            for position in range(arity):
+                seen[position].add(row[position])
+        return cls(len(relation), tuple(len(s) for s in seen))
+
+    @classmethod
+    def assumed(cls, size: int, arity: int) -> "RelationProfile":
+        """The optimistic seed for an unprofiled view: all columns distinct."""
+        return cls(size, (max(1, size),) * max(1, arity))
+
+
+@dataclass(frozen=True)
+class OrderEstimate:
+    """The model's prediction for one candidate order."""
+
+    cost: float
+    rows: float
+
+
+class ProfileSource:
+    """Resolves atom predicates to profiles, with per-call caching.
+
+    *hints* maps predicate names to assumed sizes for relations that do
+    not live in the database — in the drivers this is the recursive
+    predicate, sized by the current delta (cold: the initial relation).
+    Unknown predicates profile as empty.
+    """
+
+    def __init__(self, database: Optional[Database],
+                 hints: Optional[Mapping[str, int]] = None):
+        self.database = database
+        self.hints = dict(hints) if hints else {}
+        self._cache: dict[tuple[str, int], RelationProfile] = {}
+
+    def profile(self, name: str, arity: int) -> RelationProfile:
+        key = (name, arity)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if name in self.hints:
+            profile = RelationProfile.assumed(self.hints[name], arity)
+        elif self.database is not None and self.database.has_relation(name):
+            profile = RelationProfile.of(self.database.relations[name])
+        else:
+            profile = RelationProfile(0, (1,) * max(1, arity))
+        self._cache[key] = profile
+        return profile
+
+
+def step_matches(atom: Atom, bound: Iterable[Variable],
+                 profiles: ProfileSource) -> float:
+    """Estimated matches per probe of *atom* given the *bound* variables."""
+    profile = profiles.profile(atom.predicate.name, atom.predicate.arity)
+    bound_set = set(bound)
+    matches = float(profile.size)
+    for position, term in enumerate(atom.arguments):
+        known = isinstance(term, Constant) or term in bound_set
+        if known and position < len(profile.distinct):
+            matches /= max(1, profile.distinct[position])
+    return matches
+
+
+def estimate_order(body: Sequence[Atom], order: Sequence[int],
+                   profiles: ProfileSource,
+                   measured: Optional[Mapping[int, float]] = None,
+                   measured_after: Optional[int] = None) -> OrderEstimate:
+    """Cost and output-cardinality estimate for a full body order.
+
+    *order* is a permutation of body-atom indices (scans and equalities).
+    *measured* optionally maps a body index to an observed matches-per-
+    probe figure, consulted only for the scan placed immediately after
+    the atom *measured_after* (the adaptive planner's frontier sample:
+    the decision that matters is which EDB atom follows the delta).
+    """
+    bound: set[Variable] = set()
+    rows = 1.0
+    cost = 0.0
+    previous_scan: Optional[int] = None
+    for index in order:
+        atom = body[index]
+        if atom.is_equality():
+            for term in atom.arguments:
+                if isinstance(term, Variable):
+                    bound.add(term)
+            continue
+        if (measured is not None and index in measured
+                and previous_scan == measured_after):
+            matches = measured[index]
+        else:
+            matches = step_matches(atom, bound, profiles)
+        cost += rows + rows * matches
+        rows *= matches
+        bound.update(atom.variables())
+        previous_scan = index
+    return OrderEstimate(cost, rows)

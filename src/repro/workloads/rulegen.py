@@ -23,6 +23,8 @@ from typing import Optional
 from repro.datalog.atoms import Atom, Predicate
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Variable
+from repro.storage.database import Database
+from repro.storage.relation import Relation
 
 
 def _head(arity: int, predicate: str = "p") -> Atom:
@@ -142,3 +144,101 @@ def random_commuting_pair(arity: int, rng: Optional[random.Random] = None
     first = Rule(head, (Atom(predicate, tuple(first_body)), *first_atoms))
     second = Rule(head, (Atom(predicate, tuple(second_body)), *second_atoms))
     return first, second
+
+
+# ----------------------------------------------------------------------
+# Skewed planner-shootout families (benchmarks/bench_planner.py)
+# ----------------------------------------------------------------------
+
+
+def skewed_filter_program(chain: int = 40, blow_fanout: int = 20,
+                          sel_padding: int = 1000
+                          ) -> tuple[tuple[Rule, ...], Database, Relation]:
+    """A workload where the greedy size heuristic picks the wrong scan.
+
+    The rule is ``p(X,Y) :- p(X,Z), blow(Z,Y), sel(Z,Y)`` over a
+    *chain*-long path: for every chain node ``z``, ``blow`` holds the
+    true successor plus ``blow_fanout - 1`` garbage targets, while
+    ``sel`` holds only the true successor — plus ``sel_padding`` rows
+    under keys the evaluation never probes.  The padding makes ``sel``
+    the *larger* relation, so greedy's size tie-break scans ``blow``
+    first (``blow_fanout`` probed rows per delta row); the cost model's
+    matches-per-probe estimate (``|R| / d_Z``) sees straight through it
+    and scans ``sel`` first (one probed row per delta row).  Both orders
+    emit the identical head multiset — only ``rows_probed`` differs.
+
+    Returns ``(rules, database, initial)`` ready for the fixpoint
+    drivers; the initial relation seeds the chain at node 0.
+    """
+    blow_rows: list[tuple[int, int]] = []
+    sel_rows: list[tuple[int, int]] = []
+    garbage = 10_000
+    for z in range(chain):
+        blow_rows.append((z, z + 1))
+        for j in range(blow_fanout - 1):
+            garbage += 1
+            blow_rows.append((z, garbage))
+        sel_rows.append((z, z + 1))
+    for i in range(sel_padding):
+        sel_rows.append((100_000 + i, 200_000 + i))
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    p = Predicate("p", 2)
+    rule = Rule(
+        Atom(p, (X, Y)),
+        (Atom(p, (X, Z)), Atom.of("blow", Z, Y), Atom.of("sel", Z, Y)),
+    )
+    database = Database({
+        "blow": Relation.of("blow", 2, blow_rows),
+        "sel": Relation.of("sel", 2, sel_rows),
+    })
+    initial = Relation.of("p", 2, [(0, 0)])
+    return (rule,), database, initial
+
+
+def hub_drift_program(chain: int = 40, hot_start: int = 6,
+                      hot_fanout: int = 60, alt_fanout: int = 4,
+                      padding: int = 3000
+                      ) -> tuple[tuple[Rule, ...], Database, Relation]:
+    """A workload whose cold statistics mislead greedy *and* costed.
+
+    The rule is ``p(X,Y) :- p(X,Z), hub(X,Z,Y), alt(Z,Y)`` over a
+    *chain*-long path.  ``hub`` shares two bound variables with the
+    delta, so greedy scans it first; its padding rows (*padding* triples
+    under never-probed keys with near-distinct columns) also make the
+    cost model's cold matches-per-probe estimate tiny, so the costed
+    planner scans it first too.  But past node *hot_start* every live
+    probe of ``hub`` returns ``hot_fanout`` rows, while ``alt`` stays at
+    ``alt_fanout`` everywhere — only the adaptive planner, re-costing
+    with fanouts *measured on the live frontier* after the delta/total
+    ratio drifts, swaps to the ``alt``-first order mid-fixpoint.
+
+    Returns ``(rules, database, initial)``; the initial relation seeds
+    the chain at node 0 with source value 0.
+    """
+    hub_rows: list[tuple[int, int, int]] = []
+    alt_rows: list[tuple[int, int]] = []
+    garbage = 10_000
+    for z in range(chain):
+        fanout = hot_fanout if z >= hot_start else 1
+        hub_rows.append((0, z, z + 1))
+        for j in range(fanout - 1):
+            garbage += 1
+            hub_rows.append((0, z, garbage))
+        alt_rows.append((z, z + 1))
+        for j in range(alt_fanout - 1):
+            garbage += 1
+            alt_rows.append((z, garbage))
+    for i in range(padding):
+        hub_rows.append((300_000 + i, 400_000 + i, 500_000 + i))
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    p = Predicate("p", 2)
+    rule = Rule(
+        Atom(p, (X, Y)),
+        (Atom(p, (X, Z)), Atom.of("hub", X, Z, Y), Atom.of("alt", Z, Y)),
+    )
+    database = Database({
+        "hub": Relation.of("hub", 3, hub_rows),
+        "alt": Relation.of("alt", 2, alt_rows),
+    })
+    initial = Relation.of("p", 2, [(0, 0)])
+    return (rule,), database, initial

@@ -1,0 +1,136 @@
+"""Golden-text tests for plan explanations across planner modes.
+
+Two guarantees are pinned here: greedy plans print exactly as they did
+before the planner landed (no annotation creep into the default path),
+and cost-planned/forced plans carry the ``planner:`` annotation so a
+captured explain always says where its order came from.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.datalog.parser import parse_rule
+from repro.engine.parallel import EvalConfig
+from repro.engine.plan import clear_plan_cache, compile_rule
+from repro.planner import explain_program, planner_catalog
+from repro.storage.database import Database
+from repro.storage.relation import Relation
+from repro.workloads.rulegen import skewed_filter_program
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    planner_catalog().clear()
+    clear_plan_cache()
+    yield
+    planner_catalog().clear()
+    clear_plan_cache()
+
+
+TC_RULE = parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y).")
+
+
+def tc_database():
+    return Database.of(Relation.of("edge", 2, [(i, i + 1) for i in range(5)]))
+
+
+def golden(text: str) -> str:
+    return textwrap.dedent(text).strip("\n")
+
+
+class TestCompiledRuleExplain:
+    def test_greedy_rows_unannotated(self):
+        plan = compile_rule(TC_RULE, tc_database())
+        assert plan.explain(executor="rows") == golden("""
+            scan path(Z, Y) key=()
+            scan edge(X, Z) key=(1,)
+        """)
+
+    def test_greedy_batch_unannotated(self):
+        plan = compile_rule(TC_RULE, tc_database())
+        assert plan.explain(executor="batch") == golden("""
+            batch-scan path(Z, Y) key=() bind=['s0<-0', 's1<-1']
+            batch-probe edge(X, Z) key=(1,) carry=[1] bind=['s2<-0'] fused-emit path(X, Y) specialized=head2
+            collapse -> (row, count) pairs
+        """)
+
+    def test_greedy_interned_unannotated(self):
+        plan = compile_rule(TC_RULE, tc_database())
+        assert plan.explain(executor="interned") == golden("""
+            int-scan path(Z, Y) key=() cols=['s0<-0', 's1<-1'] (array'q')
+            int-probe edge(X, Z) key=(1,) payload=(0,) carry=[1] fused-pack path(X, Y) (K-base packed ints)
+            collapse packed ints -> (row, count) pairs; decode via Domain
+            packed-closure specialization: grouped-binary (delta grouped by join key; selected on every backend)
+        """)
+
+    def test_forced_order_is_annotated_on_every_executor(self):
+        plan = compile_rule(TC_RULE, tc_database(), order=(1, 0))
+        for executor in ("rows", "batch", "interned"):
+            lines = plan.explain(executor=executor).splitlines()
+            assert lines[-1] == "planner: costed order=(1, 0)", executor
+
+    def test_forced_same_as_greedy_still_annotated(self):
+        greedy = compile_rule(TC_RULE, tc_database())
+        forced = compile_rule(TC_RULE, tc_database(), order=greedy.order)
+        assert forced.forced
+        assert "planner: costed" in forced.explain(executor="rows")
+        assert "planner:" not in greedy.explain(executor="rows")
+
+
+class TestExplainProgram:
+    def test_greedy_golden(self):
+        rules, database, initial = skewed_filter_program()
+        text = explain_program(rules, database, EvalConfig(planner="greedy"),
+                               initial=initial)
+        assert text == golden("""
+            planner: greedy
+            rule 0: p(X, Y) :- p(X, Z), blow(Z, Y), sel(Z, Y).
+              order: (0, 1, 2) [greedy]
+              scan p(X, Z) key=()
+              scan blow(Z, Y) key=(0,)
+              scan sel(Z, Y) key=(0, 1)
+        """)
+
+    def test_costed_golden(self):
+        rules, database, initial = skewed_filter_program()
+        text = explain_program(rules, database, EvalConfig(planner="costed"),
+                               initial=initial)
+        assert text == golden("""
+            planner: costed
+            rule 0: p(X, Y) :- p(X, Z), blow(Z, Y), sel(Z, Y).
+              order: (0, 2, 1) [cold] est_cost=5.0 est_rows=0.0
+              scan p(X, Z) key=()
+              scan sel(Z, Y) key=(0,)
+              scan blow(Z, Y) key=(0, 1)
+              planner: costed order=(0, 2, 1)
+        """)
+
+    def test_adaptive_golden(self):
+        rules, database, initial = skewed_filter_program()
+        text = explain_program(rules, database, EvalConfig(planner="adaptive"),
+                               initial=initial)
+        assert text == golden("""
+            planner: adaptive
+            rule 0: p(X, Y) :- p(X, Z), blow(Z, Y), sel(Z, Y).
+              order: (0, 2, 1) [cold] est_cost=5.0 est_rows=0.0
+              scan p(X, Z) key=()
+              scan sel(Z, Y) key=(0,)
+              scan blow(Z, Y) key=(0, 1)
+              planner: costed order=(0, 2, 1)
+            adaptive: re-cost when delta/total drifts 4.0x between iterations; swaps apply at iteration boundaries
+        """)
+
+    def test_batch_executor_pipeline_shown(self):
+        rules, database, initial = skewed_filter_program()
+        text = explain_program(rules, database, EvalConfig(planner="costed"),
+                               executor="batch", initial=initial)
+        assert "batch-scan p(X, Z)" in text
+        assert "planner: costed order=(0, 2, 1)" in text
+
+    def test_default_config_is_greedy(self):
+        rules, database, initial = skewed_filter_program()
+        text = explain_program(rules, database, initial=initial)
+        assert text.startswith("planner: greedy")
